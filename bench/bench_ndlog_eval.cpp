@@ -1,0 +1,195 @@
+// E8 — paper §2.2 ("declarative networks perform efficiently") and §4.2 (the
+// soft-state hard-state rewrite is "heavy-weight and cumbersome").
+//
+// Benchmarks the NDlog engine: semi-naive vs naive evaluation (the E8
+// ablation), scaling across topology sizes and protocols, and the overhead of
+// the §4.2 soft-state rewrite relative to native runtime timeouts.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/protocols.hpp"
+#include "ndlog/query.hpp"
+#include "ndlog/eval.hpp"
+#include "runtime/simulator.hpp"
+#include "translate/softstate.hpp"
+
+namespace {
+
+using namespace fvn;
+
+void PathVectorEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool semi = state.range(1) != 0;
+  auto links = core::link_facts(core::random_topology(n, n / 2, 3));
+  ndlog::Evaluator eval;
+  ndlog::EvalOptions options;
+  options.semi_naive = semi;
+  ndlog::EvalStats last;
+  for (auto _ : state) {
+    auto result = eval.run(core::path_vector_program(), links, options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(semi ? "semi-naive" : "naive");
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["derived"] = static_cast<double>(last.tuples_derived);
+  state.counters["firings"] = static_cast<double>(last.rule_firings);
+}
+BENCHMARK(PathVectorEval)
+    ->Args({6, 1})
+    ->Args({6, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({10, 1})
+    ->Args({10, 0})
+    ->Args({12, 1})
+    ->Args({12, 0});
+
+void IndexAblation(benchmark::State& state) {
+  // Index-probe vs full-scan joins on the same workload.
+  const bool use_index = state.range(0) != 0;
+  auto links = core::link_facts(core::random_topology(10, 8, 3));
+  ndlog::Evaluator eval;
+  ndlog::EvalOptions options;
+  options.use_index = use_index;
+  ndlog::EvalStats last;
+  for (auto _ : state) {
+    auto result = eval.run(core::path_vector_program(), links, options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(use_index ? "indexed" : "scan");
+  state.counters["join_probes"] = static_cast<double>(last.join_probes);
+}
+BENCHMARK(IndexAblation)->Arg(1)->Arg(0);
+
+void QueryRestriction(benchmark::State& state) {
+  // Goal-directed querying: relevance restriction avoids the aggregate
+  // strata when only `path` is asked for.
+  const bool restricted = state.range(0) != 0;
+  auto program = core::path_vector_program();
+  auto links = core::link_facts(core::random_topology(10, 6, 9));
+  ndlog::Evaluator eval;
+  for (auto _ : state) {
+    if (restricted) {
+      auto result = ndlog::query(program, "path(@n0, D, P, C)", links);
+      benchmark::DoNotOptimize(result);
+    } else {
+      auto result = eval.run(program, links);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetLabel(restricted ? "goal-directed" : "full");
+}
+BENCHMARK(QueryRestriction)->Arg(1)->Arg(0);
+
+void ReachabilityScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto links = core::link_facts(core::random_topology(n, n, 5));
+  ndlog::Evaluator eval;
+  for (auto _ : state) {
+    auto result = eval.run(core::reachable_program(), links);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(ReachabilityScaling)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void LinkStateEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto links = core::link_facts(core::line_topology(n));
+  ndlog::Evaluator eval;
+  for (auto _ : state) {
+    auto result = eval.run(core::link_state_program(), links);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(LinkStateEval)->Arg(4)->Arg(6)->Arg(8);
+
+void ParserThroughput(benchmark::State& state) {
+  const std::string source = core::policy_path_vector_source();
+  std::size_t rules = 0;
+  for (auto _ : state) {
+    auto program = ndlog::parse_program(source);
+    rules = program.rules.size();
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * source.size()));
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(ParserThroughput);
+
+// --- soft-state ablation (§4.2) ---
+
+const char* kSoftReach = R"(
+  materialize(link, 10, infinity, keys(1,2)).
+  t1 reach(@S,D) :- link(@S,D,C).
+  t2 reach(@S,D) :- link(@S,Z,C), reach(@Z,D).
+)";
+
+void SoftStateRewrittenEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto program = ndlog::parse_program(kSoftReach, "soft_reach");
+  auto rewrite = translate::soft_to_hard(program);
+  auto facts =
+      translate::stamp_facts(program, core::link_facts(core::line_topology(n)), 0.0);
+  ndlog::Evaluator eval;
+  ndlog::EvalStats last;
+  for (auto _ : state) {
+    auto result = eval.run(rewrite.program, facts);
+    last = result.stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["extra_body_elems"] = static_cast<double>(rewrite.extra_body_elements);
+  state.counters["firings"] = static_cast<double>(last.rule_firings);
+}
+BENCHMARK(SoftStateRewrittenEval)->Arg(6)->Arg(10)->Arg(14);
+
+void SoftStateNativeRuntime(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto program = ndlog::parse_program(kSoftReach, "soft_reach");
+  auto facts = core::link_facts(core::line_topology(n));
+  runtime::SimStats last;
+  for (auto _ : state) {
+    runtime::Simulator sim(program, {});
+    sim.inject_all(facts);
+    last = sim.run();
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["expirations"] = static_cast<double>(last.expirations);
+}
+BENCHMARK(SoftStateNativeRuntime)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== E8: evaluation engine + soft-state ablation ===\n"
+            << "paper:    declarative networks 'perform efficiently'; the section-4.2\n"
+            << "          soft-state rewrite is heavy-weight\n";
+  {
+    auto links = core::link_facts(core::random_topology(10, 5, 3));
+    ndlog::Evaluator eval;
+    ndlog::EvalOptions semi, naive;
+    naive.semi_naive = false;
+    auto a = eval.run(core::path_vector_program(), links, semi);
+    auto b = eval.run(core::path_vector_program(), links, naive);
+    std::printf("  semi-naive: %zu rule firings; naive: %zu (x%.1f work)\n",
+                a.stats.rule_firings, b.stats.rule_firings,
+                static_cast<double>(b.stats.rule_firings) /
+                    static_cast<double>(a.stats.rule_firings));
+  }
+  {
+    auto program = ndlog::parse_program(kSoftReach, "soft_reach");
+    auto rewrite = translate::soft_to_hard(program);
+    std::size_t before = 0, after = 0;
+    for (const auto& r : program.rules) before += r.body.size();
+    for (const auto& r : rewrite.program.rules) after += r.body.size();
+    std::printf(
+        "  soft-state rewrite: body elements %zu -> %zu (+%zu), attributes +%zu\n",
+        before, after, rewrite.extra_body_elements, rewrite.extra_attributes);
+  }
+  return 0;
+}

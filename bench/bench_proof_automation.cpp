@@ -1,0 +1,202 @@
+// E7 — paper §4.3: "typically two-thirds of the proof steps can be automated
+// by the theorem prover's default proof strategies."
+//
+// Runs a corpus of theorems about the translated path-vector program, each
+// with the natural interactive script (the scripted commands a human would
+// type), and measures the fraction of executed proof steps discharged by the
+// automation (grind micro-steps) versus scripted by hand.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/protocols.hpp"
+#include "prover/prover.hpp"
+#include "translate/ndlog_to_logic.hpp"
+
+namespace {
+
+using namespace fvn;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::LTerm;
+using logic::Sort;
+using logic::TypedVar;
+using ndlog::CmpOp;
+using prover::Command;
+
+struct CorpusEntry {
+  logic::Theorem theorem;
+  std::vector<Command> script;
+};
+
+FormulaPtr forall_sdpc(FormulaPtr body) {
+  return Formula::forall({TypedVar{"S", Sort::Node}, TypedVar{"D", Sort::Node},
+                          TypedVar{"P", Sort::Path}, TypedVar{"C", Sort::Metric}},
+                         std::move(body));
+}
+
+std::vector<CorpusEntry> corpus() {
+  auto S = LTerm::var("S");
+  auto D = LTerm::var("D");
+  auto C = LTerm::var("C");
+  auto P = LTerm::var("P");
+  auto C1 = LTerm::var("C1");
+  auto C2 = LTerm::var("C2");
+  auto P2 = LTerm::var("P2");
+  std::vector<CorpusEntry> out;
+
+  out.push_back({logic::Theorem{
+                     "bestPathStrong",
+                     Formula::forall(
+                         {TypedVar{"S", Sort::Node}, TypedVar{"D", Sort::Node},
+                          TypedVar{"C", Sort::Metric}, TypedVar{"P", Sort::Path}},
+                         Formula::implies(
+                             Formula::pred("bestPath", {S, D, P, C}),
+                             Formula::negate(Formula::exists(
+                                 {TypedVar{"C2", Sort::Metric}, TypedVar{"P2", Sort::Path}},
+                                 Formula::conj({Formula::pred("path", {S, D, P2, C2}),
+                                                Formula::cmp(CmpOp::Lt, C2, C)})))))},
+                 {Command::skolem(), Command::flatten(), Command::skolem(),
+                  Command::expand("bestPath"), Command::expand("bestPathCost"),
+                  Command::inst({LTerm::var("P2!6"), LTerm::var("C2!5")}),
+                  Command::grind()}});
+
+  out.push_back({logic::Theorem{"pathHeadIsSource",
+                                forall_sdpc(Formula::implies(
+                                    Formula::pred("path", {S, D, P, C}),
+                                    Formula::eq(LTerm::func("f_head", {P}), S)))},
+                 {Command::induct("path"), Command::grind()}});
+
+  out.push_back({logic::Theorem{"pathLastIsDest",
+                                forall_sdpc(Formula::implies(
+                                    Formula::pred("path", {S, D, P, C}),
+                                    Formula::eq(LTerm::func("f_last", {P}), D)))},
+                 {Command::induct("path"), Command::grind()}});
+
+  out.push_back({logic::Theorem{
+                     "pathSizeGe2",
+                     forall_sdpc(Formula::implies(
+                         Formula::pred("path", {S, D, P, C}),
+                         Formula::cmp(CmpOp::Ge, LTerm::func("f_size", {P}),
+                                      LTerm::constant_of(logic::Value::integer(2)))))},
+                 {Command::induct("path"), Command::grind()}});
+
+  out.push_back({logic::Theorem{"bestPathImpliesPath",
+                                forall_sdpc(Formula::implies(
+                                    Formula::pred("bestPath", {S, D, P, C}),
+                                    Formula::pred("path", {S, D, P, C})))},
+                 {Command::grind()}});
+
+  out.push_back(
+      {logic::Theorem{
+           "bestPathCostUnique",
+           Formula::forall(
+               {TypedVar{"S", Sort::Node}, TypedVar{"D", Sort::Node},
+                TypedVar{"C1", Sort::Metric}, TypedVar{"C2", Sort::Metric}},
+               Formula::implies(
+                   Formula::conj({Formula::pred("bestPathCost", {S, D, C1}),
+                                  Formula::pred("bestPathCost", {S, D, C2})}),
+                   Formula::eq(C1, C2)))},
+       {Command::grind()}});
+  return out;
+}
+
+/// Second corpus over the reachability program's theory.
+std::vector<CorpusEntry> reachable_corpus() {
+  auto X = LTerm::var("X");
+  auto Y = LTerm::var("Y");
+  auto C = LTerm::var("C");
+  std::vector<CorpusEntry> out;
+  out.push_back({logic::Theorem{
+                     "linkImpliesReachable",
+                     Formula::forall({TypedVar{"X", Sort::Node}, TypedVar{"Y", Sort::Node},
+                                      TypedVar{"C", Sort::Metric}},
+                                     Formula::implies(Formula::pred("link", {X, Y, C}),
+                                                      Formula::pred("reachable", {X, Y})))},
+                 {Command::expand("reachable"), Command::grind()}});
+  out.push_back({logic::Theorem{
+                     "reachableHasFirstHop",
+                     Formula::forall(
+                         {TypedVar{"X", Sort::Node}, TypedVar{"Y", Sort::Node}},
+                         Formula::implies(
+                             Formula::pred("reachable", {X, Y}),
+                             Formula::exists({TypedVar{"Z", Sort::Node},
+                                              TypedVar{"C", Sort::Metric}},
+                                             Formula::pred("link", {X, LTerm::var("Z"),
+                                                                    LTerm::var("C")}))))},
+                 {Command::induct("reachable"), Command::grind()}});
+  return out;
+}
+
+void ProveWholeCorpus(benchmark::State& state) {
+  auto theory = translate::to_logic(core::path_vector_program());
+  std::size_t manual = 0;
+  std::size_t automated = 0;
+  std::size_t proved = 0;
+  for (auto _ : state) {
+    manual = automated = proved = 0;
+    for (const auto& entry : corpus()) {
+      prover::Prover prover(theory);
+      auto result = prover.prove(entry.theorem, entry.script);
+      manual += result.manual_steps();
+      automated += result.automated_steps();
+      if (result.proved) ++proved;
+    }
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["theorems_proved"] = static_cast<double>(proved);
+  state.counters["manual_steps"] = static_cast<double>(manual);
+  state.counters["automated_steps"] = static_cast<double>(automated);
+  state.counters["automated_fraction"] =
+      static_cast<double>(automated) / static_cast<double>(automated + manual);
+}
+BENCHMARK(ProveWholeCorpus);
+
+void GrindOnlyCoverage(benchmark::State& state) {
+  // How many corpus theorems does the default strategy prove with NO human
+  // script at all?
+  auto theory = translate::to_logic(core::path_vector_program());
+  std::size_t proved = 0;
+  for (auto _ : state) {
+    proved = 0;
+    for (const auto& entry : corpus()) {
+      prover::Prover prover(theory);
+      if (prover.prove_auto(entry.theorem).proved) ++proved;
+    }
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["grind_only_proved"] = static_cast<double>(proved);
+  state.counters["corpus_size"] = static_cast<double>(corpus().size());
+}
+BENCHMARK(GrindOnlyCoverage);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::size_t manual = 0, automated = 0;
+  std::cout << "\n=== E7: proof automation (paper section 4.3) ===\n"
+            << "paper:    'typically two-thirds of the proof steps can be automated'\n"
+            << "measured per theorem (manual scripted steps vs automated micro-steps):\n";
+  auto run_corpus = [&](const logic::Theory& theory,
+                        const std::vector<CorpusEntry>& entries) {
+    for (const auto& entry : entries) {
+      prover::Prover prover(theory);
+      auto result = prover.prove(entry.theorem, entry.script);
+      manual += result.manual_steps();
+      automated += result.automated_steps();
+      std::printf("  %-22s %s manual=%zu automated=%zu\n", entry.theorem.name.c_str(),
+                  result.proved ? "proved" : "OPEN  ", result.manual_steps(),
+                  result.automated_steps());
+    }
+  };
+  run_corpus(translate::to_logic(core::path_vector_program()), corpus());
+  run_corpus(translate::to_logic(core::reachable_program()), reachable_corpus());
+  const double fraction =
+      static_cast<double>(automated) / static_cast<double>(automated + manual);
+  std::printf("  TOTAL: manual=%zu automated=%zu -> automated fraction %.2f (paper ~0.67)\n",
+              manual, automated, fraction);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// fvn_cli — the command-line face of FVN: parse, analyze, translate,
+// evaluate, query, simulate and trace NDlog programs from files.
+//
+// Usage:
+//   fvn_cli check     <prog.ndlog>                  static analysis report
+//   fvn_cli translate <prog.ndlog>                  PVS-style theory (arc 4)
+//   fvn_cli linear    <prog.ndlog>                  linear-logic view (§4.2)
+//   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
+//   fvn_cli query     <prog.ndlog> <facts.txt> <goal>
+//   fvn_cli simulate  <prog.ndlog> <facts.txt>      distributed execution
+//   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
+//
+// facts.txt: one ground fact per line, e.g. `link(@n0,n1,1)`; blank lines
+// and lines starting with `#` are ignored.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "logic/pvs_emit.hpp"
+#include "ndlog/analysis.hpp"
+#include "ndlog/eval.hpp"
+#include "ndlog/parser.hpp"
+#include "ndlog/provenance.hpp"
+#include "ndlog/query.hpp"
+#include "runtime/simulator.hpp"
+#include "translate/linear_view.hpp"
+#include "translate/ndlog_to_logic.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::vector<fvn::ndlog::Tuple> facts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    facts.push_back(fvn::ndlog::parse_fact(line));
+  }
+  return facts;
+}
+
+int usage() {
+  std::cerr << "usage: fvn_cli <check|translate|linear|run|query|simulate|explain> "
+               "<prog.ndlog> [facts.txt] [goal|fact]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fvn;
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    auto program = ndlog::parse_program(slurp(argv[2]), "cli_program");
+
+    if (command == "check") {
+      auto strat = ndlog::analyze(program);
+      std::cout << "program OK: " << program.rules.size() << " rules, "
+                << ndlog::predicates_of(program).size() << " predicates, "
+                << strat.stratum_count << " strata\n";
+      for (const auto& [pred, stratum] : strat.stratum_of) {
+        std::cout << "  stratum " << stratum << ": " << pred << "\n";
+      }
+      return 0;
+    }
+    if (command == "translate") {
+      std::cout << logic::to_pvs_source(translate::to_logic(program));
+      return 0;
+    }
+    if (command == "linear") {
+      std::cout << translate::render_linear_view(program);
+      return 0;
+    }
+
+    if (argc < 4) return usage();
+    auto facts = load_facts(argv[3]);
+
+    if (command == "run") {
+      ndlog::Evaluator eval;
+      auto result = eval.run(program, facts);
+      for (const auto& row : result.database.dump()) std::cout << row << "\n";
+      std::cerr << "derived " << result.stats.tuples_derived << " tuples in "
+                << result.stats.iterations << " rounds\n";
+      return 0;
+    }
+    if (command == "query") {
+      if (argc < 5) return usage();
+      auto result = ndlog::query(program, argv[4], facts);
+      for (const auto& t : ndlog::sorted_strings(result.answers)) std::cout << t << "\n";
+      std::cerr << result.answers.size() << " answers; evaluated "
+                << result.rules_relevant << "/" << result.rules_total
+                << " relevant rules\n";
+      return 0;
+    }
+    if (command == "simulate") {
+      runtime::Simulator sim(program, {});
+      sim.inject_all(facts);
+      auto stats = sim.run();
+      for (const auto& node : sim.nodes()) {
+        std::cout << "--- " << node << " ---\n";
+        for (const auto& row : sim.database(node).dump()) std::cout << row << "\n";
+      }
+      std::cerr << "events=" << stats.events_processed
+                << " messages=" << stats.messages_sent
+                << " converged_at=" << stats.last_change_time << "s"
+                << (stats.quiesced ? "" : " (budget exhausted)") << "\n";
+      return 0;
+    }
+    if (command == "explain") {
+      if (argc < 5) return usage();
+      auto result = ndlog::eval_with_provenance(program, facts);
+      auto target = ndlog::parse_fact(argv[4]);
+      auto derivation = result.derivation_of(target);
+      if (!derivation) {
+        std::cerr << target.to_string() << " is not derivable\n";
+        return 1;
+      }
+      std::cout << derivation->to_string();
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+// Metarouting design (paper §3.3): build routing protocols from algebraic
+// building blocks; the framework discharges the well-formedness obligations
+// automatically (the PVS typechecker's role), then the generalized solver
+// computes routes.
+//
+//   * base algebras addA / hopA / lpA / bwA / relA,
+//   * the paper's BGPSystem = lexProduct[LP, RC],
+//   * convergence behaviour as predicted by the axioms.
+//
+// Build & run:  ./build/examples/metarouting_design
+#include <iostream>
+
+#include "algebra/routing_algebra.hpp"
+#include "algebra/solver.hpp"
+
+int main() {
+  using namespace fvn::algebra;
+  using fvn::ndlog::Value;
+
+  std::cout << "=== Automatic obligation discharge (section 3.3.2) ===\n";
+  for (const auto& alg : {add_algebra(), hop_algebra(), lp_algebra(), bandwidth_algebra(),
+                          reliability_algebra(), bgp_system(),
+                          lex_product(add_algebra(8, 3), hop_algebra(8))}) {
+    std::cout << discharge(alg).to_string() << "\n";
+  }
+
+  std::cout << "\n=== Route computation with the designed BGPSystem ===\n";
+  // A 4-node network; labels carry (local-pref, cost). Node 0 is the
+  // destination. Node 1 reaches 0 directly (lp 2, cost 1) or via 2 (lp 1,
+  // cost 4 total): the LP component dominates (smaller lp preferred, as in
+  // the paper's prefRel).
+  auto sys = bgp_system();
+  std::vector<LabeledEdge> edges = {
+      {1, 0, Value::list({Value::integer(2), Value::integer(1)})},
+      {1, 2, Value::list({Value::integer(1), Value::integer(2)})},
+      {2, 0, Value::list({Value::integer(1), Value::integer(2)})},
+      {3, 1, Value::list({Value::integer(1), Value::integer(1)})},
+  };
+  auto result = solve(sys, 4, edges, 0,
+                      Value::list({Value::integer(1), Value::integer(0)}));
+  std::cout << "converged=" << (result.converged ? "yes" : "NO")
+            << " iterations=" << result.iterations << "\n";
+  for (std::size_t n = 0; n < result.best.size(); ++n) {
+    std::cout << "  node " << n << ": " << result.best[n].to_string() << "\n";
+  }
+
+  std::cout << "\n=== Convergence contrast ===\n";
+  // Strictly monotone addA converges in <= diameter rounds; bandwidth (merely
+  // monotone) still converges; the solver reports iteration counts.
+  for (const auto& alg : {add_algebra(1000, 10), bandwidth_algebra(10)}) {
+    std::vector<LabeledEdge> ring;
+    const std::size_t n = 8;
+    for (std::size_t i = 0; i < n; ++i) {
+      ring.push_back({i, (i + 1) % n, Value::integer(3)});
+      ring.push_back({(i + 1) % n, i, Value::integer(3)});
+    }
+    auto r = solve(alg, n, ring, 0);
+    std::cout << alg.name << ": converged in " << r.iterations << " rounds, "
+              << r.updates << " updates\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Verified code generation (paper §3.2): from a component-based network
+// model to an executable NDlog program.
+//
+//   * the paper's Figure-3 composite tc, its PVS-style specification and the
+//     three generated NDlog rules of §3.2.2,
+//   * the Figure-2 BGP pt pipeline (export → pvt → import), generated with
+//     location specifiers and executed distributed.
+//
+// Build & run:  ./build/examples/verified_codegen
+#include <iostream>
+
+#include "bgp/component_model.hpp"
+#include "ndlog/eval.hpp"
+#include "runtime/simulator.hpp"
+#include "translate/components.hpp"
+
+int main() {
+  using namespace fvn;
+  using ndlog::Value;
+
+  std::cout << "=== The tc example (Figure 3) ===\n";
+  auto tc = translate::example_tc();
+  std::cout << "-- logical specification (arc 2) --\n"
+            << translate::generate_logic(tc).to_string() << "\n";
+  std::cout << "-- generated NDlog (arc 3) --\n"
+            << translate::generate_ndlog(tc).to_string() << "\n";
+
+  ndlog::Evaluator eval;
+  auto db = eval.run(translate::generate_ndlog(tc),
+                     {ndlog::Tuple("t1_in", {Value::integer(3)}),
+                      ndlog::Tuple("t2_in", {Value::integer(4)})})
+                .database;
+  std::cout << "-- evaluation with t1_in=3, t2_in=4 --\n";
+  for (const auto& row : db.dump()) std::cout << "  " << row << "\n";
+
+  std::cout << "\n=== The BGP pt pipeline (Figure 2) ===\n";
+  auto pt = bgp::pt_model(/*export_ceiling=*/100, /*import_penalty=*/3);
+  auto program = translate::generate_ndlog(pt, bgp::pt_location_schema());
+  std::cout << "-- generated NDlog with location specifiers --\n"
+            << program.to_string() << "\n";
+
+  // Distributed run: AS w advertises its best route to AS u.
+  runtime::Simulator sim(program, {});
+  sim.inject_all({
+      ndlog::Tuple("bestRoute", {Value::addr("w"), Value::integer(1), Value::integer(10)}),
+      ndlog::Tuple("activeAS", {Value::addr("u"), Value::addr("w"), Value::integer(1)}),
+  });
+  auto stats = sim.run();
+  std::cout << "-- distributed execution: " << stats.messages_sent << " messages --\n";
+  for (const auto& row : sim.database("u").dump()) std::cout << "  at u: " << row << "\n";
+  for (const auto& row : sim.database("w").dump()) std::cout << "  at w: " << row << "\n";
+  return 0;
+}

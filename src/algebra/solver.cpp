@@ -1,0 +1,101 @@
+#include "algebra/solver.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace fvn::algebra {
+
+SolveResult solve(const RoutingAlgebra& algebra, std::size_t node_count,
+                  const std::vector<LabeledEdge>& edges, std::size_t dest,
+                  std::optional<Value> origin, std::size_t max_iterations) {
+  SolveResult result;
+  const Value org = origin.value_or(algebra.origins.empty() ? algebra.phi
+                                                            : algebra.origins.front());
+  result.best.assign(node_count, algebra.phi);
+  result.best[dest] = org;
+
+  for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+    result.iterations = iter;
+    bool changed = false;
+    // Synchronous round: every node re-selects from its neighbors' previous
+    // signatures (destination keeps its origination).
+    std::vector<Value> next = result.best;
+    for (std::size_t n = 0; n < node_count; ++n) {
+      if (n == dest) continue;
+      Value chosen = algebra.phi;
+      for (const auto& e : edges) {
+        if (e.from != n) continue;
+        const Value candidate = algebra.apply(e.label, result.best[e.to]);
+        if (algebra.strictly_better(candidate, chosen)) chosen = candidate;
+      }
+      if (!(chosen == next[n])) {
+        next[n] = chosen;
+        changed = true;
+        ++result.updates;
+      }
+    }
+    result.best = std::move(next);
+    if (!changed) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+SolveResult solve_by_path_enumeration(const RoutingAlgebra& algebra,
+                                      std::size_t node_count,
+                                      const std::vector<LabeledEdge>& edges,
+                                      std::size_t dest, std::optional<Value> origin) {
+  SolveResult result;
+  const Value org = origin.value_or(algebra.origins.empty() ? algebra.phi
+                                                            : algebra.origins.front());
+  result.best.assign(node_count, algebra.phi);
+  result.best[dest] = org;
+
+  // Enumerate simple paths explicitly, then fold labels right-to-left
+  // (path signature = l1 ⊕ (l2 ⊕ ( ... ⊕ origin))); ⊕ prepends, so the fold
+  // happens after the whole path is known.
+  std::vector<std::size_t> stack;
+  std::function<void(std::size_t)> explore = [&](std::size_t node) {
+    if (node == dest) {
+      // Fold the recorded edges from the back: signature of the whole path.
+      Value sig = org;
+      for (std::size_t i = stack.size(); i >= 2; --i) {
+        const std::size_t from = stack[i - 2];
+        const std::size_t to = stack[i - 1];
+        // Find the best label among parallel edges (any label yields a valid
+        // path; enumerate all for optimality).
+        Value best_ext = algebra.phi;
+        for (const auto& e : edges) {
+          if (e.from == from && e.to == to) {
+            const Value ext = algebra.apply(e.label, sig);
+            if (algebra.strictly_better(ext, best_ext)) best_ext = ext;
+          }
+        }
+        sig = best_ext;
+      }
+      const std::size_t src = stack.front();
+      if (algebra.strictly_better(sig, result.best[src])) result.best[src] = sig;
+      return;
+    }
+    for (const auto& e : edges) {
+      if (e.from != node) continue;
+      if (std::find(stack.begin(), stack.end(), e.to) != stack.end()) continue;
+      stack.push_back(e.to);
+      explore(e.to);
+      stack.pop_back();
+    }
+  };
+  for (std::size_t n = 0; n < node_count; ++n) {
+    if (n == dest) continue;
+    stack.assign(1, n);
+    explore(n);
+  }
+  result.converged = true;
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace fvn::algebra

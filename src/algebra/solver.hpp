@@ -1,0 +1,46 @@
+// Generalized path-vector solver: synchronous Bellman–Ford–style iteration
+// over an arbitrary routing algebra on a labeled digraph. Demonstrates the
+// metarouting convergence theorem empirically (monotone + isotone algebras
+// reach the optimal fixpoint; non-monotone ones may cycle), experiment E6.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "algebra/routing_algebra.hpp"
+
+namespace fvn::algebra {
+
+struct LabeledEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  Value label;  // must be (convertible to) a label of the algebra
+};
+
+struct SolveResult {
+  /// best[n] = most preferred signature from node n to the destination
+  /// (phi when unreachable).
+  std::vector<Value> best;
+  std::size_t iterations = 0;
+  bool converged = false;   // fixpoint reached within the iteration budget
+  std::size_t updates = 0;  // signature improvements applied
+};
+
+/// Solve single-destination route selection: node `dest` originates
+/// `origin` (defaults to the algebra's first origin signature).
+SolveResult solve(const RoutingAlgebra& algebra, std::size_t node_count,
+                  const std::vector<LabeledEdge>& edges, std::size_t dest,
+                  std::optional<Value> origin = std::nullopt,
+                  std::size_t max_iterations = 1000);
+
+/// Brute-force optimal signatures by enumerating simple paths (exponential;
+/// for validation on small graphs). Requires isotone algebras for the
+/// Bellman–Ford result to match this ground truth.
+SolveResult solve_by_path_enumeration(const RoutingAlgebra& algebra,
+                                      std::size_t node_count,
+                                      const std::vector<LabeledEdge>& edges,
+                                      std::size_t dest,
+                                      std::optional<Value> origin = std::nullopt);
+
+}  // namespace fvn::algebra

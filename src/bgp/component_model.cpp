@@ -1,0 +1,76 @@
+#include "bgp/component_model.hpp"
+
+namespace fvn::bgp {
+
+using ndlog::BinOp;
+using ndlog::CmpOp;
+using ndlog::Term;
+using ndlog::Value;
+using translate::AtomicComponent;
+using translate::CompositeComponent;
+using translate::PortSchema;
+
+namespace {
+
+ndlog::Comparison cmp(CmpOp op, ndlog::TermPtr l, ndlog::TermPtr r) {
+  ndlog::Comparison c;
+  c.op = op;
+  c.lhs = std::move(l);
+  c.rhs = std::move(r);
+  return c;
+}
+
+}  // namespace
+
+CompositeComponent pt_model(std::int64_t export_ceiling, std::int64_t import_penalty) {
+  CompositeComponent pt;
+  pt.name = "pt";
+
+  // export(U,W,R0,R1,T): W filters its current best route before advertising
+  // to U (trigger: activeAS).
+  AtomicComponent exportC;
+  exportC.name = "exportC";
+  exportC.inputs = {PortSchema{"bestRoute", {"W", "T", "R0"}},
+                    PortSchema{"activeAS", {"U", "W", "T"}}};
+  exportC.outputs = {PortSchema{"exportOut", {"U", "W", "R1", "T"}}};
+  exportC.constraints = {
+      cmp(CmpOp::Eq, Term::var("R1"), Term::var("R0")),
+      cmp(CmpOp::Lt, Term::var("R0"), Term::constant_of(Value::integer(export_ceiling))),
+  };
+
+  // pvt(U,W,R1,R2,T): the path-vector transfer extends the route.
+  AtomicComponent pvtC;
+  pvtC.name = "pvtC";
+  pvtC.inputs = {PortSchema{"exportOut", {"U", "W", "R1", "T"}}};
+  pvtC.outputs = {PortSchema{"pvtOut", {"U", "W", "R2", "T"}}};
+  pvtC.constraints = {
+      cmp(CmpOp::Eq, Term::var("R2"),
+          Term::binary(BinOp::Add, Term::var("R1"), Term::constant_of(Value::integer(1)))),
+  };
+
+  // import(U,W,R2,R3,T): U applies its import policy.
+  AtomicComponent importC;
+  importC.name = "importC";
+  importC.inputs = {PortSchema{"pvtOut", {"U", "W", "R2", "T"}}};
+  importC.outputs = {PortSchema{"ptOut", {"U", "W", "R3", "T"}}};
+  importC.constraints = {
+      cmp(CmpOp::Eq, Term::var("R3"),
+          Term::binary(BinOp::Add, Term::var("R2"),
+                       Term::constant_of(Value::integer(import_penalty)))),
+  };
+
+  pt.parts = {exportC, pvtC, importC};
+  return pt;
+}
+
+translate::LocationSchema pt_location_schema() {
+  return {
+      {"bestRoute", 0},  // at W
+      {"activeAS", 1},   // at W (the advertiser)
+      {"exportOut", 1},  // still at W
+      {"pvtOut", 0},     // shipped to U by the pvt stage
+      {"ptOut", 0},      // at U
+  };
+}
+
+}  // namespace fvn::bgp

@@ -1,0 +1,27 @@
+// The component-based BGP model of paper §3.2.1 (Figure 2): BGP as a series
+// of route transformations — activeAS triggers, pt = export ∘ pvt ∘ import
+// propagates and filters, bestRoute re-selects. Expressed with the generic
+// component framework of translate/components.hpp so that arc 3 (NDlog
+// generation) and the PVS-style specification both fall out mechanically.
+#pragma once
+
+#include "translate/components.hpp"
+
+namespace fvn::bgp {
+
+/// Concrete numeric instantiation of Figure 2. Routes are cost metrics; the
+/// stages are:
+///   export:   R1 = R0        (with the export filter R0 < `export_ceiling`)
+///   pvt:      R2 = R1 + 1    (path-vector extension cost)
+///   import:   R3 = R2 + `import_penalty`
+/// The composite `pt` consumes bestRoute(W,T,R0) + activeAS(U,W,T) and emits
+/// ptOut(U,W,R3,T) — one full route transformation of the model.
+translate::CompositeComponent pt_model(std::int64_t export_ceiling = 100,
+                                       std::int64_t import_penalty = 0);
+
+/// Location schema for distributing the generated NDlog program: activeAS and
+/// export stages live at the advertising AS (W), the import stage and output
+/// at the receiving AS (U).
+translate::LocationSchema pt_location_schema();
+
+}  // namespace fvn::bgp

@@ -1,0 +1,128 @@
+#include "bgp/dispute_wheel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace fvn::bgp {
+
+std::string DisputeWheel::to_string() const {
+  std::ostringstream os;
+  os << "dispute wheel:";
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    os << " u" << pivots[i] << "[spoke";
+    for (auto n : spokes[i]) os << " " << n;
+    os << " | rim";
+    for (auto n : rim_routes[i]) os << " " << n;
+    os << "]";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// True if `suffix` is a proper suffix of `p` and p visits suffix.front().
+bool has_suffix(const Path& p, const Path& suffix) {
+  if (suffix.size() >= p.size()) return false;
+  return std::equal(suffix.rbegin(), suffix.rend(), p.rbegin());
+}
+
+/// Graph node: (pivot u, spoke index into permitted[u]).
+struct WheelVertex {
+  std::size_t node;
+  std::size_t spoke;  // index into permitted[node]
+  bool operator<(const WheelVertex& o) const {
+    return std::tie(node, spoke) < std::tie(o.node, o.spoke);
+  }
+  bool operator==(const WheelVertex& o) const {
+    return node == o.node && spoke == o.spoke;
+  }
+};
+
+struct WheelArc {
+  WheelVertex to;
+  Path rim_route;  // the preferred path of `from.node` going through to.node
+};
+
+}  // namespace
+
+std::optional<DisputeWheel> find_dispute_wheel(const SppInstance& spp) {
+  // Build arcs: (u, Q_u) -> (v, Q_v) iff some P ∈ permitted[u] with
+  // rank(P) < rank(Q_u) has Q_v as a proper suffix (P = R·Q_v with v on P).
+  std::map<WheelVertex, std::vector<WheelArc>> arcs;
+  std::vector<WheelVertex> vertices;
+  for (std::size_t u = 1; u < spp.node_count; ++u) {
+    for (std::size_t qi = 0; qi < spp.permitted[u].size(); ++qi) {
+      vertices.push_back({u, qi});
+    }
+  }
+  for (const auto& from : vertices) {
+    for (std::size_t pi = 0; pi < from.spoke; ++pi) {  // strictly preferred
+      const Path& preferred = spp.permitted[from.node][pi];
+      // Every (v, Q_v) such that Q_v is a proper suffix of `preferred`.
+      for (std::size_t v = 1; v < spp.node_count; ++v) {
+        if (v == from.node) continue;
+        for (std::size_t qj = 0; qj < spp.permitted[v].size(); ++qj) {
+          const Path& q_v = spp.permitted[v][qj];
+          if (!q_v.empty() && q_v.front() == v && has_suffix(preferred, q_v)) {
+            arcs[from].push_back(WheelArc{{v, qj}, preferred});
+          }
+        }
+      }
+    }
+  }
+
+  // DFS cycle detection over the wheel digraph.
+  enum class Color { White, Gray, Black };
+  std::map<WheelVertex, Color> color;
+  std::vector<std::pair<WheelVertex, Path>> stack;  // vertex + rim route used
+
+  std::optional<DisputeWheel> found;
+  std::function<bool(const WheelVertex&)> dfs = [&](const WheelVertex& v) -> bool {
+    color[v] = Color::Gray;
+    for (const auto& arc : arcs[v]) {
+      auto it = color.find(arc.to);
+      const Color c = it == color.end() ? Color::White : it->second;
+      if (c == Color::Gray) {
+        // Slice the cycle out of the stack.
+        DisputeWheel wheel;
+        auto pos = std::find_if(stack.begin(), stack.end(), [&](const auto& entry) {
+          return entry.first == arc.to;
+        });
+        for (auto itr = pos; itr != stack.end(); ++itr) {
+          wheel.pivots.push_back(itr->first.node);
+          wheel.spokes.push_back(spp.permitted[itr->first.node][itr->first.spoke]);
+          // rim route of this pivot = rim used by the arc leaving it; for the
+          // last stack entry that is the closing arc.
+          auto next = std::next(itr);
+          wheel.rim_routes.push_back(next == stack.end() ? arc.rim_route : next->second);
+        }
+        found = std::move(wheel);
+        return true;
+      }
+      if (c == Color::White) {
+        stack.emplace_back(arc.to, arc.rim_route);
+        if (dfs(arc.to)) return true;
+        stack.pop_back();
+      }
+    }
+    color[v] = Color::Black;
+    return false;
+  };
+
+  for (const auto& v : vertices) {
+    if (color.count(v)) continue;
+    stack.clear();
+    stack.emplace_back(v, Path{});
+    if (dfs(v)) return found;
+    stack.pop_back();
+  }
+  return std::nullopt;
+}
+
+bool has_dispute_wheel(const SppInstance& spp) {
+  return find_dispute_wheel(spp).has_value();
+}
+
+}  // namespace fvn::bgp

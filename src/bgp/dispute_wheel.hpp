@@ -1,0 +1,33 @@
+// Dispute-wheel detection for Stable Paths Problem instances (Griffin,
+// Shepherd, Wilfong [8]): a dispute wheel is a cyclic sequence of nodes u_i
+// with spoke paths Q_i and rim segments R_i such that every u_i prefers the
+// rim route R_i·Q_{i+1} over its own spoke Q_i. "No dispute wheel" is the
+// classic sufficient condition for SPP safety — the static policy-conflict
+// check FVN would run before deployment (the analysis the paper's §3.2.1
+// discussion of Disagree points at).
+#pragma once
+
+#include "bgp/spp.hpp"
+
+namespace fvn::bgp {
+
+/// One detected wheel: the pivot nodes and their spoke paths, cyclically.
+struct DisputeWheel {
+  std::vector<std::size_t> pivots;
+  std::vector<Path> spokes;      // spokes[i] = Q_i at pivots[i]
+  std::vector<Path> rim_routes;  // rim_routes[i] = R_i·Q_{i+1} ∈ P^{u_i}
+  std::string to_string() const;
+};
+
+/// Search for a dispute wheel. Works over the instance's explicit permitted
+/// path lists: an arc (u,Q_u) → (v,Q_v) exists when some permitted path of u
+/// strictly preferred over Q_u passes through v with suffix Q_v; a cycle of
+/// such arcs is a wheel.
+std::optional<DisputeWheel> find_dispute_wheel(const SppInstance& spp);
+
+/// The GSW safety implication, checkable per instance: no dispute wheel ⇒
+/// a unique, always-reached stable state. (Tests confirm it on the gadget
+/// corpus; the converse is not claimed.)
+bool has_dispute_wheel(const SppInstance& spp);
+
+}  // namespace fvn::bgp

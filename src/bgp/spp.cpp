@@ -1,0 +1,235 @@
+#include "bgp/spp.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvn::bgp {
+
+void SppInstance::validate() const {
+  if (permitted.size() != node_count) {
+    throw std::invalid_argument("SPP: permitted list size mismatch");
+  }
+  for (std::size_t u = 0; u < node_count; ++u) {
+    for (const auto& p : permitted[u]) {
+      if (p.empty() || p.front() != u || p.back() != 0) {
+        throw std::invalid_argument("SPP: path of node " + std::to_string(u) +
+                                    " must run from the node to the origin");
+      }
+      std::set<std::size_t> seen(p.begin(), p.end());
+      if (seen.size() != p.size()) {
+        throw std::invalid_argument("SPP: path of node " + std::to_string(u) +
+                                    " is not simple");
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> SppInstance::neighbors(std::size_t u) const {
+  std::set<std::size_t> out;
+  for (const auto& p : permitted[u]) {
+    if (p.size() >= 2) out.insert(p[1]);
+  }
+  return {out.begin(), out.end()};
+}
+
+SppInstance disagree() {
+  // Griffin's Disagree: nodes 1 and 2 each prefer the route through the
+  // other over their direct route to 0.
+  SppInstance spp;
+  spp.name = "disagree";
+  spp.node_count = 3;
+  spp.permitted = {
+      {{0}},
+      {{1, 2, 0}, {1, 0}},
+      {{2, 1, 0}, {2, 0}},
+  };
+  spp.validate();
+  return spp;
+}
+
+SppInstance good_gadget() {
+  // A policy configuration with a unique stable state (from [8]): nodes 1..3
+  // prefer short counter-clockwise routes; no conflicting cycle.
+  SppInstance spp;
+  spp.name = "good-gadget";
+  spp.node_count = 4;
+  spp.permitted = {
+      {{0}},
+      {{1, 0}, {1, 2, 0}},
+      {{2, 0}, {2, 3, 0}},
+      {{3, 0}},
+  };
+  spp.validate();
+  return spp;
+}
+
+SppInstance bad_gadget() {
+  // The classic BAD GADGET: 1,2,3 around origin 0; each prefers the
+  // counter-clockwise route through its neighbor over its direct route.
+  // No stable assignment exists.
+  SppInstance spp;
+  spp.name = "bad-gadget";
+  spp.node_count = 4;
+  spp.permitted = {
+      {{0}},
+      {{1, 2, 0}, {1, 0}},
+      {{2, 3, 0}, {2, 0}},
+      {{3, 1, 0}, {3, 0}},
+  };
+  spp.validate();
+  return spp;
+}
+
+SppInstance shortest_hop_ring(std::size_t nodes) {
+  SppInstance spp;
+  spp.name = "shortest-hop-ring-" + std::to_string(nodes);
+  spp.node_count = nodes;
+  spp.permitted.resize(nodes);
+  spp.permitted[0] = {{0}};
+  for (std::size_t u = 1; u < nodes; ++u) {
+    // Two candidate paths around the ring; prefer the shorter.
+    Path down;  // u, u-1, ..., 0
+    for (std::size_t v = u + 1; v-- > 0;) down.push_back(v);
+    Path up;  // u, u+1, ..., n-1, 0
+    for (std::size_t v = u; v < nodes; ++v) up.push_back(v);
+    up.push_back(0);
+    up.erase(std::unique(up.begin(), up.end()), up.end());
+    if (down.size() <= up.size()) {
+      spp.permitted[u] = {down, up};
+    } else {
+      spp.permitted[u] = {up, down};
+    }
+  }
+  spp.validate();
+  return spp;
+}
+
+Path best_choice(const SppInstance& spp, const Assignment& assignment, std::size_t u) {
+  if (u == 0) return {0};
+  for (const auto& p : spp.permitted[u]) {
+    if (p.size() < 2) continue;
+    const std::size_t v = p[1];
+    const Path expected(p.begin() + 1, p.end());
+    if (assignment[v] == expected) return p;
+  }
+  return {};
+}
+
+bool is_stable(const SppInstance& spp, const Assignment& assignment) {
+  for (std::size_t u = 0; u < spp.node_count; ++u) {
+    if (u == 0) {
+      if (assignment[0] != Path{0}) return false;
+      continue;
+    }
+    if (best_choice(spp, assignment, u) != assignment[u]) return false;
+  }
+  return true;
+}
+
+std::vector<Assignment> stable_states(const SppInstance& spp) {
+  std::vector<Assignment> out;
+  // Choice index per node: 0..permitted.size() (last = no route).
+  std::vector<std::size_t> choice(spp.node_count, 0);
+  std::function<void(std::size_t, Assignment&)> rec = [&](std::size_t u, Assignment& a) {
+    if (u == spp.node_count) {
+      if (is_stable(spp, a)) out.push_back(a);
+      return;
+    }
+    if (u == 0) {
+      a[0] = {0};
+      rec(1, a);
+      return;
+    }
+    for (const auto& p : spp.permitted[u]) {
+      a[u] = p;
+      rec(u + 1, a);
+    }
+    a[u] = {};
+    rec(u + 1, a);
+  };
+  Assignment a(spp.node_count);
+  rec(0, a);
+  return out;
+}
+
+SpvpResult run_spvp(const SppInstance& spp, const SpvpOptions& options) {
+  SpvpResult result;
+  Assignment current(spp.node_count);
+  current[0] = {0};
+
+  std::mt19937_64 rng(options.seed);
+  std::map<std::string, std::size_t> seen;  // state -> step index
+  seen[to_string(current)] = 0;
+
+  for (std::size_t step = 1; step <= options.max_steps; ++step) {
+    result.steps = step;
+    bool changed = false;
+    auto activate = [&](std::size_t u, const Assignment& read_from) {
+      const Path best = best_choice(spp, read_from, u);
+      if (best != current[u]) {
+        current[u] = best;
+        changed = true;
+        ++result.route_flaps;
+      }
+    };
+    switch (options.schedule) {
+      case SpvpOptions::Schedule::Synchronous: {
+        const Assignment snapshot = current;
+        for (std::size_t u = 1; u < spp.node_count; ++u) activate(u, snapshot);
+        break;
+      }
+      case SpvpOptions::Schedule::RoundRobin:
+        activate(1 + (step - 1) % (spp.node_count - 1), current);
+        break;
+      case SpvpOptions::Schedule::Random: {
+        std::uniform_int_distribution<std::size_t> pick(1, spp.node_count - 1);
+        activate(pick(rng), current);
+        break;
+      }
+    }
+    if (!changed && options.schedule != SpvpOptions::Schedule::Synchronous) {
+      // A single no-op activation is not quiescence; check all nodes.
+      if (is_stable(spp, current)) {
+        result.converged = true;
+        result.final_assignment = current;
+        return result;
+      }
+      continue;
+    }
+    if (!changed) {  // synchronous round with no change = fixpoint
+      result.converged = is_stable(spp, current);
+      result.final_assignment = current;
+      return result;
+    }
+    const std::string key = to_string(current);
+    auto [it, inserted] = seen.emplace(key, step);
+    if (!inserted) {
+      result.oscillated = true;
+      result.cycle_length = step - it->second;
+      result.final_assignment = current;
+      return result;
+    }
+  }
+  result.final_assignment = current;
+  return result;
+}
+
+std::string to_string(const Assignment& assignment) {
+  std::ostringstream os;
+  for (std::size_t u = 0; u < assignment.size(); ++u) {
+    os << u << ":(";
+    for (std::size_t i = 0; i < assignment[u].size(); ++i) {
+      if (i) os << " ";
+      os << assignment[u][i];
+    }
+    os << ") ";
+  }
+  return os.str();
+}
+
+}  // namespace fvn::bgp

@@ -1,0 +1,86 @@
+// The Stable Paths Problem (Griffin, Shepherd, Wilfong [8]) and the SPVP
+// activation dynamics — the formal setting behind the paper's Disagree
+// discussion (§3.2.1) and experiment E3.
+//
+// An SPP instance fixes, for every node, a ranked list of permitted paths to
+// the origin (node 0). A path assignment is *stable* when every node's
+// selected path is the best permitted path consistent with its neighbors'
+// selections. Disagree has two stable states and can oscillate forever under
+// synchronous activation; Bad Gadget has none; Good Gadget has exactly one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fvn::bgp {
+
+/// A path is a node sequence starting at the owning node and ending at the
+/// origin 0. The empty path means "no route".
+using Path = std::vector<std::size_t>;
+
+struct SppInstance {
+  std::string name;
+  std::size_t node_count = 0;
+  /// permitted[u] = ranked permitted paths of node u (most preferred first).
+  /// permitted[0] is conventionally {{0}} (the origin's trivial path).
+  std::vector<std::vector<Path>> permitted;
+
+  /// Check structural sanity (paths start at owner, end at 0, are simple).
+  void validate() const;
+  /// Neighbors of u: first hops of its permitted paths.
+  std::vector<std::size_t> neighbors(std::size_t u) const;
+};
+
+/// One selected path per node ({} = none). assignment[0] == {0}.
+using Assignment = std::vector<Path>;
+
+/// The gadgets of the SPP literature (node 0 is always the origin).
+SppInstance disagree();     // 2 stable states, oscillates synchronously
+SppInstance good_gadget();  // unique stable state, always converges
+SppInstance bad_gadget();   // no stable state, always diverges
+/// A policy-free shortest-hop instance over a ring (baseline; unique stable
+/// state).
+SppInstance shortest_hop_ring(std::size_t nodes);
+
+/// Best permitted path of `u` given neighbor selections: the highest-ranked
+/// permitted path (u, v, ...) such that the neighbor v currently selects
+/// exactly (v, ...). Returns {} when none is available.
+Path best_choice(const SppInstance& spp, const Assignment& assignment, std::size_t u);
+
+/// True iff the assignment is stable (every node selects its best choice).
+bool is_stable(const SppInstance& spp, const Assignment& assignment);
+
+/// Enumerate all stable assignments by exhaustive search over the (small)
+/// product of permitted-path choices.
+std::vector<Assignment> stable_states(const SppInstance& spp);
+
+/// SPVP activation dynamics.
+struct SpvpOptions {
+  enum class Schedule : std::uint8_t {
+    Synchronous,  // all nodes recompute simultaneously each round
+    RoundRobin,   // nodes activate one at a time, in order
+    Random,       // uniformly random single activations
+  };
+  Schedule schedule = Schedule::Synchronous;
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 10000;
+};
+
+struct SpvpResult {
+  bool converged = false;
+  bool oscillated = false;  // a previously seen state recurred
+  std::size_t steps = 0;    // activations (or rounds, for Synchronous)
+  std::size_t route_flaps = 0;  // selection changes along the run
+  Assignment final_assignment;
+  /// For oscillations: the length of the detected state cycle.
+  std::size_t cycle_length = 0;
+};
+
+/// Run SPVP from the empty assignment.
+SpvpResult run_spvp(const SppInstance& spp, const SpvpOptions& options = {});
+
+std::string to_string(const Assignment& assignment);
+
+}  // namespace fvn::bgp

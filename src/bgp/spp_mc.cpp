@@ -1,0 +1,97 @@
+#include "bgp/spp_mc.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace fvn::bgp {
+
+std::string encode_state(const Assignment& assignment) { return to_string(assignment); }
+
+Assignment decode_state(const std::string& encoded, const SppInstance& spp) {
+  Assignment out(spp.node_count);
+  std::istringstream is(encoded);
+  std::string token;
+  // Format: "u:(a b c) u:(...) ..." — parse each "u:(...)" group.
+  while (is >> token) {
+    const auto colon = token.find(':');
+    const std::size_t u = std::stoul(token.substr(0, colon));
+    std::string inner = token.substr(colon + 1);
+    // The path may span tokens ("1:(1 2 0)"): read until ')'.
+    while (inner.find(')') == std::string::npos) {
+      std::string more;
+      is >> more;
+      inner += " " + more;
+    }
+    inner = inner.substr(1, inner.find(')') - 1);
+    Path path;
+    std::istringstream ps(inner);
+    std::size_t v;
+    while (ps >> v) path.push_back(v);
+    out[u] = path;
+  }
+  return out;
+}
+
+std::vector<std::string> spvp_successor_states(const SppInstance& spp,
+                                               const std::string& state) {
+  const Assignment current = decode_state(state, spp);
+  std::vector<std::string> out;
+  const std::size_t movers = spp.node_count - 1;  // nodes 1..n-1
+  for (std::size_t mask = 1; mask < (1u << movers); ++mask) {
+    Assignment next = current;
+    bool changed = false;
+    for (std::size_t bit = 0; bit < movers; ++bit) {
+      if (!(mask & (1u << bit))) continue;
+      const std::size_t u = bit + 1;
+      const Path best = best_choice(spp, current, u);  // read the snapshot
+      if (best != next[u]) {
+        next[u] = best;
+        changed = true;
+      }
+    }
+    if (changed) out.push_back(encode_state(next));
+  }
+  return out;
+}
+
+OscillationReport check_oscillation(const SppInstance& spp, std::size_t max_states) {
+  Assignment empty(spp.node_count);
+  empty[0] = {0};
+  auto successors = [&spp](const std::string& s) { return spvp_successor_states(spp, s); };
+  // Any state may participate in a cycle; stable states are sinks (their only
+  // "move" would be a no-op, which spvp_successor_states suppresses).
+  auto candidate = [](const std::string&) { return true; };
+  auto result = mc::find_cycle<std::string>({encode_state(empty)}, successors, candidate,
+                                            max_states);
+  OscillationReport report;
+  report.has_cycle = !result.property_holds;
+  report.states_explored = result.states_explored;
+  if (report.has_cycle) {
+    report.cycle = result.counterexample;
+    report.cycle_length = result.counterexample.size() - 1;
+  }
+  return report;
+}
+
+std::vector<Assignment> reachable_stable_states(const SppInstance& spp,
+                                                std::size_t max_states) {
+  Assignment empty(spp.node_count);
+  empty[0] = {0};
+  std::vector<Assignment> stable;
+  std::unordered_set<std::string> visited;
+  std::deque<std::string> frontier{encode_state(empty)};
+  visited.insert(frontier.front());
+  while (!frontier.empty() && visited.size() < max_states) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    const Assignment a = decode_state(current, spp);
+    if (is_stable(spp, a)) stable.push_back(a);
+    for (const auto& next : spvp_successor_states(spp, current)) {
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return stable;
+}
+
+}  // namespace fvn::bgp

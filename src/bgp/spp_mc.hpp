@@ -1,0 +1,37 @@
+// Model-checking adapters for SPVP (experiment E3): the activation
+// nondeterminism of an SPP instance as a transition system. A move activates
+// any non-empty subset of non-origin nodes simultaneously (Griffin's SPVP
+// semantics); oscillation = a reachable cycle of selection states.
+#pragma once
+
+#include "bgp/spp.hpp"
+#include "mc/checker.hpp"
+
+namespace fvn::bgp {
+
+/// Encode an assignment as a canonical state string.
+std::string encode_state(const Assignment& assignment);
+Assignment decode_state(const std::string& encoded, const SppInstance& spp);
+
+/// All successor states under simultaneous activation of every non-empty
+/// subset of nodes (excluding no-op moves).
+std::vector<std::string> spvp_successor_states(const SppInstance& spp,
+                                               const std::string& state);
+
+struct OscillationReport {
+  bool has_cycle = false;
+  std::size_t cycle_length = 0;
+  std::size_t states_explored = 0;
+  std::vector<std::string> cycle;  // the witnessing lasso
+};
+
+/// Search for a reachable oscillation (cycle through non-stable dynamics)
+/// from the empty assignment.
+OscillationReport check_oscillation(const SppInstance& spp, std::size_t max_states = 100000);
+
+/// All stable assignments reachable from the empty assignment (compare with
+/// the exhaustive stable_states(): Disagree reaches both of its two).
+std::vector<Assignment> reachable_stable_states(const SppInstance& spp,
+                                                std::size_t max_states = 100000);
+
+}  // namespace fvn::bgp

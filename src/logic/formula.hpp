@@ -1,0 +1,164 @@
+// First-order logic AST — FVN's specification language.
+//
+// Terms and formulas are immutable, shared trees. The vocabulary matches the
+// paper's PVS encodings (§3.1): typed variables (Node, Metric, Path, ...),
+// uninterpreted predicates defined inductively from NDlog rules, equality,
+// linear integer arithmetic atoms, and the interpreted path functions
+// (f_init, f_concatPath, f_inPath, ...).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"  // reuse CmpOp/BinOp enums and Value
+
+namespace fvn::logic {
+
+using ndlog::BinOp;
+using ndlog::CmpOp;
+using ndlog::Value;
+
+/// Sorts (PVS types) used in specifications.
+enum class Sort : std::uint8_t { Unknown, Node, Metric, Path, Bool, Str, Time };
+
+std::string_view to_string(Sort sort) noexcept;
+
+/// A typed variable declaration "(S:Node)".
+struct TypedVar {
+  std::string name;
+  Sort sort = Sort::Unknown;
+  bool operator==(const TypedVar&) const = default;
+  std::string to_string() const;
+};
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+struct LTerm;
+using LTermPtr = std::shared_ptr<const LTerm>;
+
+/// A logical term: variable, constant (any NDlog Value), interpreted function
+/// application, or arithmetic expression.
+struct LTerm {
+  enum class Kind : std::uint8_t { Var, Const, Func, Arith };
+
+  Kind kind = Kind::Var;
+  std::string name;  // Var name or Func name
+  Value constant;
+  BinOp op = BinOp::Add;
+  std::vector<LTermPtr> args;
+
+  static LTermPtr var(std::string name);
+  static LTermPtr constant_of(Value v);
+  static LTermPtr func(std::string name, std::vector<LTermPtr> args);
+  static LTermPtr arith(BinOp op, LTermPtr lhs, LTermPtr rhs);
+
+  bool equals(const LTerm& other) const;
+  void free_vars(std::set<std::string>& out) const;
+  /// Capture-avoidance is the caller's job (the prover renames bound vars
+  /// apart before instantiating).
+  LTermPtr substitute(const std::string& var, const LTermPtr& replacement) const;
+  std::string to_string() const;
+};
+
+// ---------------------------------------------------------------------------
+// Formulas
+// ---------------------------------------------------------------------------
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  enum class Kind : std::uint8_t {
+    True,
+    False,
+    Pred,     // name(args)
+    Cmp,      // lhs op rhs (equality / arithmetic comparison)
+    Not,
+    And,      // n-ary
+    Or,       // n-ary
+    Implies,  // subs[0] => subs[1]
+    Iff,      // subs[0] <=> subs[1]
+    Forall,
+    Exists,
+  };
+
+  Kind kind = Kind::True;
+  // Pred
+  std::string pred_name;
+  std::vector<LTermPtr> terms;  // Pred args, or Cmp {lhs, rhs}
+  CmpOp cmp_op = CmpOp::Eq;
+  // Composite
+  std::vector<FormulaPtr> subs;
+  // Quantifiers
+  std::vector<TypedVar> binders;
+
+  static FormulaPtr truth();
+  static FormulaPtr falsity();
+  static FormulaPtr pred(std::string name, std::vector<LTermPtr> args);
+  static FormulaPtr cmp(CmpOp op, LTermPtr lhs, LTermPtr rhs);
+  static FormulaPtr eq(LTermPtr lhs, LTermPtr rhs) { return cmp(CmpOp::Eq, lhs, rhs); }
+  static FormulaPtr negate(FormulaPtr f);
+  static FormulaPtr conj(std::vector<FormulaPtr> fs);  // flattens, drops True
+  static FormulaPtr disj(std::vector<FormulaPtr> fs);  // flattens, drops False
+  static FormulaPtr implies(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr iff(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr forall(std::vector<TypedVar> vars, FormulaPtr body);
+  static FormulaPtr exists(std::vector<TypedVar> vars, FormulaPtr body);
+
+  bool equals(const Formula& other) const;
+  void free_vars(std::set<std::string>& out) const;
+  FormulaPtr substitute(const std::string& var, const LTermPtr& replacement) const;
+  std::string to_string() const;
+};
+
+/// Fresh-name generator: "X!1", "X!2", ... (PVS skolem-constant style).
+class NameSupply {
+ public:
+  std::string fresh(const std::string& base);
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Definitions, theorems, theories
+// ---------------------------------------------------------------------------
+
+/// An inductive predicate definition (the image of a set of NDlog rules,
+/// paper §3.1):
+///   path(S,D,P,C): INDUCTIVE bool = clause_1 OR clause_2 ...
+struct InductiveDef {
+  std::string pred_name;
+  std::vector<TypedVar> params;
+  /// One disjunct per NDlog rule; each is typically EXISTS(...) AND(...).
+  std::vector<FormulaPtr> clauses;
+
+  FormulaPtr body() const;  // disjunction of clauses
+  std::string to_string() const;
+};
+
+struct Theorem {
+  std::string name;
+  FormulaPtr statement;
+  std::string to_string() const;
+};
+
+/// A PVS-style theory: a named collection of definitions, axioms and
+/// theorems (the unit handled by theory interpretation in §3.3).
+struct Theory {
+  std::string name;
+  std::vector<InductiveDef> definitions;
+  std::vector<Theorem> axioms;
+  std::vector<Theorem> theorems;
+
+  const InductiveDef* find_definition(const std::string& pred) const;
+  std::string to_string() const;  // full PVS-style rendering
+};
+
+}  // namespace fvn::logic

@@ -1,0 +1,29 @@
+// PVS source emission: render FVN theories as .pvs files in the style of the
+// paper's §3.1/§3.2 listings (INDUCTIVE definitions, THEOREM declarations,
+// type preludes). The output is the artifact a user would hand to the real
+// PVS for independent checking.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "logic/formula.hpp"
+
+namespace fvn::logic {
+
+struct PvsEmitOptions {
+  /// Emit the FVN prelude (Node/Metric/Path type declarations and the
+  /// uninterpreted path-function signatures) before the theory body.
+  bool include_prelude = true;
+  /// Declare base (undefined) predicates appearing in definitions/theorems.
+  bool declare_base_predicates = true;
+};
+
+/// Render a theory as a complete PVS file.
+std::string to_pvs_source(const Theory& theory, const PvsEmitOptions& options = {});
+
+/// Write the rendering to `path` (creating parent directories).
+void write_pvs_file(const Theory& theory, const std::filesystem::path& path,
+                    const PvsEmitOptions& options = {});
+
+}  // namespace fvn::logic

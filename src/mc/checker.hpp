@@ -1,0 +1,128 @@
+// Explicit-state model checking for FVN (the complementary verification
+// technique of §4.3): bounded BFS invariant checking with counterexample
+// traces, and reachable-cycle (lasso) detection for divergence properties
+// such as Disagree oscillation and count-to-infinity.
+//
+// Header-only template: a State must be hashable, equality-comparable and
+// printable via the supplied render function.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fvn::mc {
+
+template <typename State>
+struct ExplorationResult {
+  bool property_holds = true;
+  bool exhausted = true;  // full state space visited within budget
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  std::vector<State> counterexample;  // trace to violation / the lasso cycle
+};
+
+/// Bounded breadth-first invariant check: explores from `initial`; if some
+/// reachable state violates `invariant`, returns the shortest trace to it.
+template <typename State, typename Hash = std::hash<State>>
+ExplorationResult<State> check_invariant(
+    const std::vector<State>& initial,
+    const std::function<std::vector<State>(const State&)>& successors,
+    const std::function<bool(const State&)>& invariant, std::size_t max_states = 100000) {
+  ExplorationResult<State> result;
+  std::unordered_map<State, State, Hash> parent;  // child -> parent (BFS tree)
+  std::unordered_set<State, Hash> visited;
+  std::deque<State> frontier;
+
+  auto trace_back = [&](State state) {
+    std::vector<State> trace{state};
+    while (parent.count(state)) {
+      state = parent.at(state);
+      trace.push_back(state);
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  for (const auto& s : initial) {
+    if (visited.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    State current = frontier.front();
+    frontier.pop_front();
+    ++result.states_explored;
+    if (!invariant(current)) {
+      result.property_holds = false;
+      result.counterexample = trace_back(current);
+      return result;
+    }
+    if (result.states_explored >= max_states) {
+      result.exhausted = false;
+      return result;
+    }
+    for (auto& next : successors(current)) {
+      ++result.transitions;
+      if (visited.insert(next).second) {
+        parent.emplace(next, current);
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+/// Reachable-cycle detection among states satisfying `on_cycle_candidate`
+/// (pass a tautology to find any cycle). Returns the cycle as the
+/// counterexample when found — the witness of divergence/livelock.
+template <typename State, typename Hash = std::hash<State>>
+ExplorationResult<State> find_cycle(
+    const std::vector<State>& initial,
+    const std::function<std::vector<State>(const State&)>& successors,
+    const std::function<bool(const State&)>& on_cycle_candidate,
+    std::size_t max_states = 100000) {
+  ExplorationResult<State> result;
+  enum class Color : std::uint8_t { Gray, Black };
+  std::unordered_map<State, Color, Hash> color;
+  std::vector<State> stack;  // current DFS path
+
+  std::function<bool(const State&)> dfs = [&](const State& s) -> bool {
+    color[s] = Color::Gray;
+    stack.push_back(s);
+    ++result.states_explored;
+    if (result.states_explored >= max_states) {
+      result.exhausted = false;
+      stack.pop_back();
+      color[s] = Color::Black;
+      return false;
+    }
+    for (auto& next : successors(s)) {
+      ++result.transitions;
+      if (!on_cycle_candidate(next)) continue;
+      auto it = color.find(next);
+      if (it == color.end()) {
+        if (dfs(next)) return true;
+      } else if (it->second == Color::Gray) {
+        // Found a cycle: slice the DFS stack from next's position.
+        auto pos = std::find(stack.begin(), stack.end(), next);
+        result.counterexample.assign(pos, stack.end());
+        result.counterexample.push_back(next);
+        result.property_holds = false;  // "no divergence cycle" is violated
+        return true;
+      }
+    }
+    stack.pop_back();
+    color[s] = Color::Black;
+    return false;
+  };
+
+  for (const auto& s : initial) {
+    if (!on_cycle_candidate(s)) continue;
+    if (!color.count(s) && dfs(s)) return result;
+  }
+  return result;
+}
+
+}  // namespace fvn::mc

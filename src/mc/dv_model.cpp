@@ -1,0 +1,146 @@
+#include "mc/dv_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fvn::mc {
+
+namespace {
+
+/// Live undirected neighbor list with costs, honoring the failed link.
+std::vector<std::vector<std::pair<std::size_t, std::int64_t>>> live_adjacency(
+    const DvConfig& config, bool include_failed) {
+  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>> adj(config.node_count);
+  for (const auto& [u, v, c] : config.edges) {
+    if (!include_failed && config.failed_link) {
+      const auto& [a, b] = *config.failed_link;
+      if ((u == a && v == b) || (u == b && v == a)) continue;
+    }
+    adj[u].emplace_back(v, c);
+    adj[v].emplace_back(u, c);
+  }
+  return adj;
+}
+
+/// The advertisement node v makes to node u under the configuration's
+/// policies: v's cost to the destination, or nullopt (no route / split
+/// horizon suppression). Node 0 always advertises cost 0.
+std::optional<std::int64_t> advertised(const DvConfig& config, const DvState& state,
+                                       std::size_t v, std::size_t u) {
+  if (v == 0) return 0;
+  const auto& entry = state[v];
+  if (!entry) return std::nullopt;
+  if (config.split_horizon && entry->next_hop == u) return std::nullopt;
+  return entry->cost;
+}
+
+}  // namespace
+
+std::string to_string(const DvState& state) {
+  std::ostringstream os;
+  for (std::size_t u = 1; u < state.size(); ++u) {
+    os << u << ":";
+    if (state[u]) {
+      os << state[u]->cost << "via" << state[u]->next_hop;
+    } else {
+      os << "-";
+    }
+    os << " ";
+  }
+  return os.str();
+}
+
+std::string encode(const DvState& state) { return to_string(state); }
+
+DvState decode(const std::string& encoded, std::size_t node_count) {
+  DvState state(node_count);
+  std::istringstream is(encoded);
+  std::string token;
+  while (is >> token) {
+    const auto colon = token.find(':');
+    const std::size_t u = std::stoul(token.substr(0, colon));
+    const std::string rest = token.substr(colon + 1);
+    if (rest == "-") continue;
+    const auto via = rest.find("via");
+    DvEntry entry;
+    entry.cost = std::stoll(rest.substr(0, via));
+    entry.next_hop = std::stoul(rest.substr(via + 3));
+    state[u] = entry;
+  }
+  return state;
+}
+
+DvState converged_state(const DvConfig& config) {
+  const auto adj = live_adjacency(config, /*include_failed=*/true);
+  DvState state(config.node_count);
+  // Bellman-Ford to fixpoint (pre-failure topology).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 1; u < config.node_count; ++u) {
+      std::optional<DvEntry> best;
+      for (const auto& [v, c] : adj[u]) {
+        std::optional<std::int64_t> adv = v == 0 ? std::optional<std::int64_t>(0)
+                                                 : (state[v] ? std::optional<std::int64_t>(
+                                                                   state[v]->cost)
+                                                             : std::nullopt);
+        if (!adv) continue;
+        const DvEntry cand{*adv + c, v};
+        if (!best || cand.cost < best->cost ||
+            (cand.cost == best->cost && cand.next_hop < best->next_hop)) {
+          best = cand;
+        }
+      }
+      if (best != state[u]) {
+        state[u] = best;
+        changed = true;
+      }
+    }
+  }
+  return state;
+}
+
+std::vector<DvState> dv_successors(const DvConfig& config, const DvState& state) {
+  const auto adj = live_adjacency(config, /*include_failed=*/false);
+  std::vector<DvState> out;
+  for (std::size_t u = 1; u < config.node_count; ++u) {
+    std::optional<DvEntry> best;
+    for (const auto& [v, c] : adj[u]) {
+      const auto adv = advertised(config, state, v, u);
+      if (!adv) continue;
+      const DvEntry cand{*adv + c, v};
+      if (!best || cand.cost < best->cost ||
+          (cand.cost == best->cost && cand.next_hop < best->next_hop)) {
+        best = cand;
+      }
+    }
+    if (best != state[u]) {
+      DvState next = state;
+      next[u] = best;
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+ExplorationResult<std::string> check_count_to_infinity(const DvConfig& config,
+                                                       std::size_t max_states) {
+  const DvState start = converged_state(config);
+  auto successors = [config](const std::string& s) {
+    std::vector<std::string> out;
+    for (const auto& next : dv_successors(config, decode(s, config.node_count))) {
+      out.push_back(encode(next));
+    }
+    return out;
+  };
+  auto invariant = [config](const std::string& s) {
+    const DvState state = decode(s, config.node_count);
+    for (std::size_t u = 1; u < state.size(); ++u) {
+      if (state[u] && state[u]->cost >= config.infinity_threshold) return false;
+    }
+    return true;
+  };
+  return check_invariant<std::string>({encode(start)}, successors, invariant, max_states);
+}
+
+}  // namespace fvn::mc

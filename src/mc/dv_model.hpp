@@ -1,0 +1,63 @@
+// Distance-vector routing as a transition system for the model checker —
+// the count-to-infinity demonstration of §3.1 ([22]), experiment E2.
+//
+// A state is every node's current (cost, next-hop) entry for one destination
+// (node 0). A transition activates one node, which re-selects its entry from
+// its live neighbors' advertisements. After a link failure, plain DV exhibits
+// the classic count-to-infinity climb — the checker produces the trace; with
+// split horizon the two-node loop disappears.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/checker.hpp"
+
+namespace fvn::mc {
+
+struct DvConfig {
+  std::size_t node_count = 3;
+  /// Undirected weighted edges (u, v, cost).
+  std::vector<std::tuple<std::size_t, std::size_t, std::int64_t>> edges;
+  /// The link that fails before exploration starts (undirected pair).
+  std::optional<std::pair<std::size_t, std::size_t>> failed_link;
+  /// Split horizon: a neighbor whose next hop is `u` does not advertise the
+  /// route back to u.
+  bool split_horizon = false;
+  /// Cost ceiling: entries at or above this count as "counting to infinity".
+  std::int64_t infinity_threshold = 16;
+};
+
+/// One routing entry: cost and next hop (nullopt = no route).
+struct DvEntry {
+  std::int64_t cost = 0;
+  std::size_t next_hop = 0;
+  bool operator==(const DvEntry&) const = default;
+};
+
+/// State: entry per node for destination 0 (entry of node 0 is implicit 0).
+using DvState = std::vector<std::optional<DvEntry>>;
+
+std::string to_string(const DvState& state);
+
+/// The converged routing state for the configuration's *pre-failure*
+/// topology (classic Bellman-Ford fixpoint) — exploration starts here.
+DvState converged_state(const DvConfig& config);
+
+/// Successor states: every single-node recomputation against the
+/// *post-failure* topology.
+std::vector<DvState> dv_successors(const DvConfig& config, const DvState& state);
+
+/// Run the count-to-infinity check: explores from the converged pre-failure
+/// state and checks the invariant "every route cost < infinity_threshold".
+/// A false result carries the climbing-cost trace.
+ExplorationResult<std::string> check_count_to_infinity(const DvConfig& config,
+                                                       std::size_t max_states = 200000);
+
+/// Serialize/deserialize states for the generic checker.
+std::string encode(const DvState& state);
+DvState decode(const std::string& encoded, std::size_t node_count);
+
+}  // namespace fvn::mc

@@ -1,0 +1,245 @@
+#include "mc/ndlog_ts.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/localize.hpp"
+
+namespace fvn::mc {
+
+using ndlog::Database;
+using ndlog::Rule;
+using ndlog::Tuple;
+using ndlog::TupleSet;
+
+std::string NetState::encode() const {
+  std::ostringstream os;
+  for (const auto& [node, tuples] : stored) {
+    os << node << "{";
+    for (const auto& t : tuples) os << t.to_string() << ";";
+    os << "}";
+  }
+  os << "|";
+  for (const auto& [dest, t] : inflight) os << dest << "<-" << t.to_string() << ";";
+  return os.str();
+}
+
+NdlogTransitionSystem::NdlogTransitionSystem(ndlog::Program program,
+                                             const ndlog::BuiltinRegistry& builtins)
+    : program_(runtime::localize(program)),
+      catalog_(ndlog::Catalog::from_program(program_)),
+      builtins_(&builtins),
+      engine_(builtins) {
+  ndlog::analyze(program_, builtins);
+  for (const auto& rule : program_.rules) {
+    if (rule.is_fact()) continue;
+    (rule.head.has_aggregate() ? agg_rules_ : normal_rules_).push_back(&rule);
+  }
+}
+
+std::string NdlogTransitionSystem::location_of(const Tuple& tuple) const {
+  const std::size_t idx =
+      catalog_.contains(tuple.predicate()) ? catalog_.loc_index(tuple.predicate()) : 0;
+  return tuple.at(idx).as_addr();
+}
+
+std::string NdlogTransitionSystem::key_of(const Tuple& tuple) const {
+  std::string key = tuple.predicate();
+  if (!catalog_.contains(tuple.predicate())) return key + "|" + tuple.to_string();
+  const auto& info = catalog_.info(tuple.predicate());
+  if (info.key_fields.empty()) return key + "|" + tuple.to_string();
+  for (std::size_t f : info.key_fields) {
+    if (f >= 1 && f <= tuple.arity()) key += "|" + tuple.at(f - 1).to_string();
+  }
+  return key;
+}
+
+NetState NdlogTransitionSystem::initial(const std::vector<Tuple>& facts) const {
+  NetState state;
+  for (const auto& f : facts) state.inflight.emplace(location_of(f), f);
+  for (const auto& rule : program_.rules) {
+    if (!rule.is_fact()) continue;
+    ndlog::Bindings empty;
+    std::vector<ndlog::Value> values;
+    for (const auto& arg : rule.head.args) {
+      values.push_back(*ndlog::eval_term(*arg.term, empty, *builtins_));
+    }
+    Tuple t(rule.head.predicate, std::move(values));
+    state.inflight.emplace(location_of(t), t);
+  }
+  return state;
+}
+
+void NdlogTransitionSystem::local_step(NetState& state, const std::string& node,
+                                       const Tuple& arriving) const {
+  auto& tuples = state.stored[node];
+
+  // Rebuild the node's Database view and key index.
+  Database db;
+  std::map<std::string, Tuple> by_key;
+  for (const auto& t : tuples) {
+    db.insert(t);
+    by_key.emplace(key_of(t), t);
+  }
+
+  auto install = [&](const Tuple& t) -> bool {
+    const std::string key = key_of(t);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      by_key.emplace(key, t);
+      db.insert(t);
+      return true;
+    }
+    if (it->second == t) return false;
+    db.erase(it->second);
+    it->second = t;
+    db.insert(t);
+    return true;
+  };
+
+  std::deque<Tuple> work;
+  if (install(arriving)) work.push_back(arriving);
+
+  while (!work.empty()) {
+    const Tuple delta = work.front();
+    work.pop_front();
+    TupleSet delta_set{delta};
+    std::vector<Tuple> produced;
+    for (const Rule* rule : normal_rules_) {
+      const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (atoms[i]->atom.predicate != delta.predicate()) continue;
+        engine_.eval_rule_delta(*rule, db, i, delta_set,
+                                [&](Tuple t) { produced.push_back(std::move(t)); });
+      }
+    }
+    // Aggregate recomputation (local view maintenance).
+    for (const Rule* rule : agg_rules_) {
+      engine_.eval_agg_rule(*rule, db,
+                            [&](Tuple t) { produced.push_back(std::move(t)); });
+    }
+    for (auto& t : produced) {
+      const std::string dest = location_of(t);
+      if (dest == node) {
+        if (install(t)) work.push_back(t);
+      } else {
+        // Outbound; duplicates in flight are allowed (message multiset).
+        if (!state.stored[dest].count(t)) state.inflight.emplace(dest, t);
+      }
+    }
+  }
+
+  // Write the mutated view back.
+  tuples.clear();
+  for (const auto& pred : db.predicates()) {
+    for (const auto& t : db.relation(pred)) tuples.insert(t);
+  }
+}
+
+NetState NdlogTransitionSystem::deliver(const NetState& state, std::size_t index) const {
+  NetState next = state;
+  auto it = next.inflight.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(index));
+  const auto [dest, tuple] = *it;
+  next.inflight.erase(it);
+  local_step(next, dest, tuple);
+  return next;
+}
+
+std::vector<NetState> NdlogTransitionSystem::successors(const NetState& state) const {
+  std::vector<NetState> out;
+  std::size_t index = 0;
+  auto it = state.inflight.begin();
+  std::set<std::pair<std::string, Tuple>> done;
+  for (; it != state.inflight.end(); ++it, ++index) {
+    if (!done.insert(*it).second) continue;  // identical message: same successor
+    out.push_back(deliver(state, index));
+  }
+  return out;
+}
+
+std::vector<std::string> NdlogTransitionSystem::successor_keys(const NetState& state) const {
+  std::vector<std::string> out;
+  for (const auto& s : successors(state)) out.push_back(s.encode());
+  return out;
+}
+
+ExplorationResult<std::string> NdlogTransitionSystem::check_invariant_all_interleavings(
+    const NetState& initial_state, const std::function<bool(const NetState&)>& invariant,
+    std::size_t max_states) const {
+  // Keep a decode table: encoded key -> state.
+  auto table = std::make_shared<std::unordered_map<std::string, NetState>>();
+  (*table)[initial_state.encode()] = initial_state;
+  auto successors_fn = [this, table](const std::string& key) {
+    const NetState& s = table->at(key);
+    std::vector<std::string> out;
+    for (auto& next : this->successors(s)) {
+      std::string k = next.encode();
+      table->emplace(k, std::move(next));
+      out.push_back(std::move(k));
+    }
+    return out;
+  };
+  auto invariant_fn = [table, &invariant](const std::string& key) {
+    return invariant(table->at(key));
+  };
+  return check_invariant<std::string>({initial_state.encode()}, successors_fn,
+                                      invariant_fn, max_states);
+}
+
+NdlogTransitionSystem::QuiescenceReport NdlogTransitionSystem::check_quiescent_states(
+    const NetState& initial_state, const std::function<bool(const NetState&)>& property,
+    std::size_t max_states) const {
+  QuiescenceReport report;
+  std::unordered_map<std::string, NetState> table;
+  std::deque<std::string> frontier;
+  std::string first_quiescent_stores;
+
+  auto stores_of = [](const NetState& s) {
+    NetState stores_only;
+    stores_only.stored = s.stored;
+    return stores_only.encode();
+  };
+
+  const std::string initial_key = initial_state.encode();
+  table.emplace(initial_key, initial_state);
+  frontier.push_back(initial_key);
+  std::unordered_set<std::string> visited{initial_key};
+
+  while (!frontier.empty()) {
+    const std::string key = frontier.front();
+    frontier.pop_front();
+    const NetState& state = table.at(key);
+    ++report.states_explored;
+    if (report.states_explored >= max_states) {
+      report.exhausted = false;
+      break;
+    }
+    if (state.quiescent()) {
+      ++report.quiescent_states;
+      if (!property(state)) {
+        report.all_satisfy = false;
+        if (report.violating_state.empty()) report.violating_state = key;
+      }
+      const std::string stores = stores_of(state);
+      if (first_quiescent_stores.empty()) {
+        first_quiescent_stores = stores;
+      } else if (stores != first_quiescent_stores) {
+        report.confluent = false;
+      }
+      continue;
+    }
+    for (auto& next : successors(state)) {
+      std::string next_key = next.encode();
+      if (visited.insert(next_key).second) {
+        table.emplace(next_key, std::move(next));
+        frontier.push_back(std::move(next_key));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fvn::mc

@@ -1,0 +1,93 @@
+// NDlog programs as transition systems (the §4.2/§4.3 linear-logic view,
+// arcs 6/8 of Figure 1): a state is every node's local table contents plus
+// the multiset of in-flight messages; a transition delivers one in-flight
+// tuple to its destination node, which runs its local rules to fixpoint and
+// emits new messages. The model checker then explores *all* message
+// interleavings — the verification mechanism the paper envisions on top of
+// the transition-system representation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mc/checker.hpp"
+#include "ndlog/catalog.hpp"
+#include "ndlog/eval.hpp"
+
+namespace fvn::mc {
+
+/// A network state: per-node stored tuples plus in-flight messages.
+struct NetState {
+  std::map<std::string, std::set<ndlog::Tuple>> stored;
+  /// In-flight (destination, tuple) messages, canonically sorted.
+  std::multiset<std::pair<std::string, ndlog::Tuple>> inflight;
+
+  bool quiescent() const { return inflight.empty(); }
+  std::string encode() const;
+  bool operator==(const NetState& other) const = default;
+};
+
+/// Transition system for one (localized) NDlog program.
+class NdlogTransitionSystem {
+ public:
+  explicit NdlogTransitionSystem(
+      ndlog::Program program,
+      const ndlog::BuiltinRegistry& builtins = ndlog::BuiltinRegistry::standard());
+
+  /// Initial state: all base facts in flight toward their location nodes.
+  NetState initial(const std::vector<ndlog::Tuple>& facts) const;
+
+  /// Deliver the in-flight message at `index` (into the sorted multiset).
+  NetState deliver(const NetState& state, std::size_t index) const;
+
+  /// All successor states (one per distinct in-flight message).
+  std::vector<NetState> successors(const NetState& state) const;
+  /// String-keyed successor map for the generic checker.
+  std::vector<std::string> successor_keys(const NetState& state) const;
+
+  /// Find a state by exploring; predicate-driven (BFS, bounded).
+  ExplorationResult<std::string> check_invariant_all_interleavings(
+      const NetState& initial_state,
+      const std::function<bool(const NetState&)>& invariant,
+      std::size_t max_states = 50000) const;
+
+  struct QuiescenceReport {
+    std::size_t states_explored = 0;
+    std::size_t quiescent_states = 0;
+    bool exhausted = true;
+    bool all_satisfy = true;      // every quiescent state satisfies the predicate
+    bool confluent = true;        // all quiescent states have identical stores
+    std::string violating_state;  // encoded witness, when !all_satisfy
+  };
+
+  /// Explore every message interleaving to quiescence and check an
+  /// *eventual* property: does every terminal (no in-flight messages) state
+  /// satisfy `property`? Also reports confluence (a Church–Rosser check for
+  /// the program on this instance) — the eventual-consistency question the
+  /// paper's §4.2 raises for soft-state reasoning.
+  QuiescenceReport check_quiescent_states(
+      const NetState& initial_state,
+      const std::function<bool(const NetState&)>& property,
+      std::size_t max_states = 50000) const;
+
+  /// Decode support: exploration uses string keys; keep a side table.
+  const ndlog::Program& program() const noexcept { return program_; }
+
+ private:
+  ndlog::Program program_;
+  ndlog::Catalog catalog_;
+  const ndlog::BuiltinRegistry* builtins_;
+  ndlog::RuleEngine engine_;
+  std::vector<const ndlog::Rule*> normal_rules_;
+  std::vector<const ndlog::Rule*> agg_rules_;
+
+  std::string location_of(const ndlog::Tuple& tuple) const;
+  std::string key_of(const ndlog::Tuple& tuple) const;
+  /// Install + run local fixpoint at one node; appends outbound messages.
+  void local_step(NetState& state, const std::string& node,
+                  const ndlog::Tuple& tuple) const;
+};
+
+}  // namespace fvn::mc

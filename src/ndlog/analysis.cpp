@@ -1,0 +1,264 @@
+#include "ndlog/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace fvn::ndlog {
+
+std::set<std::string> predicates_of(const Program& program) {
+  std::set<std::string> out;
+  for (const auto& rule : program.rules) {
+    out.insert(rule.head.predicate);
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) out.insert(ba->atom.predicate);
+    }
+  }
+  for (const auto& m : program.materializations) out.insert(m.predicate);
+  return out;
+}
+
+std::set<std::string> derived_predicates(const Program& program) {
+  std::set<std::string> out;
+  for (const auto& rule : program.rules) {
+    if (!rule.is_fact()) out.insert(rule.head.predicate);
+  }
+  return out;
+}
+
+std::set<std::string> base_predicates(const Program& program) {
+  std::set<std::string> all = predicates_of(program);
+  for (const auto& d : derived_predicates(program)) all.erase(d);
+  return all;
+}
+
+std::vector<DependencyEdge> dependency_edges(const Program& program) {
+  std::vector<DependencyEdge> out;
+  for (const auto& rule : program.rules) {
+    const bool agg = rule.head.has_aggregate();
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        out.push_back(DependencyEdge{rule.head.predicate, ba->atom.predicate,
+                                     ba->negated, agg});
+      }
+    }
+  }
+  return out;
+}
+
+void check_arities(const Program& program) {
+  std::map<std::string, std::size_t> arity;
+  auto note = [&](const std::string& pred, std::size_t n, const std::string& where) {
+    auto [it, inserted] = arity.emplace(pred, n);
+    if (!inserted && it->second != n) {
+      throw AnalysisError("predicate '" + pred + "' used with arity " +
+                          std::to_string(n) + " in " + where + " but previously with " +
+                          std::to_string(it->second));
+    }
+  };
+  for (const auto& rule : program.rules) {
+    note(rule.head.predicate, rule.head.args.size(), "rule " + rule.name);
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        note(ba->atom.predicate, ba->atom.args.size(), "rule " + rule.name);
+      }
+    }
+  }
+}
+
+namespace {
+
+bool term_vars_bound(const Term& term, const std::set<std::string>& bound) {
+  std::vector<std::string> vars;
+  term.collect_vars(vars);
+  return std::all_of(vars.begin(), vars.end(),
+                     [&](const std::string& v) { return bound.count(v) != 0; });
+}
+
+}  // namespace
+
+void check_safety(const Program& program, const BuiltinRegistry& builtins) {
+  for (const auto& rule : program.rules) {
+    // Unknown built-in functions anywhere in the rule are errors.
+    std::function<void(const Term&)> check_fns = [&](const Term& t) {
+      if (t.kind == Term::Kind::Func && !builtins.contains(t.name)) {
+        throw AnalysisError("rule " + rule.name + ": unknown function '" + t.name + "'");
+      }
+      for (const auto& a : t.args) check_fns(*a);
+    };
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        for (const auto& a : ba->atom.args) check_fns(*a);
+      } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
+        check_fns(*cmp->lhs);
+        check_fns(*cmp->rhs);
+      }
+    }
+    for (const auto& arg : rule.head.args) {
+      if (!arg.is_agg()) check_fns(*arg.term);
+    }
+
+    std::set<std::string> bound;
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        if (ba->negated) continue;
+        std::vector<std::string> vars;
+        ba->atom.collect_vars(vars);
+        bound.insert(vars.begin(), vars.end());
+      }
+    }
+    // Propagate bindings through `=` comparisons until a fixed point: a
+    // variable on one side becomes bound once the other side is bound.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& elem : rule.body) {
+        const auto* cmp = std::get_if<Comparison>(&elem);
+        if (!cmp || cmp->op != CmpOp::Eq) continue;
+        auto try_bind = [&](const TermPtr& target, const TermPtr& source) {
+          if (target->kind == Term::Kind::Var && !bound.count(target->name) &&
+              term_vars_bound(*source, bound)) {
+            bound.insert(target->name);
+            changed = true;
+          }
+        };
+        try_bind(cmp->lhs, cmp->rhs);
+        try_bind(cmp->rhs, cmp->lhs);
+      }
+    }
+    auto require_bound = [&](const std::vector<std::string>& vars, const std::string& what) {
+      for (const auto& v : vars) {
+        if (!bound.count(v)) {
+          throw AnalysisError("rule " + (rule.name.empty() ? rule.head.predicate : rule.name) +
+                              ": variable '" + v + "' in " + what + " is not bound");
+        }
+      }
+    };
+    // Head variables.
+    for (const auto& arg : rule.head.args) {
+      if (arg.is_agg()) {
+        if (!rule.is_fact()) require_bound({arg.agg_var}, "head aggregate");
+        continue;
+      }
+      std::vector<std::string> vars;
+      arg.term->collect_vars(vars);
+      require_bound(vars, "head");
+      // Unknown function names are caught here as well.
+      std::function<void(const Term&)> check_fns = [&](const Term& t) {
+        if (t.kind == Term::Kind::Func && !builtins.contains(t.name)) {
+          throw AnalysisError("rule " + rule.name + ": unknown function '" + t.name + "'");
+        }
+        for (const auto& a : t.args) check_fns(*a);
+      };
+      check_fns(*arg.term);
+    }
+    // Negated atoms and non-Eq comparisons.
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        if (!ba->negated) continue;
+        std::vector<std::string> vars;
+        ba->atom.collect_vars(vars);
+        require_bound(vars, "negated atom " + ba->atom.predicate);
+      } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
+        if (cmp->op == CmpOp::Eq) continue;  // Eq may bind
+        std::vector<std::string> vars;
+        cmp->lhs->collect_vars(vars);
+        cmp->rhs->collect_vars(vars);
+        require_bound(vars, "comparison");
+      }
+    }
+  }
+}
+
+Stratification stratify(const Program& program) {
+  const auto preds_set = predicates_of(program);
+  std::vector<std::string> preds(preds_set.begin(), preds_set.end());
+  std::map<std::string, int> index;
+  for (std::size_t i = 0; i < preds.size(); ++i) index[preds[i]] = static_cast<int>(i);
+
+  const auto edges = dependency_edges(program);
+  const int n = static_cast<int>(preds.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : edges) adj[index[e.body]].push_back(index[e.head]);
+
+  // Tarjan SCC.
+  std::vector<int> comp(n, -1), low(n, 0), disc(n, -1), stack;
+  std::vector<bool> on_stack(n, false);
+  int timer = 0, comp_count = 0;
+  std::function<void(int)> dfs = [&](int u) {
+    disc[u] = low[u] = timer++;
+    stack.push_back(u);
+    on_stack[u] = true;
+    for (int v : adj[u]) {
+      if (disc[v] == -1) {
+        dfs(v);
+        low[u] = std::min(low[u], low[v]);
+      } else if (on_stack[v]) {
+        low[u] = std::min(low[u], disc[v]);
+      }
+    }
+    if (low[u] == disc[u]) {
+      while (true) {
+        int v = stack.back();
+        stack.pop_back();
+        on_stack[v] = false;
+        comp[v] = comp_count;
+        if (v == u) break;
+      }
+      ++comp_count;
+    }
+  };
+  for (int u = 0; u < n; ++u) {
+    if (disc[u] == -1) dfs(u);
+  }
+
+  // Negation/aggregation edges may not stay within one SCC.
+  for (const auto& e : edges) {
+    if ((e.negated || e.through_aggregate) && comp[index[e.body]] == comp[index[e.head]]) {
+      throw AnalysisError("program is not stratifiable: predicate '" + e.head +
+                          "' depends " + (e.negated ? "negatively" : "through an aggregate") +
+                          " on '" + e.body + "' inside a recursive cycle");
+    }
+  }
+
+  // Longest-path layering over the SCC condensation: stratum(head) >=
+  // stratum(body), strictly greater across negation/aggregation edges.
+  std::vector<int> stratum(comp_count, 0);
+  bool changed = true;
+  int guard = comp_count * static_cast<int>(edges.size()) + comp_count + 1;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const auto& e : edges) {
+      const int cb = comp[index[e.body]];
+      const int ch = comp[index[e.head]];
+      const int need = stratum[cb] + ((e.negated || e.through_aggregate) ? 1 : 0);
+      if (cb != ch && stratum[ch] < need) {
+        stratum[ch] = need;
+        changed = true;
+      }
+    }
+  }
+
+  Stratification out;
+  int max_stratum = 0;
+  for (int u = 0; u < n; ++u) {
+    out.stratum_of[preds[u]] = stratum[comp[u]];
+    max_stratum = std::max(max_stratum, stratum[comp[u]]);
+  }
+  out.stratum_count = max_stratum + 1;
+  out.rule_stratum.resize(program.rules.size(), 0);
+  out.rules_by_stratum.assign(static_cast<std::size_t>(out.stratum_count), {});
+  for (std::size_t r = 0; r < program.rules.size(); ++r) {
+    const int s = out.stratum_of.at(program.rules[r].head.predicate);
+    out.rule_stratum[r] = s;
+    out.rules_by_stratum[static_cast<std::size_t>(s)].push_back(r);
+  }
+  return out;
+}
+
+Stratification analyze(const Program& program, const BuiltinRegistry& builtins) {
+  check_arities(program);
+  check_safety(program, builtins);
+  return stratify(program);
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,75 @@
+// Static analysis of NDlog programs: rule safety, the predicate dependency
+// graph, and stratification (negation and aggregation must not occur inside a
+// recursive cycle). The evaluator and the NDlog→logic translator both consume
+// the Stratification result.
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"
+#include "ndlog/builtins.hpp"
+
+namespace fvn::ndlog {
+
+/// Violation of a static well-formedness condition (unsafe rule,
+/// unstratifiable program, arity mismatch, ...).
+class AnalysisError : public std::runtime_error {
+ public:
+  explicit AnalysisError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One edge of the predicate dependency graph: `head` depends on `body`.
+struct DependencyEdge {
+  std::string head;
+  std::string body;
+  bool negated = false;         // body atom appears under '!'
+  bool through_aggregate = false;  // head computes an aggregate
+};
+
+/// Result of stratification: a stratum index per predicate, strata listed
+/// low-to-high, and the rule indices evaluated in each stratum.
+struct Stratification {
+  std::map<std::string, int> stratum_of;
+  int stratum_count = 0;
+  /// rule index (into Program::rules) → stratum of its head predicate.
+  std::vector<int> rule_stratum;
+  /// For each stratum, the rule indices whose head lives there.
+  std::vector<std::vector<std::size_t>> rules_by_stratum;
+};
+
+/// All predicates appearing in the program (heads and bodies).
+std::set<std::string> predicates_of(const Program& program);
+
+/// Predicates that never appear in any rule head: the program's inputs
+/// (base/extensional relations such as `link`).
+std::set<std::string> base_predicates(const Program& program);
+
+/// Predicates appearing in at least one rule head (intensional relations).
+std::set<std::string> derived_predicates(const Program& program);
+
+/// The dependency edges of the program.
+std::vector<DependencyEdge> dependency_edges(const Program& program);
+
+/// Check rule safety: every head variable is bound by a positive body atom or
+/// by a chain of `=` bindings over bound terms; every variable of a negated
+/// atom or comparison is bound. Throws AnalysisError naming the offending
+/// rule and variable.
+void check_safety(const Program& program, const BuiltinRegistry& builtins);
+
+/// Check arity consistency: each predicate is used with a single arity
+/// everywhere. Throws AnalysisError on conflict.
+void check_arities(const Program& program);
+
+/// Stratify the program. Throws AnalysisError if a negation or aggregation
+/// edge occurs within a recursive component.
+Stratification stratify(const Program& program);
+
+/// Convenience: run all checks (arities, safety, stratification).
+Stratification analyze(const Program& program,
+                       const BuiltinRegistry& builtins = BuiltinRegistry::standard());
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,114 @@
+#include "ndlog/builtins.hpp"
+
+#include <algorithm>
+
+namespace fvn::ndlog {
+
+namespace {
+
+void want_arity(const std::vector<Value>& args, std::size_t n, const char* fn) {
+  if (args.size() != n) {
+    throw TypeError(std::string(fn) + ": expected " + std::to_string(n) +
+                    " arguments, got " + std::to_string(args.size()));
+  }
+}
+
+}  // namespace
+
+BuiltinRegistry::BuiltinRegistry() {
+  register_fn("f_init", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_init");
+    return Value::list({a[0], a[1]});
+  });
+  register_fn("f_concatPath", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_concatPath");
+    std::vector<Value> out;
+    out.reserve(a[1].as_list().size() + 1);
+    out.push_back(a[0]);
+    const auto& rest = a[1].as_list();
+    out.insert(out.end(), rest.begin(), rest.end());
+    return Value::list(std::move(out));
+  });
+  register_fn("f_inPath", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_inPath");
+    const auto& list = a[0].as_list();
+    return Value::boolean(std::find(list.begin(), list.end(), a[1]) != list.end());
+  });
+  register_fn("f_member", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_member");
+    const auto& list = a[0].as_list();
+    return Value::boolean(std::find(list.begin(), list.end(), a[1]) != list.end());
+  });
+  register_fn("f_size", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_size");
+    return Value::integer(static_cast<std::int64_t>(a[0].as_list().size()));
+  });
+  register_fn("f_head", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_head");
+    const auto& list = a[0].as_list();
+    if (list.empty()) throw TypeError("f_head: empty list");
+    return list.front();
+  });
+  register_fn("f_last", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_last");
+    const auto& list = a[0].as_list();
+    if (list.empty()) throw TypeError("f_last: empty list");
+    return list.back();
+  });
+  register_fn("f_tail", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_tail");
+    const auto& list = a[0].as_list();
+    if (list.empty()) throw TypeError("f_tail: empty list");
+    return Value::list(std::vector<Value>(list.begin() + 1, list.end()));
+  });
+  register_fn("f_append", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_append");
+    std::vector<Value> out = a[0].as_list();
+    out.push_back(a[1]);
+    return Value::list(std::move(out));
+  });
+  register_fn("f_reverse", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_reverse");
+    std::vector<Value> out = a[0].as_list();
+    std::reverse(out.begin(), out.end());
+    return Value::list(std::move(out));
+  });
+  register_fn("f_list", [](const std::vector<Value>& a) {
+    return Value::list(a);
+  });
+  register_fn("f_min", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_min");
+    return a[0] < a[1] ? a[0] : a[1];
+  });
+  register_fn("f_max", [](const std::vector<Value>& a) {
+    want_arity(a, 2, "f_max");
+    return a[0] < a[1] ? a[1] : a[0];
+  });
+  register_fn("f_abs", [](const std::vector<Value>& a) {
+    want_arity(a, 1, "f_abs");
+    if (a[0].is_int()) return Value::integer(std::abs(a[0].as_int()));
+    return Value::real(std::abs(a[0].as_double()));
+  });
+}
+
+const BuiltinRegistry& BuiltinRegistry::standard() {
+  static const BuiltinRegistry registry;
+  return registry;
+}
+
+void BuiltinRegistry::register_fn(std::string name, BuiltinFn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+bool BuiltinRegistry::contains(const std::string& name) const {
+  return fns_.count(name) != 0;
+}
+
+Value BuiltinRegistry::call(const std::string& name,
+                            const std::vector<Value>& args) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) throw TypeError("unknown built-in function '" + name + "'");
+  return it->second(args);
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,40 @@
+// Built-in NDlog functions (the `f_*` family of the paper plus the usual P2
+// list/arith helpers). A registry maps names to native implementations; user
+// code may register additional functions before evaluation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ndlog/value.hpp"
+
+namespace fvn::ndlog {
+
+using BuiltinFn = std::function<Value(const std::vector<Value>&)>;
+
+/// Registry of built-in functions available to term evaluation.
+class BuiltinRegistry {
+ public:
+  /// Registry pre-populated with the standard library:
+  ///   f_init(S,D)        -> [S,D]            (paper r1)
+  ///   f_concatPath(S,P)  -> [S | P]          (paper r2)
+  ///   f_inPath(P,S)      -> bool membership  (paper r2)
+  ///   f_size(P), f_head(P), f_last(P), f_tail(P), f_append(P,X),
+  ///   f_reverse(P), f_member(P,X), f_list(...), f_min(A,B), f_max(A,B),
+  ///   f_abs(X)
+  static const BuiltinRegistry& standard();
+
+  BuiltinRegistry();
+
+  void register_fn(std::string name, BuiltinFn fn);
+  bool contains(const std::string& name) const;
+  /// Throws TypeError if the function is unknown.
+  Value call(const std::string& name, const std::vector<Value>& args) const;
+
+ private:
+  std::unordered_map<std::string, BuiltinFn> fns_;
+};
+
+}  // namespace fvn::ndlog

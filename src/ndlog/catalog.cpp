@@ -1,0 +1,83 @@
+#include "ndlog/catalog.hpp"
+
+#include <stdexcept>
+#include <variant>
+
+#include "ndlog/analysis.hpp"
+
+namespace fvn::ndlog {
+
+Catalog Catalog::from_program(const Program& program) {
+  Catalog cat;
+  std::map<std::string, bool> explicit_loc;
+  auto note = [&](const std::string& pred, std::size_t arity, int loc) {
+    auto it = cat.infos_.find(pred);
+    if (it == cat.infos_.end()) {
+      PredicateInfo info;
+      info.name = pred;
+      info.arity = arity;
+      info.loc_index = loc >= 0 ? static_cast<std::size_t>(loc) : 0;
+      explicit_loc[pred] = loc >= 0;
+      cat.infos_.emplace(pred, std::move(info));
+      return;
+    }
+    if (loc < 0) return;
+    if (!explicit_loc[pred]) {
+      it->second.loc_index = static_cast<std::size_t>(loc);
+      explicit_loc[pred] = true;
+      return;
+    }
+    if (it->second.loc_index != static_cast<std::size_t>(loc)) {
+      throw AnalysisError("predicate '" + pred + "' uses '@' at inconsistent positions");
+    }
+  };
+  for (const auto& rule : program.rules) {
+    note(rule.head.predicate, rule.head.args.size(), rule.head.loc_index);
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        note(ba->atom.predicate, ba->atom.args.size(), ba->atom.loc_index);
+      }
+    }
+  }
+  for (const auto& m : program.materializations) {
+    auto it = cat.infos_.find(m.predicate);
+    if (it == cat.infos_.end()) {
+      PredicateInfo info;
+      info.name = m.predicate;
+      cat.infos_.emplace(m.predicate, std::move(info));
+      it = cat.infos_.find(m.predicate);
+    }
+    it->second.lifetime_seconds = m.lifetime_seconds;
+    it->second.max_size = m.max_size;
+    it->second.key_fields = m.key_fields;
+  }
+  return cat;
+}
+
+bool Catalog::contains(const std::string& predicate) const {
+  return infos_.count(predicate) != 0;
+}
+
+const PredicateInfo& Catalog::info(const std::string& predicate) const {
+  auto it = infos_.find(predicate);
+  if (it == infos_.end()) {
+    throw std::out_of_range("unknown predicate '" + predicate + "'");
+  }
+  return it->second;
+}
+
+std::size_t Catalog::loc_index(const std::string& predicate) const {
+  auto it = infos_.find(predicate);
+  return it == infos_.end() ? 0 : it->second.loc_index;
+}
+
+std::vector<std::string> Catalog::predicates() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const auto& [name, info] : infos_) out.push_back(name);
+  return out;
+}
+
+void Catalog::add(PredicateInfo info) { infos_[info.name] = std::move(info); }
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,49 @@
+// Predicate catalog: per-predicate metadata (arity, location-specifier field,
+// soft-state lifetime) derived from a parsed program. The distributed runtime
+// consults it to route derived tuples and to expire soft state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ndlog/ast.hpp"
+
+namespace fvn::ndlog {
+
+struct PredicateInfo {
+  std::string name;
+  std::size_t arity = 0;
+  /// Index of the location-specifier attribute. NDlog convention: the first
+  /// attribute unless a rule says otherwise with '@'.
+  std::size_t loc_index = 0;
+  /// Soft-state lifetime in seconds; nullopt = hard state.
+  std::optional<double> lifetime_seconds;
+  /// Maximum table size from the materialize declaration; nullopt = unbounded.
+  std::optional<std::size_t> max_size;
+  /// 1-based primary-key fields (empty = whole tuple is the key).
+  std::vector<std::size_t> key_fields;
+};
+
+/// Catalog of all predicates of a program.
+class Catalog {
+ public:
+  Catalog() = default;
+  /// Build from a program: collects arities and '@' positions from every
+  /// atom, and lifetimes/keys from materialize declarations. Throws
+  /// AnalysisError (via check_arities semantics) on inconsistent '@' use.
+  static Catalog from_program(const Program& program);
+
+  bool contains(const std::string& predicate) const;
+  const PredicateInfo& info(const std::string& predicate) const;
+  /// Location field index for a predicate (0 when unknown).
+  std::size_t loc_index(const std::string& predicate) const;
+
+  std::vector<std::string> predicates() const;
+  void add(PredicateInfo info);
+
+ private:
+  std::map<std::string, PredicateInfo> infos_;
+};
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,123 @@
+#include "ndlog/database.hpp"
+
+#include <algorithm>
+
+namespace fvn::ndlog {
+
+const TupleSet Database::kEmpty{};
+const std::vector<const Tuple*> Database::kNoMatches{};
+
+void Database::index_insert(const Tuple& stored) {
+  for (auto& [key, index] : indexes_) {
+    if (key.first != stored.predicate() || key.second >= stored.arity()) continue;
+    index[stored.at(key.second)].push_back(&stored);
+  }
+}
+
+void Database::index_erase(const Tuple& tuple) {
+  for (auto& [key, index] : indexes_) {
+    if (key.first != tuple.predicate() || key.second >= tuple.arity()) continue;
+    auto it = index.find(tuple.at(key.second));
+    if (it == index.end()) continue;
+    auto& bucket = it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [&](const Tuple* p) { return *p == tuple; }),
+                 bucket.end());
+    if (bucket.empty()) index.erase(it);
+  }
+}
+
+bool Database::insert(const Tuple& tuple) {
+  auto [it, inserted] = relations_[tuple.predicate()].insert(tuple);
+  if (inserted) index_insert(*it);
+  return inserted;
+}
+
+bool Database::erase(const Tuple& tuple) {
+  auto it = relations_.find(tuple.predicate());
+  if (it == relations_.end()) return false;
+  auto elem = it->second.find(tuple);
+  if (elem == it->second.end()) return false;
+  index_erase(*elem);
+  it->second.erase(elem);
+  return true;
+}
+
+bool Database::contains(const Tuple& tuple) const {
+  auto it = relations_.find(tuple.predicate());
+  return it != relations_.end() && it->second.count(tuple) != 0;
+}
+
+const TupleSet& Database::relation(const std::string& predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? kEmpty : it->second;
+}
+
+const std::vector<const Tuple*>& Database::lookup(const std::string& predicate,
+                                                  std::size_t position,
+                                                  const Value& value) const {
+  const auto key = std::make_pair(predicate, position);
+  auto idx = indexes_.find(key);
+  if (idx == indexes_.end()) {
+    // Build lazily from the current relation contents.
+    ColumnIndex index;
+    auto rel = relations_.find(predicate);
+    if (rel != relations_.end()) {
+      for (const auto& t : rel->second) {
+        if (position < t.arity()) index[t.at(position)].push_back(&t);
+      }
+    }
+    idx = indexes_.emplace(key, std::move(index)).first;
+  }
+  auto bucket = idx->second.find(value);
+  return bucket == idx->second.end() ? kNoMatches : bucket->second;
+}
+
+bool Database::has_index(const std::string& predicate, std::size_t position) const {
+  return indexes_.count({predicate, position}) != 0;
+}
+
+std::vector<std::string> Database::predicates() const {
+  std::vector<std::string> out;
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t Database::size(const std::string& predicate) const {
+  return relation(predicate).size();
+}
+
+std::size_t Database::total_size() const {
+  std::size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+void Database::clear() {
+  relations_.clear();
+  indexes_.clear();
+}
+
+void Database::clear_relation(const std::string& predicate) {
+  relations_.erase(predicate);
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->first.first == predicate) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> Database::dump() const {
+  std::vector<std::string> out;
+  for (const auto& [name, rel] : relations_) {
+    for (const auto& t : rel) out.push_back(t.to_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,541 @@
+#include "ndlog/eval.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fvn::ndlog {
+
+std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
+                               const BuiltinRegistry& builtins) {
+  switch (term.kind) {
+    case Term::Kind::Const:
+      return term.constant;
+    case Term::Kind::Var: {
+      auto it = bindings.find(term.name);
+      if (it == bindings.end()) return std::nullopt;
+      return it->second;
+    }
+    case Term::Kind::Func: {
+      std::vector<Value> args;
+      args.reserve(term.args.size());
+      for (const auto& a : term.args) {
+        auto v = eval_term(*a, bindings, builtins);
+        if (!v) return std::nullopt;
+        args.push_back(std::move(*v));
+      }
+      return builtins.call(term.name, args);
+    }
+    case Term::Kind::Binary: {
+      auto lhs = eval_term(*term.args[0], bindings, builtins);
+      auto rhs = eval_term(*term.args[1], bindings, builtins);
+      if (!lhs || !rhs) return std::nullopt;
+      switch (term.op) {
+        case BinOp::Add: return lhs->add(*rhs);
+        case BinOp::Sub: return lhs->sub(*rhs);
+        case BinOp::Mul: return lhs->mul(*rhs);
+        case BinOp::Div: return lhs->div(*rhs);
+        case BinOp::Mod: return lhs->mod(*rhs);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool match_atom(const Atom& atom, const Tuple& tuple, Bindings& bindings,
+                const BuiltinRegistry& builtins) {
+  if (atom.predicate != tuple.predicate() || atom.args.size() != tuple.arity()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& arg = *atom.args[i];
+    if (arg.kind == Term::Kind::Var) {
+      auto [it, inserted] = bindings.emplace(arg.name, tuple.at(i));
+      if (!inserted && !(it->second == tuple.at(i))) return false;
+      continue;
+    }
+    auto v = eval_term(arg, bindings, builtins);
+    if (!v || !(*v == tuple.at(i))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool compare(CmpOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return !(lhs == rhs);
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs < rhs || lhs == rhs;
+    case CmpOp::Gt: return rhs < lhs;
+    case CmpOp::Ge: return rhs < lhs || rhs == lhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<const BodyAtom*> RuleEngine::positive_atoms(const Rule& rule) {
+  std::vector<const BodyAtom*> out;
+  for (const auto& elem : rule.body) {
+    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+      if (!ba->negated) out.push_back(ba);
+    }
+  }
+  return out;
+}
+
+void RuleEngine::join(
+    const Rule& rule, const Database& db,
+    const std::optional<std::pair<std::size_t, const TupleSet*>>& delta,
+    const std::function<void(const Bindings&)>& on_solution, EvalStats* stats) const {
+  struct Check {
+    const Comparison* cmp = nullptr;
+    const BodyAtom* neg = nullptr;
+  };
+  std::vector<const BodyAtom*> atoms;
+  std::vector<Check> checks;
+  for (const auto& elem : rule.body) {
+    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+      if (ba->negated) {
+        checks.push_back(Check{nullptr, ba});
+      } else {
+        atoms.push_back(ba);
+      }
+    } else {
+      checks.push_back(Check{&std::get<Comparison>(elem), nullptr});
+    }
+  }
+
+  // Recursive backtracking join: at each step first discharge every ready
+  // check (binding `=` assignments eagerly), then scan the next relational
+  // atom. `done` flags parallel `checks`.
+  std::vector<bool> done(checks.size(), false);
+  // Solutions are buffered and delivered after enumeration completes: sinks
+  // typically insert into `db`, and inserting while iterating relations (or
+  // index buckets) would invalidate the iterators under our feet.
+  std::vector<Bindings> solutions;
+
+  std::function<bool(std::size_t, Bindings&, std::vector<bool>&)> run;
+
+  auto term_bound = [&](const Term& t, const Bindings& env) {
+    std::vector<std::string> vars;
+    t.collect_vars(vars);
+    return std::all_of(vars.begin(), vars.end(),
+                       [&](const std::string& v) { return env.count(v) != 0; });
+  };
+
+  // Returns false if a check failed; true otherwise. Binds variables via Eq.
+  std::function<bool(Bindings&, std::vector<bool>&)> discharge =
+      [&](Bindings& env, std::vector<bool>& flags) -> bool {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t i = 0; i < checks.size(); ++i) {
+        if (flags[i]) continue;
+        if (checks[i].neg != nullptr) {
+          const Atom& atom = checks[i].neg->atom;
+          bool all_bound = true;
+          for (const auto& a : atom.args) all_bound = all_bound && term_bound(*a, env);
+          if (!all_bound) continue;
+          std::vector<Value> values;
+          values.reserve(atom.args.size());
+          for (const auto& a : atom.args) values.push_back(*eval_term(*a, env, *builtins_));
+          if (db.contains(Tuple(atom.predicate, std::move(values)))) return false;
+          flags[i] = true;
+          progressed = true;
+          continue;
+        }
+        const Comparison& cmp = *checks[i].cmp;
+        const bool lhs_ok = term_bound(*cmp.lhs, env);
+        const bool rhs_ok = term_bound(*cmp.rhs, env);
+        if (cmp.op == CmpOp::Eq) {
+          if (lhs_ok && rhs_ok) {
+            if (!compare(CmpOp::Eq, *eval_term(*cmp.lhs, env, *builtins_),
+                         *eval_term(*cmp.rhs, env, *builtins_))) {
+              return false;
+            }
+          } else if (!lhs_ok && rhs_ok && cmp.lhs->kind == Term::Kind::Var) {
+            env[cmp.lhs->name] = *eval_term(*cmp.rhs, env, *builtins_);
+          } else if (lhs_ok && !rhs_ok && cmp.rhs->kind == Term::Kind::Var) {
+            env[cmp.rhs->name] = *eval_term(*cmp.lhs, env, *builtins_);
+          } else {
+            continue;  // not ready yet
+          }
+          flags[i] = true;
+          progressed = true;
+          continue;
+        }
+        if (!lhs_ok || !rhs_ok) continue;
+        if (!compare(cmp.op, *eval_term(*cmp.lhs, env, *builtins_),
+                     *eval_term(*cmp.rhs, env, *builtins_))) {
+          return false;
+        }
+        flags[i] = true;
+        progressed = true;
+      }
+    }
+    return true;
+  };
+
+  run = [&](std::size_t atom_index, Bindings& env, std::vector<bool>& flags) -> bool {
+    if (!discharge(env, flags)) return true;  // dead branch, keep searching siblings
+    if (atom_index == atoms.size()) {
+      // All relational atoms consumed; every check must be discharged (safety
+      // analysis guarantees this for well-formed programs).
+      if (std::all_of(flags.begin(), flags.end(), [](bool b) { return b; })) {
+        if (stats) ++stats->rule_firings;
+        solutions.push_back(env);
+      }
+      return true;
+    }
+    const Atom& atom = atoms[atom_index]->atom;
+    auto try_tuple = [&](const Tuple& tuple) {
+      if (stats) ++stats->join_probes;
+      Bindings child = env;
+      std::vector<bool> child_flags = flags;
+      if (!match_atom(atom, tuple, child, *builtins_)) return;
+      run(atom_index + 1, child, child_flags);
+    };
+    if (delta && delta->first == atom_index) {
+      for (const auto& tuple : *delta->second) try_tuple(tuple);
+      return true;
+    }
+    // Index probe: use the first argument position whose value is already
+    // determined by the environment (bound variable or constant).
+    if (use_index_) {
+      for (std::size_t pos = 0; pos < atom.args.size(); ++pos) {
+        const auto& arg = atom.args[pos];
+        std::optional<Value> bound;
+        if (arg->kind == Term::Kind::Const) {
+          bound = arg->constant;
+        } else if (arg->kind == Term::Kind::Var) {
+          auto it = env.find(arg->name);
+          if (it != env.end()) bound = it->second;
+        }
+        if (!bound) continue;
+        for (const Tuple* tuple : db.lookup(atom.predicate, pos, *bound)) {
+          try_tuple(*tuple);
+        }
+        return true;
+      }
+    }
+    for (const auto& tuple : db.relation(atom.predicate)) try_tuple(tuple);
+    return true;
+  };
+
+  Bindings root;
+  std::vector<bool> root_flags = done;
+  run(0, root, root_flags);
+  for (const auto& env : solutions) on_solution(env);
+}
+
+Tuple instantiate_head_atom(const HeadAtom& head, const Bindings& bindings,
+                            const BuiltinRegistry& builtins) {
+  std::vector<Value> values;
+  values.reserve(head.args.size());
+  for (const auto& arg : head.args) {
+    auto v = eval_term(*arg.term, bindings, builtins);
+    if (!v) throw AnalysisError("unbound head variable in " + head.to_string());
+    values.push_back(std::move(*v));
+  }
+  return Tuple(head.predicate, std::move(values));
+}
+
+namespace {
+
+Tuple instantiate_head(const HeadAtom& head, const Bindings& bindings,
+                       const BuiltinRegistry& builtins) {
+  return instantiate_head_atom(head, bindings, builtins);
+}
+
+}  // namespace
+
+void RuleEngine::eval_rule(const Rule& rule, const Database& db, const Sink& sink,
+                           EvalStats* stats) const {
+  join(rule, db, std::nullopt,
+       [&](const Bindings& env) { sink(instantiate_head(rule.head, env, *builtins_)); },
+       stats);
+}
+
+void RuleEngine::eval_rule_delta(const Rule& rule, const Database& db,
+                                 std::size_t delta_index, const TupleSet& delta,
+                                 const Sink& sink, EvalStats* stats) const {
+  join(rule, db, std::make_pair(delta_index, &delta),
+       [&](const Bindings& env) { sink(instantiate_head(rule.head, env, *builtins_)); },
+       stats);
+}
+
+void RuleEngine::eval_rule_solutions(const Rule& rule, const Database& db,
+                                     const SolutionSink& sink, EvalStats* stats) const {
+  join(rule, db, std::nullopt, sink, stats);
+}
+
+void RuleEngine::eval_rule_delta_solutions(const Rule& rule, const Database& db,
+                                           std::size_t delta_index, const TupleSet& delta,
+                                           const SolutionSink& sink,
+                                           EvalStats* stats) const {
+  join(rule, db, std::make_pair(delta_index, &delta), sink, stats);
+}
+
+void RuleEngine::eval_agg_rule(const Rule& rule, const Database& db, const Sink& sink,
+                               EvalStats* stats) const {
+  // Locate the aggregate argument (exactly one is supported, as in P2).
+  std::size_t agg_pos = rule.head.args.size();
+  for (std::size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (rule.head.args[i].is_agg()) {
+      if (agg_pos != rule.head.args.size()) {
+        throw AnalysisError("rule " + rule.name + ": multiple aggregates in head");
+      }
+      agg_pos = i;
+    }
+  }
+  const HeadArg& agg = rule.head.args[agg_pos];
+  const AggKind kind = *agg.agg;
+
+  struct Group {
+    std::vector<Value> key;   // full head args with nil at agg position
+    Value best;               // min/max accumulator
+    std::set<Value> distinct; // count/sum over distinct agg_var bindings
+    bool has_best = false;
+  };
+  std::map<std::vector<Value>, Group> groups;
+
+  join(rule, db, std::nullopt,
+       [&](const Bindings& env) {
+         std::vector<Value> key;
+         key.reserve(rule.head.args.size());
+         for (std::size_t i = 0; i < rule.head.args.size(); ++i) {
+           if (i == agg_pos) {
+             key.push_back(Value::nil());
+             continue;
+           }
+           auto v = eval_term(*rule.head.args[i].term, env, *builtins_);
+           if (!v) throw AnalysisError("unbound head variable in aggregate rule");
+           key.push_back(std::move(*v));
+         }
+         auto it = env.find(agg.agg_var);
+         if (it == env.end()) {
+           throw AnalysisError("aggregate variable '" + agg.agg_var + "' unbound");
+         }
+         Group& g = groups[key];
+         g.key = key;
+         const Value& v = it->second;
+         switch (kind) {
+           case AggKind::Min:
+             if (!g.has_best || v < g.best) {
+               g.best = v;
+               g.has_best = true;
+             }
+             break;
+           case AggKind::Max:
+             if (!g.has_best || g.best < v) {
+               g.best = v;
+               g.has_best = true;
+             }
+             break;
+           case AggKind::Count:
+           case AggKind::Sum:
+             g.distinct.insert(v);
+             break;
+         }
+       },
+       stats);
+
+  for (auto& [key, g] : groups) {
+    std::vector<Value> values = g.key;
+    switch (kind) {
+      case AggKind::Min:
+      case AggKind::Max:
+        values[agg_pos] = g.best;
+        break;
+      case AggKind::Count:
+        values[agg_pos] = Value::integer(static_cast<std::int64_t>(g.distinct.size()));
+        break;
+      case AggKind::Sum: {
+        Value total = Value::integer(0);
+        for (const auto& v : g.distinct) total = total.add(v);
+        values[agg_pos] = total;
+        break;
+      }
+    }
+    sink(Tuple(rule.head.predicate, std::move(values)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Centralized stratified evaluator
+// ---------------------------------------------------------------------------
+
+EvalResult Evaluator::run(const Program& program, const std::vector<Tuple>& base_facts,
+                          const EvalOptions& options) const {
+  const Stratification strat = analyze(program, *builtins_);
+  EvalResult result;
+  Database& db = result.database;
+
+  for (const auto& fact : base_facts) db.insert(fact);
+  // Ground facts embedded in the program.
+  for (const auto& rule : program.rules) {
+    if (!rule.is_fact()) continue;
+    Bindings empty;
+    db.insert(instantiate_head(rule.head, empty, *builtins_));
+  }
+  fixpoint(program, strat, db, options, result.stats);
+  return result;
+}
+
+void Evaluator::fixpoint(const Program& program, const Stratification& strat,
+                         Database& db, const EvalOptions& options,
+                         EvalStats& stats) const {
+  RuleEngine engine(*builtins_, options.use_index);
+
+  for (int s = 0; s < strat.stratum_count; ++s) {
+    std::vector<const Rule*> normal_rules;
+    std::vector<const Rule*> agg_rules;
+    for (std::size_t r : strat.rules_by_stratum[static_cast<std::size_t>(s)]) {
+      const Rule& rule = program.rules[r];
+      if (rule.is_fact()) continue;
+      (rule.head.has_aggregate() ? agg_rules : normal_rules).push_back(&rule);
+    }
+
+    // Aggregate rules read only strictly-lower strata (enforced by
+    // stratification), so a single pass suffices and must come first: their
+    // outputs may feed the stratum's recursive rules.
+    for (const Rule* rule : agg_rules) {
+      engine.eval_agg_rule(*rule, db, [&](Tuple t) {
+        if (db.insert(std::move(t))) ++stats.tuples_derived;
+      });
+    }
+
+    if (normal_rules.empty()) continue;
+
+    if (!options.semi_naive) {
+      // Naive mode: repeat full evaluation of every rule until no change.
+      bool changed = true;
+      while (changed) {
+        if (++stats.iterations > options.max_iterations) {
+          throw DivergenceError("naive evaluation exceeded iteration budget in stratum " +
+                                std::to_string(s));
+        }
+        changed = false;
+        for (const Rule* rule : normal_rules) {
+          engine.eval_rule(*rule, db, [&](Tuple t) {
+            if (db.insert(std::move(t))) {
+              ++stats.tuples_derived;
+              changed = true;
+            }
+          },
+          &stats);
+        }
+      }
+      continue;
+    }
+
+    // Semi-naive: round 0 evaluates every rule in full; subsequent rounds
+    // join each rule with the previous round's delta at every positive-atom
+    // position.
+    std::map<std::string, TupleSet> delta;
+    ++stats.iterations;
+    for (const Rule* rule : normal_rules) {
+      engine.eval_rule(*rule, db, [&](Tuple t) {
+        if (db.insert(t)) {
+          ++stats.tuples_derived;
+          delta[t.predicate()].insert(std::move(t));
+        }
+      },
+      &stats);
+    }
+    while (!delta.empty()) {
+      if (++stats.iterations > options.max_iterations) {
+        throw DivergenceError("semi-naive evaluation exceeded iteration budget in stratum " +
+                              std::to_string(s));
+      }
+      std::map<std::string, TupleSet> next_delta;
+      for (const Rule* rule : normal_rules) {
+        const auto atoms = RuleEngine::positive_atoms(*rule);
+        for (std::size_t i = 0; i < atoms.size(); ++i) {
+          auto it = delta.find(atoms[i]->atom.predicate);
+          if (it == delta.end() || it->second.empty()) continue;
+          engine.eval_rule_delta(*rule, db, i, it->second, [&](Tuple t) {
+            if (db.insert(t)) {
+              ++stats.tuples_derived;
+              next_delta[t.predicate()].insert(std::move(t));
+            }
+          },
+          &stats);
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+}
+
+Evaluator::RetractStats Evaluator::retract(const Program& program, Database& db,
+                                           const Tuple& fact,
+                                           const EvalOptions& options) const {
+  const Stratification strat = analyze(program, *builtins_);
+  RuleEngine engine(*builtins_, options.use_index);
+  RetractStats stats;
+  if (!db.contains(fact)) return stats;
+
+  // Phase 1 — over-delete: everything with a derivation through `fact`.
+  // Delta joins run against the pre-deletion database (an over-approximation,
+  // as in classic DRed). Aggregate heads are treated like rule heads: any
+  // aggregate row whose group had a deleted contributor is removed and later
+  // recomputed.
+  TupleSet to_delete{fact};
+  TupleSet delta{fact};
+  std::size_t guard = options.max_iterations;
+  while (!delta.empty()) {
+    if (guard-- == 0) throw DivergenceError("overdeletion exceeded iteration budget");
+    TupleSet next;
+    auto note = [&](Tuple t) {
+      if (!db.contains(t)) return;
+      if (to_delete.insert(t).second) next.insert(std::move(t));
+    };
+    for (const auto& rule : program.rules) {
+      if (rule.is_fact()) continue;
+      const auto atoms = RuleEngine::positive_atoms(rule);
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        bool relevant = false;
+        for (const auto& d : delta) {
+          if (atoms[i]->atom.predicate == d.predicate()) relevant = true;
+        }
+        if (!relevant) continue;
+        if (rule.head.has_aggregate()) {
+          // Any group touching a deleted contributor: delete every stored
+          // row of the head predicate whose group-by columns match some
+          // body solution over the delta. Conservative: recompute restores
+          // survivors.
+          engine.eval_rule_delta_solutions(rule, db, i, delta, [&](const Bindings& env) {
+            for (const auto& row : db.relation(rule.head.predicate)) {
+              bool same_group = true;
+              for (std::size_t k = 0; k < rule.head.args.size(); ++k) {
+                if (rule.head.args[k].is_agg()) continue;
+                auto v = eval_term(*rule.head.args[k].term, env, *builtins_);
+                if (!v || !(*v == row.at(k))) same_group = false;
+              }
+              if (same_group) note(row);
+            }
+          });
+        } else {
+          engine.eval_rule_delta(rule, db, i, delta,
+                                 [&](Tuple t) { note(std::move(t)); });
+        }
+      }
+    }
+    delta = std::move(next);
+  }
+  for (const auto& t : to_delete) db.erase(t);
+  stats.overdeleted = to_delete.size();
+
+  // Phase 2 — re-derive from the survivors.
+  const std::size_t before = db.total_size();
+  fixpoint(program, strat, db, options, stats.eval);
+  stats.rederived = db.total_size() - before;
+  return stats;
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,157 @@
+// NDlog evaluation.
+//
+// * TermEval / match_atom — binding environments, term evaluation against the
+//   built-in registry, and atom unification.
+// * RuleEngine — evaluates a single rule against a Database: full join,
+//   semi-naive delta join (one body atom restricted to a delta set), and
+//   aggregate rules (group-by + min/max/count/sum). Reused verbatim by the
+//   distributed runtime's per-node engines.
+// * Evaluator — the centralized reference evaluator: stratified, semi-naive
+//   (or naive, for the E8 ablation) bottom-up fixpoint. This realizes the
+//   declarative (proof-theoretic) semantics the paper's verification story
+//   relies on (§3.1 footnote 1: proof-theoretic ≡ operational semantics).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "ndlog/analysis.hpp"
+#include "ndlog/ast.hpp"
+#include "ndlog/builtins.hpp"
+#include "ndlog/database.hpp"
+
+namespace fvn::ndlog {
+
+/// A variable-binding environment.
+using Bindings = std::unordered_map<std::string, Value>;
+
+/// Thrown when the fixpoint exceeds the configured iteration budget — the
+/// evaluator-level symptom of a divergent program (e.g. count-to-infinity
+/// without a hop bound).
+class DivergenceError : public std::runtime_error {
+ public:
+  explicit DivergenceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Evaluate `term` under `bindings`; nullopt if it mentions an unbound
+/// variable. Throws TypeError on ill-typed operations.
+std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
+                               const BuiltinRegistry& builtins);
+
+/// Unify `atom`'s arguments against `tuple`'s values, extending `bindings`.
+/// Returns false (leaving `bindings` in an undefined extended state — callers
+/// copy) on mismatch.
+bool match_atom(const Atom& atom, const Tuple& tuple, Bindings& bindings,
+                const BuiltinRegistry& builtins);
+
+/// Instantiate a (non-aggregate) rule head under a binding environment.
+/// Throws AnalysisError on unbound head variables.
+Tuple instantiate_head_atom(const HeadAtom& head, const Bindings& bindings,
+                            const BuiltinRegistry& builtins);
+
+/// Statistics accumulated by an evaluation run.
+struct EvalStats {
+  std::size_t iterations = 0;     // fixpoint rounds across all strata
+  std::size_t rule_firings = 0;   // body solutions found
+  std::size_t tuples_derived = 0; // inserts that were new
+  std::size_t join_probes = 0;    // tuples scanned during joins
+};
+
+/// Evaluates individual rules against a database.
+class RuleEngine {
+ public:
+  explicit RuleEngine(const BuiltinRegistry& builtins = BuiltinRegistry::standard(),
+                      bool use_index = true)
+      : builtins_(&builtins), use_index_(use_index) {}
+
+  using Sink = std::function<void(Tuple)>;
+
+  /// Full evaluation of a non-aggregate rule: emit every head instantiation.
+  void eval_rule(const Rule& rule, const Database& db, const Sink& sink,
+                 EvalStats* stats = nullptr) const;
+
+  /// Semi-naive step: like eval_rule but body atom `delta_index` (an index
+  /// into the rule's *positive relational atoms*, in body order) ranges over
+  /// `delta` instead of the full relation.
+  void eval_rule_delta(const Rule& rule, const Database& db, std::size_t delta_index,
+                       const TupleSet& delta, const Sink& sink,
+                       EvalStats* stats = nullptr) const;
+
+  /// Aggregate rule: full body evaluation, group by the non-aggregate head
+  /// arguments, emit one tuple per group.
+  void eval_agg_rule(const Rule& rule, const Database& db, const Sink& sink,
+                     EvalStats* stats = nullptr) const;
+
+  /// Positive relational atoms of a rule body, in order.
+  static std::vector<const BodyAtom*> positive_atoms(const Rule& rule);
+
+  using SolutionSink = std::function<void(const Bindings&)>;
+  /// Enumerate body solutions (binding environments) instead of head tuples
+  /// — used by the provenance evaluator to reconstruct premises.
+  void eval_rule_solutions(const Rule& rule, const Database& db,
+                           const SolutionSink& sink, EvalStats* stats = nullptr) const;
+  void eval_rule_delta_solutions(const Rule& rule, const Database& db,
+                                 std::size_t delta_index, const TupleSet& delta,
+                                 const SolutionSink& sink,
+                                 EvalStats* stats = nullptr) const;
+
+  const BuiltinRegistry& builtins() const noexcept { return *builtins_; }
+
+ private:
+  void join(const Rule& rule, const Database& db,
+            const std::optional<std::pair<std::size_t, const TupleSet*>>& delta,
+            const std::function<void(const Bindings&)>& on_solution,
+            EvalStats* stats) const;
+
+  const BuiltinRegistry* builtins_;
+  bool use_index_;  // probe column indexes instead of scanning (ablation hook)
+};
+
+/// Options for the centralized evaluator.
+struct EvalOptions {
+  bool semi_naive = true;          // false = naive re-derivation (E8 ablation)
+  bool use_index = true;           // false = full-scan joins (E8 ablation)
+  std::size_t max_iterations = 100000;  // fixpoint-round budget before DivergenceError
+};
+
+/// Result of a centralized evaluation.
+struct EvalResult {
+  Database database;
+  EvalStats stats;
+};
+
+/// Centralized stratified bottom-up evaluator (reference semantics).
+class Evaluator {
+ public:
+  explicit Evaluator(const BuiltinRegistry& builtins = BuiltinRegistry::standard())
+      : builtins_(&builtins) {}
+
+  /// Evaluate `program` over `base_facts` to fixpoint. Runs analyze() first;
+  /// throws AnalysisError / DivergenceError accordingly.
+  EvalResult run(const Program& program, const std::vector<Tuple>& base_facts,
+                 const EvalOptions& options = {}) const;
+
+  /// DRed-style incremental deletion (delete-and-rederive): remove a base
+  /// fact from an already-evaluated database and restore the fixpoint —
+  /// the evaluator-level model of a link failure. Over-deletes everything
+  /// transitively derivable through the fact, then re-derives from the
+  /// surviving tuples. Aggregate rows are recomputed from scratch in their
+  /// strata. Returns the deletion statistics.
+  struct RetractStats {
+    std::size_t overdeleted = 0;   // tuples removed in the delete phase
+    std::size_t rederived = 0;     // tuples restored by re-derivation
+    EvalStats eval;
+  };
+  RetractStats retract(const Program& program, Database& db, const Tuple& fact,
+                       const EvalOptions& options = {}) const;
+
+ private:
+  /// Stratified (semi-)naive fixpoint over whatever `db` already contains.
+  void fixpoint(const Program& program, const Stratification& strat, Database& db,
+                const EvalOptions& options, EvalStats& stats) const;
+
+  const BuiltinRegistry* builtins_;
+};
+
+}  // namespace fvn::ndlog

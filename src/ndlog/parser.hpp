@@ -1,0 +1,87 @@
+// Hand-written lexer + recursive-descent parser for the NDlog dialect.
+//
+// Conventions (matching the paper and P2):
+//   * identifiers starting with an upper-case letter or '_' are variables;
+//   * lower-case identifiers are predicate/function names in call position,
+//     and node-address constants in argument position (`link(@n1,n2,1)`);
+//   * `@Arg` marks the location specifier;
+//   * `min<C>` / `max<C>` / `count<C>` / `sum<C>` are head aggregates;
+//   * `X = expr` is assignment-or-test, other comparators are tests;
+//   * `!p(...)` is stratified negation;
+//   * `materialize(pred, lifetime, size, keys(...)).` declares tables
+//     (lifetime `infinity` or seconds).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"
+#include "ndlog/tuple.hpp"
+
+namespace fvn::ndlog {
+
+/// Syntax error with 1-based line/column position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Token kinds produced by the lexer.
+enum class TokenKind : std::uint8_t {
+  Ident,     // lower-case initial
+  Variable,  // upper-case initial or '_'
+  Number,
+  String,
+  At,        // @
+  Comma,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Period,
+  If,        // :-
+  Assign,    // :=
+  Eq,        // =  (also ==)
+  Ne,        // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,      // !
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;
+  double number = 0.0;
+  bool number_is_int = true;
+  std::int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenize an NDlog source string. `//`, `%%`-free: comments are `//` to
+/// end-of-line and `/* ... */` blocks.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Parse a full NDlog program. Throws ParseError on malformed input.
+Program parse_program(std::string_view source, std::string program_name = "program");
+
+/// Parse a single ground fact like `link(@n1,n2,3)` (no trailing period
+/// required). Used by tests and the simulator's input loaders.
+Tuple parse_fact(std::string_view source);
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,27 @@
+#include "ndlog/tuple.hpp"
+
+#include <algorithm>
+
+namespace fvn::ndlog {
+
+std::string Tuple::to_string() const {
+  std::string out = predicate_ + "(";
+  bool first = true;
+  for (const auto& v : values_) {
+    if (!first) out += ",";
+    first = false;
+    out += v.to_string();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<std::string> sorted_strings(const TupleSet& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const auto& t : tuples) out.push_back(t.to_string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,69 @@
+// NDlog tuples and relations. A Tuple is a named fact ("path(n1,n2,[n1,n2],5)").
+// Relations are duplicate-free sets of tuples with optional soft-state
+// bookkeeping (creation time + lifetime) as in P2's `materialize` declarations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ndlog/value.hpp"
+
+namespace fvn::ndlog {
+
+/// A ground fact: predicate name plus attribute values.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::string predicate, std::vector<Value> values)
+      : predicate_(std::move(predicate)), values_(std::move(values)) {}
+
+  const std::string& predicate() const noexcept { return predicate_; }
+  const std::vector<Value>& values() const noexcept { return values_; }
+  std::size_t arity() const noexcept { return values_.size(); }
+  const Value& at(std::size_t i) const { return values_.at(i); }
+
+  bool operator==(const Tuple& other) const {
+    return predicate_ == other.predicate_ && values_ == other.values_;
+  }
+  std::strong_ordering operator<=>(const Tuple& other) const {
+    if (auto c = predicate_ <=> other.predicate_; c != 0) return c;
+    const std::size_t n = std::min(values_.size(), other.values_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (auto c = values_[i] <=> other.values_[i]; c != 0) return c;
+    }
+    return values_.size() <=> other.values_.size();
+  }
+
+  std::size_t hash() const noexcept {
+    std::size_t h = hash_values(values_);
+    for (char c : predicate_) h = h * 131 + static_cast<unsigned char>(c);
+    return h;
+  }
+
+  /// "path(n1,n2,[n1,n2],5)"
+  std::string to_string() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const noexcept { return t.hash(); }
+};
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/// A timestamped tuple as stored in a soft-state table: the fact plus the
+/// simulation time at which it expires (nullopt = hard state, never expires).
+struct StoredTuple {
+  Tuple tuple;
+  std::optional<double> expires_at;
+};
+
+/// Sorted, deterministic rendering of a tuple set (tests & goldens).
+std::vector<std::string> sorted_strings(const TupleSet& tuples);
+
+}  // namespace fvn::ndlog

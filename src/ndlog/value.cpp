@@ -1,0 +1,258 @@
+#include "ndlog/value.hpp"
+
+#include <sstream>
+
+namespace fvn::ndlog {
+
+std::string_view to_string(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::Nil: return "nil";
+    case ValueKind::Bool: return "bool";
+    case ValueKind::Int: return "int";
+    case ValueKind::Double: return "double";
+    case ValueKind::Str: return "str";
+    case ValueKind::Addr: return "addr";
+    case ValueKind::List: return "list";
+  }
+  return "?";
+}
+
+Value Value::boolean(bool b) noexcept {
+  Value v;
+  v.kind_ = ValueKind::Bool;
+  v.scalar_.b = b;
+  return v;
+}
+
+Value Value::integer(std::int64_t i) noexcept {
+  Value v;
+  v.kind_ = ValueKind::Int;
+  v.scalar_.i = i;
+  return v;
+}
+
+Value Value::real(double d) noexcept {
+  Value v;
+  v.kind_ = ValueKind::Double;
+  v.scalar_.d = d;
+  return v;
+}
+
+Value Value::str(std::string s) {
+  Value v;
+  v.kind_ = ValueKind::Str;
+  v.text_ = std::make_shared<const std::string>(std::move(s));
+  return v;
+}
+
+Value Value::addr(std::string node) {
+  Value v;
+  v.kind_ = ValueKind::Addr;
+  v.text_ = std::make_shared<const std::string>(std::move(node));
+  return v;
+}
+
+Value Value::list(std::vector<Value> items) {
+  Value v;
+  v.kind_ = ValueKind::List;
+  v.list_ = std::make_shared<const std::vector<Value>>(std::move(items));
+  return v;
+}
+
+namespace {
+[[noreturn]] void bad_kind(const char* want, ValueKind got) {
+  std::ostringstream os;
+  os << "value type error: expected " << want << ", got " << to_string(got);
+  throw TypeError(os.str());
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) bad_kind("bool", kind_);
+  return scalar_.b;
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) bad_kind("int", kind_);
+  return scalar_.i;
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(scalar_.i);
+  if (!is_double()) bad_kind("double", kind_);
+  return scalar_.d;
+}
+
+const std::string& Value::as_str() const {
+  if (!is_str()) bad_kind("str", kind_);
+  return *text_;
+}
+
+const std::string& Value::as_addr() const {
+  if (!is_addr()) bad_kind("addr", kind_);
+  return *text_;
+}
+
+const std::string& Value::as_text() const {
+  if (!is_str() && !is_addr()) bad_kind("str|addr", kind_);
+  return *text_;
+}
+
+const std::vector<Value>& Value::as_list() const {
+  if (!is_list()) bad_kind("list", kind_);
+  return *list_;
+}
+
+std::strong_ordering Value::operator<=>(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ <=> other.kind_;
+  switch (kind_) {
+    case ValueKind::Nil: return std::strong_ordering::equal;
+    case ValueKind::Bool: return scalar_.b <=> other.scalar_.b;
+    case ValueKind::Int: return scalar_.i <=> other.scalar_.i;
+    case ValueKind::Double: {
+      // Doubles only flow from user programs with finite metrics; order by
+      // bit-faithful partial order collapsed to strong ordering.
+      if (scalar_.d < other.scalar_.d) return std::strong_ordering::less;
+      if (scalar_.d > other.scalar_.d) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case ValueKind::Str:
+    case ValueKind::Addr: {
+      const int c = text_->compare(*other.text_);
+      if (c < 0) return std::strong_ordering::less;
+      if (c > 0) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case ValueKind::List: {
+      const auto& a = *list_;
+      const auto& b = *other.list_;
+      const std::size_t n = std::min(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto c = a[i] <=> b[i];
+        if (c != std::strong_ordering::equal) return c;
+      }
+      return a.size() <=> b.size();
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+bool Value::operator==(const Value& other) const {
+  return (*this <=> other) == std::strong_ordering::equal;
+}
+
+namespace {
+bool both_numeric(const Value& a, const Value& b) {
+  return a.is_numeric() && b.is_numeric();
+}
+}  // namespace
+
+Value Value::add(const Value& rhs) const {
+  if (is_list() && rhs.is_list()) {  // list concatenation
+    std::vector<Value> out = as_list();
+    const auto& r = rhs.as_list();
+    out.insert(out.end(), r.begin(), r.end());
+    return Value::list(std::move(out));
+  }
+  if ((is_str() && rhs.is_str())) return Value::str(as_str() + rhs.as_str());
+  if (!both_numeric(*this, rhs)) bad_kind("numeric", kind_);
+  if (is_int() && rhs.is_int()) return Value::integer(as_int() + rhs.as_int());
+  return Value::real(as_double() + rhs.as_double());
+}
+
+Value Value::sub(const Value& rhs) const {
+  if (!both_numeric(*this, rhs)) bad_kind("numeric", kind_);
+  if (is_int() && rhs.is_int()) return Value::integer(as_int() - rhs.as_int());
+  return Value::real(as_double() - rhs.as_double());
+}
+
+Value Value::mul(const Value& rhs) const {
+  if (!both_numeric(*this, rhs)) bad_kind("numeric", kind_);
+  if (is_int() && rhs.is_int()) return Value::integer(as_int() * rhs.as_int());
+  return Value::real(as_double() * rhs.as_double());
+}
+
+Value Value::div(const Value& rhs) const {
+  if (!both_numeric(*this, rhs)) bad_kind("numeric", kind_);
+  if (is_int() && rhs.is_int()) {
+    if (rhs.as_int() == 0) throw TypeError("integer division by zero");
+    return Value::integer(as_int() / rhs.as_int());
+  }
+  if (rhs.as_double() == 0.0) throw TypeError("division by zero");
+  return Value::real(as_double() / rhs.as_double());
+}
+
+Value Value::mod(const Value& rhs) const {
+  if (!is_int() || !rhs.is_int()) bad_kind("int", kind_);
+  if (rhs.as_int() == 0) throw TypeError("modulo by zero");
+  return Value::integer(as_int() % rhs.as_int());
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case ValueKind::Nil: return "nil";
+    case ValueKind::Bool: return scalar_.b ? "true" : "false";
+    case ValueKind::Int: return std::to_string(scalar_.i);
+    case ValueKind::Double: {
+      std::ostringstream os;
+      os << scalar_.d;
+      return os.str();
+    }
+    case ValueKind::Str: return "\"" + *text_ + "\"";
+    case ValueKind::Addr: return *text_;
+    case ValueKind::List: {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& v : *list_) {
+        if (!first) out += ",";
+        first = false;
+        out += v.to_string();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::size_t Value::hash() const noexcept {
+  constexpr std::size_t kFnvOffset = 1469598103934665603ULL;
+  constexpr std::size_t kFnvPrime = 1099511628211ULL;
+  std::size_t h = kFnvOffset;
+  auto mix = [&h](std::size_t x) {
+    h ^= x;
+    h *= kFnvPrime;
+  };
+  mix(static_cast<std::size_t>(kind_));
+  switch (kind_) {
+    case ValueKind::Nil: break;
+    case ValueKind::Bool: mix(scalar_.b ? 1u : 0u); break;
+    case ValueKind::Int: mix(static_cast<std::size_t>(scalar_.i)); break;
+    case ValueKind::Double: {
+      double d = scalar_.d;
+      std::size_t bits = 0;
+      static_assert(sizeof(bits) >= sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      mix(bits);
+      break;
+    }
+    case ValueKind::Str:
+    case ValueKind::Addr:
+      for (char c : *text_) mix(static_cast<unsigned char>(c));
+      break;
+    case ValueKind::List:
+      for (const auto& v : *list_) mix(v.hash());
+      break;
+  }
+  return h;
+}
+
+std::size_t hash_values(const std::vector<Value>& values) noexcept {
+  std::size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& v : values) {
+    h ^= v.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace fvn::ndlog

@@ -1,0 +1,114 @@
+// FVN — Formally Verifiable Networking (HotNets 2009 reproduction).
+//
+// NDlog value system. Every attribute of an NDlog tuple is a Value: a
+// dynamically-typed, immutable datum. The dialect in the paper manipulates
+// integers (metrics), node addresses ("@S"), booleans (f_inPath(P,S)=false),
+// strings, doubles and path vectors (lists built by f_init / f_concatPath).
+//
+// Values form a total order (kind-major, then value) so they can key
+// std::map-based indices and drive aggregate selection deterministically.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fvn::ndlog {
+
+/// Discriminator for Value. Order matters: it defines the kind-major total
+/// order used when heterogeneous values are compared.
+enum class ValueKind : std::uint8_t {
+  Nil = 0,  ///< absent / uninitialized
+  Bool,
+  Int,
+  Double,
+  Str,
+  Addr,  ///< a network node address (location-specifier domain)
+  List,  ///< a path vector (sequence of values)
+};
+
+/// Human-readable kind name ("int", "addr", ...).
+std::string_view to_string(ValueKind kind) noexcept;
+
+/// Thrown on ill-typed value operations (e.g. adding a list to a bool).
+class TypeError : public std::runtime_error {
+ public:
+  explicit TypeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An immutable dynamically-typed datum. Cheap to copy: scalars are inline,
+/// strings/addresses/lists share ownership of their payload.
+class Value {
+ public:
+  Value() noexcept : kind_(ValueKind::Nil) {}
+
+  static Value nil() noexcept { return Value{}; }
+  static Value boolean(bool b) noexcept;
+  static Value integer(std::int64_t i) noexcept;
+  static Value real(double d) noexcept;
+  static Value str(std::string s);
+  static Value addr(std::string node);
+  static Value list(std::vector<Value> items);
+
+  ValueKind kind() const noexcept { return kind_; }
+  bool is_nil() const noexcept { return kind_ == ValueKind::Nil; }
+  bool is_bool() const noexcept { return kind_ == ValueKind::Bool; }
+  bool is_int() const noexcept { return kind_ == ValueKind::Int; }
+  bool is_double() const noexcept { return kind_ == ValueKind::Double; }
+  bool is_str() const noexcept { return kind_ == ValueKind::Str; }
+  bool is_addr() const noexcept { return kind_ == ValueKind::Addr; }
+  bool is_list() const noexcept { return kind_ == ValueKind::List; }
+  /// Int or Double.
+  bool is_numeric() const noexcept { return is_int() || is_double(); }
+
+  /// Accessors throw TypeError when the kind does not match.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< accepts Int (widening) and Double
+  const std::string& as_str() const;
+  const std::string& as_addr() const;
+  const std::vector<Value>& as_list() const;
+
+  /// String payload of either a Str or an Addr.
+  const std::string& as_text() const;
+
+  /// Total order: kind-major, then payload. Lists compare lexicographically.
+  std::strong_ordering operator<=>(const Value& other) const;
+  bool operator==(const Value& other) const;
+
+  /// Arithmetic (Int/Int stays Int; any Double operand promotes).
+  Value add(const Value& rhs) const;
+  Value sub(const Value& rhs) const;
+  Value mul(const Value& rhs) const;
+  Value div(const Value& rhs) const;  ///< throws TypeError on division by zero
+  Value mod(const Value& rhs) const;  ///< Int only
+
+  /// Rendering as NDlog literal text ("[n1,n2]", "\"abc\"", "17", "n3").
+  std::string to_string() const;
+
+  /// FNV-1a style hash, consistent with operator==.
+  std::size_t hash() const noexcept;
+
+ private:
+  ValueKind kind_;
+  union Scalar {
+    bool b;
+    std::int64_t i;
+    double d;
+    Scalar() : i(0) {}
+  } scalar_{};
+  std::shared_ptr<const std::string> text_;        // Str / Addr
+  std::shared_ptr<const std::vector<Value>> list_; // List
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+};
+
+/// Hash of a value sequence (tuple bodies, keys).
+std::size_t hash_values(const std::vector<Value>& values) noexcept;
+
+}  // namespace fvn::ndlog

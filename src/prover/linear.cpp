@@ -1,0 +1,237 @@
+#include "prover/linear.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace fvn::prover {
+
+Rational::Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) { normalize(); }
+
+void Rational::normalize() {
+  if (den_ == 0) {
+    throw std::invalid_argument("rational with zero denominator");
+  }
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+Rational Rational::operator/(const Rational& o) const {
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+bool Rational::operator<(const Rational& o) const {
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+LinearExpr& LinearExpr::add(const LinearExpr& o, const Rational& scale) {
+  for (const auto& [atom, c] : o.coeffs) {
+    auto& mine = coeffs[atom];
+    mine = mine + c * scale;
+    if (mine.is_zero()) coeffs.erase(atom);
+  }
+  constant = constant + o.constant * scale;
+  return *this;
+}
+
+std::string LinearExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [atom, c] : coeffs) {
+    if (!first) os << " + ";
+    first = false;
+    os << c.to_string() << "*" << atom;
+  }
+  if (!constant.is_zero() || first) {
+    if (!first) os << " + ";
+    os << constant.to_string();
+  }
+  return os.str();
+}
+
+std::string LinearConstraint::to_string() const {
+  return expr.to_string() + (equality ? " = 0" : (strict ? " < 0" : " <= 0"));
+}
+
+LinearExpr linearize(const logic::LTerm& term) {
+  using Kind = logic::LTerm::Kind;
+  LinearExpr out;
+  switch (term.kind) {
+    case Kind::Var:
+      out.coeffs[term.name] = Rational(1);
+      return out;
+    case Kind::Const:
+      if (term.constant.is_int()) {
+        out.constant = Rational(term.constant.as_int());
+        return out;
+      }
+      // Non-integer constants become opaque atoms (sound: treated symbolically).
+      out.coeffs[term.to_string()] = Rational(1);
+      return out;
+    case Kind::Func:
+      out.coeffs[term.to_string()] = Rational(1);
+      return out;
+    case Kind::Arith: {
+      const LinearExpr lhs = linearize(*term.args[0]);
+      const LinearExpr rhs = linearize(*term.args[1]);
+      switch (term.op) {
+        case ndlog::BinOp::Add:
+          out = lhs;
+          out.add(rhs);
+          return out;
+        case ndlog::BinOp::Sub:
+          out = lhs;
+          out.add(rhs, Rational(-1));
+          return out;
+        case ndlog::BinOp::Mul:
+          if (lhs.coeffs.empty()) {
+            out = rhs;
+            for (auto& [a, c] : out.coeffs) c = c * lhs.constant;
+            out.constant = out.constant * lhs.constant;
+            return out;
+          }
+          if (rhs.coeffs.empty()) {
+            out = lhs;
+            for (auto& [a, c] : out.coeffs) c = c * rhs.constant;
+            out.constant = out.constant * rhs.constant;
+            return out;
+          }
+          out.coeffs[term.to_string()] = Rational(1);
+          return out;
+        case ndlog::BinOp::Div:
+        case ndlog::BinOp::Mod:
+          out.coeffs[term.to_string()] = Rational(1);
+          return out;
+      }
+      break;
+    }
+  }
+  out.coeffs[term.to_string()] = Rational(1);
+  return out;
+}
+
+std::optional<std::vector<LinearConstraint>> constraint_of(const logic::Formula& f) {
+  if (f.kind != logic::Formula::Kind::Cmp) return std::nullopt;
+  // Comparisons over non-numeric values (paths, nodes, bools) are not linear
+  // facts; detect the obvious cases and bail.
+  const LinearExpr lhs = linearize(*f.terms[0]);
+  const LinearExpr rhs = linearize(*f.terms[1]);
+  LinearExpr diff = lhs;  // lhs - rhs
+  diff.add(rhs, Rational(-1));
+
+  std::vector<LinearConstraint> out;
+  switch (f.cmp_op) {
+    case ndlog::CmpOp::Le:
+      out.push_back(LinearConstraint{diff, false, false});
+      return out;
+    case ndlog::CmpOp::Lt:
+      out.push_back(LinearConstraint{diff, true, false});
+      return out;
+    case ndlog::CmpOp::Ge: {
+      LinearExpr neg;
+      neg.add(diff, Rational(-1));
+      out.push_back(LinearConstraint{neg, false, false});
+      return out;
+    }
+    case ndlog::CmpOp::Gt: {
+      LinearExpr neg;
+      neg.add(diff, Rational(-1));
+      out.push_back(LinearConstraint{neg, true, false});
+      return out;
+    }
+    case ndlog::CmpOp::Eq:
+      out.push_back(LinearConstraint{diff, false, true});
+      return out;
+    case ndlog::CmpOp::Ne:
+      return std::nullopt;  // disjunctive; handled by case splits upstream
+  }
+  return std::nullopt;
+}
+
+bool infeasible(std::vector<LinearConstraint> constraints, std::size_t budget) {
+  // Expand equalities into two inequalities.
+  std::vector<LinearConstraint> work;
+  for (auto& c : constraints) {
+    if (c.equality) {
+      LinearConstraint le{c.expr, false, false};
+      LinearConstraint ge;
+      ge.expr.add(c.expr, Rational(-1));
+      work.push_back(std::move(le));
+      work.push_back(std::move(ge));
+    } else {
+      work.push_back(std::move(c));
+    }
+  }
+
+  // Eliminate variables one at a time.
+  while (true) {
+    // Constant-only contradiction check: expr = const; const <= 0 required.
+    for (const auto& c : work) {
+      if (!c.expr.coeffs.empty()) continue;
+      const Rational& k = c.expr.constant;
+      if ((c.strict && !(k < Rational(0))) || (!c.strict && Rational(0) < k)) {
+        return true;
+      }
+    }
+    // Pick a variable to eliminate.
+    std::string var;
+    for (const auto& c : work) {
+      if (!c.expr.coeffs.empty()) {
+        var = c.expr.coeffs.begin()->first;
+        break;
+      }
+    }
+    if (var.empty()) return false;  // only constants left, all satisfiable
+
+    std::vector<LinearConstraint> lower, upper, rest;
+    for (auto& c : work) {
+      auto it = c.expr.coeffs.find(var);
+      if (it == c.expr.coeffs.end()) {
+        rest.push_back(std::move(c));
+      } else if (Rational(0) < it->second) {
+        upper.push_back(std::move(c));  // a*v + r <= 0, a>0: v <= -r/a
+      } else {
+        lower.push_back(std::move(c));  // a<0: v >= -r/a
+      }
+    }
+    if (lower.size() * upper.size() + rest.size() > budget) {
+      return false;  // give up (sound: report feasible/unknown)
+    }
+    for (const auto& lo : lower) {
+      for (const auto& up : upper) {
+        const Rational a_lo = lo.expr.coeffs.at(var);  // negative
+        const Rational a_up = up.expr.coeffs.at(var);  // positive
+        // Combine: up/a_up + (-lo)/a_lo ... standard positive combination:
+        // (-a_lo)*up + a_up*lo eliminates var.
+        LinearConstraint combined;
+        combined.expr.add(up.expr, -a_lo);
+        combined.expr.add(lo.expr, a_up);
+        combined.expr.coeffs.erase(var);
+        combined.strict = lo.strict || up.strict;
+        rest.push_back(std::move(combined));
+      }
+    }
+    work = std::move(rest);
+  }
+}
+
+}  // namespace fvn::prover

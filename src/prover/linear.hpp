@@ -1,0 +1,80 @@
+// Linear integer/rational arithmetic for the prover's `assert` end-game: a
+// normalized linear-constraint form and a Fourier–Motzkin feasibility check.
+// Non-linear subterms are treated as opaque atoms, which is sound for
+// UNSAT answers (the only answers the prover acts on).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace fvn::prover {
+
+/// Exact rational with int64 numerator/denominator (inputs are small route
+/// metrics; intermediate growth is modest after normalization).
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT implicit by design
+  Rational(std::int64_t n, std::int64_t d);
+
+  std::int64_t num() const noexcept { return num_; }
+  std::int64_t den() const noexcept { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  bool operator==(const Rational& o) const { return num_ == o.num_ && den_ == o.den_; }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool is_zero() const noexcept { return num_ == 0; }
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// A linear expression: sum of coeff * atom + constant. Atoms are opaque
+/// strings (variable names or rendered non-linear subterms).
+struct LinearExpr {
+  std::map<std::string, Rational> coeffs;
+  Rational constant;
+
+  LinearExpr& add(const LinearExpr& o, const Rational& scale = Rational(1));
+  std::string to_string() const;
+};
+
+/// One constraint: expr <= 0 (strict = expr < 0), or expr == 0.
+struct LinearConstraint {
+  LinearExpr expr;
+  bool strict = false;
+  bool equality = false;
+  std::string to_string() const;
+};
+
+/// Convert a logical term to a linear expression. Non-linear parts (products
+/// of atoms, function applications, list constants...) become opaque atoms
+/// keyed by their printed form.
+LinearExpr linearize(const logic::LTerm& term);
+
+/// Convert an arithmetic comparison formula (Kind::Cmp over numeric terms)
+/// into constraints asserting it TRUE. `Ne` yields no constraint (it would
+/// need a disjunction) — the caller treats it as unusable.
+std::optional<std::vector<LinearConstraint>> constraint_of(const logic::Formula& cmp);
+
+/// Fourier–Motzkin: true iff the constraint set is infeasible over the
+/// rationals (hence over the integers — sound for contradiction detection).
+/// `budget` caps generated constraints to keep elimination polynomial-ish.
+bool infeasible(std::vector<LinearConstraint> constraints, std::size_t budget = 20000);
+
+}  // namespace fvn::prover

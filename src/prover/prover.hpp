@@ -1,0 +1,98 @@
+// The FVN theorem prover (arc 5 of Figure 1): an interactive sequent prover
+// with PVS-style tactics over the logic of translated NDlog programs —
+// inductive definitions, linear arithmetic, and the interpreted path theory.
+//
+// Scope (what the paper's proofs need, and what we are sound for):
+//   * skolemization, propositional flattening and splitting,
+//   * unfolding of inductive definitions,
+//   * quantifier instantiation (manual and relevance-bounded automatic),
+//   * derivation induction on inductively defined predicates,
+//   * an `assert` end-game: path-theory rewriting, equality substitution,
+//     unit propagation, and Fourier–Motzkin linear arithmetic,
+//   * `grind`: the bounded automation loop (used to measure the paper's
+//     "two-thirds of proof steps are automated" claim, experiment E7).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "logic/finite_model.hpp"
+#include "logic/formula.hpp"
+#include "prover/sequent.hpp"
+
+namespace fvn::prover {
+
+/// Limits for the automation loop.
+struct GrindOptions {
+  std::size_t max_rounds = 64;
+  std::size_t max_inst_candidates = 512;  // instantiation combos per quantifier
+};
+
+class Prover {
+ public:
+  explicit Prover(logic::Theory theory);
+
+  /// Axioms are added to the antecedent of every initial sequent (e.g.
+  /// "FORALL S,D,C: link(S,D,C) => C >= 1" for cost-positivity proofs).
+  void add_axiom(logic::Theorem axiom);
+
+  /// Run a proof script. The script is applied left-to-right; remaining open
+  /// goals after the last command mean failure (recorded in the result).
+  ProofResult prove(const logic::Theorem& theorem, const std::vector<Command>& script,
+                    const GrindOptions& options = {});
+
+  /// Fully automatic attempt: a single grind.
+  ProofResult prove_auto(const logic::Theorem& theorem, const GrindOptions& options = {});
+
+  /// Search a finite model for a counterexample to a universally quantified
+  /// theorem. Returns a description of the falsifying instance, if any.
+  std::optional<std::string> find_counterexample(const logic::Theorem& theorem,
+                                                 const logic::FiniteModel& model) const;
+
+  const logic::Theory& theory() const noexcept { return theory_; }
+
+ private:
+  struct State {
+    std::vector<Sequent> goals;
+    logic::NameSupply supply;
+    std::map<std::string, logic::Sort> sorts;  // skolem-constant sorts
+    GrindOptions options;
+  };
+
+  bool is_recursive(const std::string& pred) const;
+  logic::FormulaPtr instantiate_def(const logic::InductiveDef& def,
+                                    const std::vector<logic::LTermPtr>& args,
+                                    State& state) const;
+  logic::FormulaPtr instantiate_formula(const logic::FormulaPtr& formula,
+                                        const std::vector<logic::TypedVar>& params,
+                                        const std::vector<logic::LTermPtr>& args,
+                                        State& state) const;
+  logic::FormulaPtr refresh_binders(const logic::FormulaPtr& f, State& state) const;
+
+  // Tactics: operate on state.goals.front(); return true on progress.
+  bool tac_skolem(State& state) const;
+  bool tac_flatten(State& state) const;
+  bool tac_split(State& state) const;
+  bool tac_expand(State& state, const std::string& pred) const;
+  bool tac_inst(State& state, const std::vector<logic::LTermPtr>& terms) const;
+  bool tac_assert(State& state) const;
+  bool tac_induct(State& state, const std::string& pred) const;
+  bool tac_case(State& state, const logic::FormulaPtr& f) const;
+  bool tac_auto_inst(State& state) const;
+
+  /// True if the (simplified) sequent is closed.
+  bool closed(const Sequent& s) const;
+  /// Simplify a sequent in place (rewriting, dedup, MP, equality subst);
+  /// returns true if it became closed.
+  bool simplify(Sequent& s) const;
+  /// Arithmetic end-game on a simplified sequent.
+  bool arith_closes(const Sequent& s) const;
+
+  bool run_command(const Command& cmd, State& state, bool automated, ProofResult& result);
+  void grind(State& state, ProofResult& result);
+
+  logic::Theory theory_;
+  std::vector<logic::Theorem> axioms_;
+};
+
+}  // namespace fvn::prover

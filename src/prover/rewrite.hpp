@@ -1,0 +1,20 @@
+// Path-theory rewriting: simplification rules for the interpreted list
+// functions (f_init, f_concatPath, f_head, f_last, f_size, f_inPath) used by
+// the prover's `assert` end-game. Each rule is an oriented equation that is
+// valid for the concrete built-in implementations (tested property-style in
+// tests/test_prover_rewrite.cpp).
+#pragma once
+
+#include "logic/formula.hpp"
+
+namespace fvn::prover {
+
+/// Exhaustively rewrite a term with the path-theory rules and constant
+/// folding (ground built-in applications and arithmetic on constants).
+logic::LTermPtr rewrite_term(const logic::LTermPtr& term);
+
+/// Rewrite every term inside a formula; additionally fold ground comparisons
+/// to TRUE/FALSE.
+logic::FormulaPtr rewrite_formula(const logic::FormulaPtr& formula);
+
+}  // namespace fvn::prover

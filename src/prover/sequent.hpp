@@ -1,0 +1,80 @@
+// Sequents, proof commands, and proof traces for the FVN prover (the PVS
+// substitute of the reproduction — see DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace fvn::prover {
+
+/// A sequent  ante_1, ..., ante_n  ⊢  cons_1, ..., cons_m  (the consequents
+/// are an implicit disjunction, PVS-style).
+struct Sequent {
+  std::vector<logic::FormulaPtr> ante;
+  std::vector<logic::FormulaPtr> cons;
+
+  std::string to_string() const;
+};
+
+/// One prover command (the analogue of a PVS proof-script step).
+struct Command {
+  enum class Kind : std::uint8_t {
+    Skolem,    // repeatedly skolemize cons-FORALL / ante-EXISTS
+    Flatten,   // propositional flattening (implication, negation, and/or)
+    Split,     // branch on cons-AND / ante-OR / ante-IMPLIES / IFF
+    Expand,    // unfold an inductive definition (pred)
+    Inst,      // instantiate first ante-FORALL / cons-EXISTS with terms
+    Assert,    // close by syntactic match / rewriting / linear arithmetic
+    Induct,    // derivation induction on `pred` for goals  pred(xs) => phi
+    Grind,     // bounded automation: assert/flatten/skolem/expand/auto-inst
+    Case,      // case split on `formula`
+  };
+
+  Kind kind = Kind::Assert;
+  std::string pred;                       // Expand / Induct
+  std::vector<logic::LTermPtr> terms;     // Inst
+  logic::FormulaPtr formula;              // Case
+
+  static Command skolem() { return {Kind::Skolem, {}, {}, nullptr}; }
+  static Command flatten() { return {Kind::Flatten, {}, {}, nullptr}; }
+  static Command split() { return {Kind::Split, {}, {}, nullptr}; }
+  static Command expand(std::string pred) { return {Kind::Expand, std::move(pred), {}, nullptr}; }
+  static Command inst(std::vector<logic::LTermPtr> terms) {
+    return {Kind::Inst, {}, std::move(terms), nullptr};
+  }
+  static Command assert_() { return {Kind::Assert, {}, {}, nullptr}; }
+  static Command induct(std::string pred) { return {Kind::Induct, std::move(pred), {}, nullptr}; }
+  static Command grind() { return {Kind::Grind, {}, {}, nullptr}; }
+  static Command case_split(logic::FormulaPtr f) { return {Kind::Case, {}, {}, std::move(f)}; }
+
+  std::string to_string() const;
+};
+
+/// Execution record of one command.
+struct ProofStep {
+  std::string command;
+  bool automated = false;  // executed inside grind (vs. scripted by a human)
+  std::size_t goals_before = 0;
+  std::size_t goals_after = 0;
+};
+
+/// Outcome of a proof attempt.
+struct ProofResult {
+  bool proved = false;
+  std::vector<ProofStep> steps;
+  /// Script commands actually consumed (the paper's "7 proof steps" metric;
+  /// a grind command counts as one even though its micro-steps are logged
+  /// individually as automated).
+  std::size_t scripted_steps = 0;
+  double elapsed_seconds = 0.0;
+  std::string failure_reason;
+  std::vector<Sequent> open_goals;
+
+  std::size_t total_steps() const noexcept { return steps.size(); }
+  std::size_t automated_steps() const noexcept;
+  std::size_t manual_steps() const noexcept { return total_steps() - automated_steps(); }
+};
+
+}  // namespace fvn::prover

@@ -1,0 +1,148 @@
+#include "runtime/localize.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <variant>
+
+namespace fvn::runtime {
+
+using ndlog::AnalysisError;
+using ndlog::Atom;
+using ndlog::BodyAtom;
+using ndlog::HeadArg;
+using ndlog::HeadAtom;
+using ndlog::Program;
+using ndlog::Rule;
+using ndlog::Term;
+
+namespace {
+
+/// Location variable name of an atom (empty if the location arg is not a
+/// plain variable or the atom has no '@').
+std::string loc_var(const Atom& atom) {
+  if (atom.loc_index < 0 ||
+      static_cast<std::size_t>(atom.loc_index) >= atom.args.size()) {
+    return {};
+  }
+  const auto& t = atom.args[static_cast<std::size_t>(atom.loc_index)];
+  return t->kind == Term::Kind::Var ? t->name : std::string{};
+}
+
+std::set<std::string> body_locations(const Rule& rule) {
+  std::set<std::string> locs;
+  for (const auto& elem : rule.body) {
+    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+      const std::string v = loc_var(ba->atom);
+      if (!v.empty()) locs.insert(v);
+    }
+  }
+  return locs;
+}
+
+}  // namespace
+
+bool is_local_rule(const Rule& rule) { return body_locations(rule).size() <= 1; }
+
+Program localize(const Program& program) {
+  Program out;
+  out.name = program.name;
+  out.materializations = program.materializations;
+
+  for (const auto& rule : program.rules) {
+    if (rule.is_fact() || is_local_rule(rule)) {
+      out.rules.push_back(rule);
+      continue;
+    }
+    const auto locs = body_locations(rule);
+    if (locs.size() != 2) {
+      throw AnalysisError("rule " + rule.name + ": cannot localize a body spanning " +
+                          std::to_string(locs.size()) + " locations");
+    }
+    // Choose the orientation: the join happens at the site for which every
+    // atom on the *other* side carries the join-site location variable (the
+    // link-restriction); when both orientations work, ship the fewer atoms.
+    auto it = locs.begin();
+    const std::string a = *it++;
+    const std::string b = *it;
+    auto feasible = [&](const std::string& join, const std::string& ship) {
+      std::size_t shipped = 0;
+      for (const auto& elem : rule.body) {
+        const auto* ba = std::get_if<BodyAtom>(&elem);
+        if (ba == nullptr || loc_var(ba->atom) != ship) continue;
+        ++shipped;
+        bool carries = false;
+        for (const auto& t : ba->atom.args) {
+          if (t->kind == Term::Kind::Var && t->name == join) carries = true;
+        }
+        if (!carries || ba->negated) return std::optional<std::size_t>{};
+      }
+      return std::optional<std::size_t>{shipped};
+    };
+    const auto ship_b = feasible(a, b);  // join at a, ship b's atoms
+    const auto ship_a = feasible(b, a);  // join at b, ship a's atoms
+    std::string join_site, ship_site;
+    if (ship_b && (!ship_a || *ship_b <= *ship_a)) {
+      join_site = a;
+      ship_site = b;
+    } else if (ship_a) {
+      join_site = b;
+      ship_site = a;
+    } else {
+      throw AnalysisError("rule " + rule.name +
+                          ": not link-restricted in either orientation");
+    }
+
+    Rule rewritten = rule;
+    std::size_t ship_index = 0;
+    for (auto& elem : rewritten.body) {
+      auto* ba = std::get_if<BodyAtom>(&elem);
+      if (ba == nullptr) continue;
+      if (loc_var(ba->atom) != ship_site) continue;
+      if (ba->negated) {
+        throw AnalysisError("rule " + rule.name +
+                            ": cannot localize a negated remote atom");
+      }
+      // Link-restriction: the shipped atom must mention the join site's
+      // location variable so the copy knows where to go.
+      int dest_pos = -1;
+      for (std::size_t i = 0; i < ba->atom.args.size(); ++i) {
+        const auto& t = ba->atom.args[i];
+        if (t->kind == Term::Kind::Var && t->name == join_site) {
+          dest_pos = static_cast<int>(i);
+          break;
+        }
+      }
+      if (dest_pos < 0) {
+        throw AnalysisError("rule " + rule.name + ": atom " + ba->atom.predicate +
+                            " at @" + ship_site +
+                            " does not carry the join location '" + join_site +
+                            "' (not link-restricted)");
+      }
+      // Generated ship rule: pred_sh_<rule>_<k>(same args, @ at dest_pos).
+      const std::string ship_pred = ba->atom.predicate + "_sh_" +
+                                    (rule.name.empty() ? rewritten.head.predicate
+                                                       : rule.name) +
+                                    "_" + std::to_string(++ship_index);
+      Rule ship;
+      ship.name = ship_pred;
+      HeadAtom head;
+      head.predicate = ship_pred;
+      for (const auto& arg : ba->atom.args) head.args.push_back(HeadArg::plain(arg));
+      head.loc_index = dest_pos;
+      ship.head = std::move(head);
+      BodyAtom source;
+      source.atom = ba->atom;
+      ship.body.emplace_back(std::move(source));
+      out.rules.push_back(std::move(ship));
+
+      // Rewrite the original body atom to the shipped copy (now local).
+      ba->atom.predicate = ship_pred;
+      ba->atom.loc_index = dest_pos;
+    }
+    out.rules.push_back(std::move(rewritten));
+  }
+  return out;
+}
+
+}  // namespace fvn::runtime

@@ -1,0 +1,31 @@
+// P2-style rule localization: rewrite rules whose body atoms live at two
+// different location variables into an equivalent pair where the "link" atom
+// is shipped to the remote side and the join happens locally (Loo et al.,
+// "Declarative Networking"). The paper's r2
+//
+//   path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), ...
+//
+// becomes
+//
+//   link_sh_r2(S,@Z,C1) :- link(@S,Z,C1).
+//   path(@S,D,P,C)      :- link_sh_r2(S,@Z,C1), path(@Z,D,P2,C2), ...
+//
+// after which every rule body is single-site and the executor only ships head
+// tuples (and the generated link copies).
+#pragma once
+
+#include "ndlog/analysis.hpp"
+#include "ndlog/ast.hpp"
+
+namespace fvn::runtime {
+
+/// True if every positive body atom of the rule shares one location variable
+/// (or the body has at most one relational atom).
+bool is_local_rule(const ndlog::Rule& rule);
+
+/// Localize a whole program. Rules that are already local pass through.
+/// Throws AnalysisError for rules that are not link-restricted (no body atom
+/// at the local site carries the remote location variable).
+ndlog::Program localize(const ndlog::Program& program);
+
+}  // namespace fvn::runtime

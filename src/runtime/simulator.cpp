@@ -1,0 +1,343 @@
+#include "runtime/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "runtime/localize.hpp"
+
+namespace fvn::runtime {
+
+using ndlog::Database;
+using ndlog::Rule;
+using ndlog::Tuple;
+using ndlog::TupleSet;
+using ndlog::Value;
+
+Simulator::Simulator(ndlog::Program program, SimOptions options,
+                     const ndlog::BuiltinRegistry& builtins)
+    : program_(localize(program)),
+      catalog_(ndlog::Catalog::from_program(program_)),
+      options_(options),
+      builtins_(&builtins),
+      engine_(builtins),
+      rng_(options.seed) {
+  ndlog::check_arities(program_);
+  ndlog::check_safety(program_, builtins);
+  if (options_.require_stratified) ndlog::stratify(program_);
+  for (const auto& rule : program_.rules) {
+    if (rule.is_fact()) {
+      // Program-embedded ground facts are injected at t=0.
+      ndlog::Bindings empty;
+      std::vector<Value> values;
+      for (const auto& arg : rule.head.args) {
+        values.push_back(*ndlog::eval_term(*arg.term, empty, builtins));
+      }
+      inject(Tuple(rule.head.predicate, std::move(values)), 0.0);
+      continue;
+    }
+    (rule.head.has_aggregate() ? agg_rules_ : normal_rules_).push_back(&rule);
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<ndlog::BodyAtom>(&elem)) {
+        if (ba->atom.predicate == "periodic") uses_periodic_ = true;
+      }
+    }
+  }
+}
+
+void Simulator::add_node(const std::string& name) { node_states_[name]; }
+
+void Simulator::set_link_delay(const std::string& from, const std::string& to,
+                               double delay) {
+  link_delays_[{from, to}] = delay;
+}
+
+std::string Simulator::location_of(const Tuple& tuple) const {
+  const std::size_t idx =
+      catalog_.contains(tuple.predicate()) ? catalog_.loc_index(tuple.predicate()) : 0;
+  if (idx >= tuple.arity() || !tuple.at(idx).is_addr()) {
+    throw ndlog::AnalysisError("tuple " + tuple.to_string() +
+                               " has no address at its location attribute");
+  }
+  return tuple.at(idx).as_addr();
+}
+
+void Simulator::schedule(Event event) {
+  event.sequence = ++sequence_;
+  queue_.push(std::move(event));
+}
+
+void Simulator::inject(const Tuple& fact, double time) {
+  Event e;
+  e.time = time;
+  e.kind = Event::Kind::Deliver;
+  e.node = location_of(fact);
+  e.tuple = fact;
+  add_node(e.node);
+  schedule(std::move(e));
+}
+
+void Simulator::inject_all(const std::vector<Tuple>& facts, double time) {
+  for (const auto& f : facts) inject(f, time);
+}
+
+void Simulator::retract(const Tuple& fact, double time) {
+  Event e;
+  e.time = time;
+  e.kind = Event::Kind::Retract;
+  e.node = location_of(fact);
+  e.tuple = fact;
+  schedule(std::move(e));
+}
+
+void Simulator::add_monitor(Monitor monitor) { monitors_.push_back(std::move(monitor)); }
+
+std::string Simulator::key_of(const Tuple& tuple) const {
+  std::string key = tuple.predicate();
+  if (!catalog_.contains(tuple.predicate())) return key + "|" + tuple.to_string();
+  const auto& info = catalog_.info(tuple.predicate());
+  if (info.key_fields.empty()) return key + "|" + tuple.to_string();
+  for (std::size_t f : info.key_fields) {
+    if (f >= 1 && f <= tuple.arity()) key += "|" + tuple.at(f - 1).to_string();
+  }
+  return key;
+}
+
+bool Simulator::install(NodeState& state, const std::string& node, const Tuple& tuple,
+                        double now) {
+  std::optional<double> lifetime;
+  if (catalog_.contains(tuple.predicate())) {
+    lifetime = catalog_.info(tuple.predicate()).lifetime_seconds;
+  }
+  const std::string key = key_of(tuple);
+  auto it = state.by_key.find(key);
+  bool changed = false;
+  if (it == state.by_key.end()) {
+    state.by_key.emplace(key, tuple);
+    state.db.insert(tuple);
+    changed = true;
+  } else if (!(it->second == tuple)) {
+    // Key overwrite (P2 materialize semantics).
+    state.db.erase(it->second);
+    state.expires_at.erase(it->second);
+    it->second = tuple;
+    state.db.insert(tuple);
+    ++stats_.overwrites;
+    changed = true;
+  }
+  if (lifetime) {
+    const double expiry = now + *lifetime;
+    state.expires_at[tuple] = expiry;
+    Event e;
+    e.time = expiry;
+    e.kind = Event::Kind::Expire;
+    e.node = node;
+    e.tuple = tuple;
+    schedule(std::move(e));
+  }
+  if (changed) {
+    ++stats_.tuples_derived;
+    stats_.last_change_time = now;
+    stats_.last_change_by_predicate[tuple.predicate()] = now;
+    if (options_.record_trace) {
+      trace_.push_back(TraceEntry{now, TraceEntry::Kind::Install, node, tuple.to_string()});
+    }
+    for (const auto& m : monitors_) {
+      if (!m(node, tuple, now)) ++stats_.monitor_violations;
+    }
+  }
+  return changed;
+}
+
+void Simulator::send(const std::string& from, const Tuple& tuple, double now) {
+  const std::string to = location_of(tuple);
+  ++stats_.messages_sent;
+  if (options_.record_trace) {
+    trace_.push_back(
+        TraceEntry{now, TraceEntry::Kind::Send, from, tuple.to_string() + " -> " + to});
+  }
+  if (options_.loss_rate > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(rng_) < options_.loss_rate) {
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
+  double delay = options_.default_link_delay;
+  auto it = link_delays_.find({from, to});
+  if (it != link_delays_.end()) delay = it->second;
+  Event e;
+  e.time = now + delay;
+  e.kind = Event::Kind::Deliver;
+  e.node = to;
+  e.tuple = tuple;
+  schedule(std::move(e));
+}
+
+void Simulator::run_rules(const std::string& node, const Tuple& delta, double now) {
+  NodeState& state = node_states_[node];
+  TupleSet delta_set{delta};
+  std::vector<Tuple> produced;
+  for (const Rule* rule : normal_rules_) {
+    const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (atoms[i]->atom.predicate != delta.predicate()) continue;
+      engine_.eval_rule_delta(*rule, state.db, i, delta_set,
+                              [&](Tuple t) { produced.push_back(std::move(t)); });
+    }
+  }
+  for (auto& t : produced) {
+    const std::string dest = location_of(t);
+    if (dest == node) {
+      deliver(node, t, now, /*transient=*/false);
+    } else {
+      send(node, t, now);
+    }
+  }
+}
+
+void Simulator::run_agg_rules(const std::string& node, double now) {
+  if (agg_rules_.empty()) return;
+  NodeState& state = node_states_[node];
+  for (const Rule* rule : agg_rules_) {
+    TupleSet outputs;
+    engine_.eval_agg_rule(*rule, state.db, [&](Tuple t) { outputs.insert(std::move(t)); });
+    TupleSet& prev = state.agg_cache[rule];
+    if (outputs == prev) continue;
+    // Incremental view maintenance: retract groups that disappeared or whose
+    // aggregate value changed, then install/ship the new rows.
+    for (const auto& old_row : prev) {
+      if (outputs.count(old_row)) continue;
+      if (location_of(old_row) != node) continue;  // remote copies age out
+      if (state.db.erase(old_row)) {
+        state.by_key.erase(key_of(old_row));
+        state.expires_at.erase(old_row);
+        stats_.last_change_time = now;
+      }
+    }
+    std::vector<Tuple> added;
+    for (const auto& row : outputs) {
+      if (!prev.count(row)) added.push_back(row);
+    }
+    prev = outputs;
+    for (const auto& t : added) {
+      const std::string dest = location_of(t);
+      if (dest == node) {
+        if (install(state, node, t, now)) run_rules(node, t, now);
+      } else {
+        send(node, t, now);
+      }
+    }
+  }
+}
+
+void Simulator::deliver(const std::string& node, const Tuple& tuple, double now,
+                        bool transient) {
+  NodeState& state = node_states_[node];
+  if (transient) {
+    run_rules(node, tuple, now);
+    run_agg_rules(node, now);
+    return;
+  }
+  if (!install(state, node, tuple, now)) return;  // duplicate: no re-derivation
+  run_rules(node, tuple, now);
+  run_agg_rules(node, now);
+}
+
+SimStats Simulator::run() {
+  assert(!ran_ && "Simulator::run may be called once");
+  ran_ = true;
+
+  // Periodic event pre-scheduling.
+  if (uses_periodic_ && options_.max_periodic_rounds > 0) {
+    // Nodes known at start: everything referenced by queued events.
+    std::vector<std::string> names;
+    for (const auto& [name, state] : node_states_) names.push_back(name);
+    for (const auto& name : names) {
+      for (std::size_t k = 1; k <= options_.max_periodic_rounds; ++k) {
+        Event e;
+        e.time = static_cast<double>(k) * options_.periodic_interval;
+        e.kind = Event::Kind::Periodic;
+        e.node = name;
+        e.tuple = Tuple("periodic", {Value::addr(name), Value::real(options_.periodic_interval)});
+        schedule(std::move(e));
+      }
+    }
+  }
+
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    if (e.time > options_.max_time || stats_.events_processed >= options_.max_events) {
+      stats_.end_time = e.time;
+      stats_.quiesced = false;
+      return stats_;
+    }
+    ++stats_.events_processed;
+    stats_.end_time = e.time;
+    NodeState& state = node_states_[e.node];
+    switch (e.kind) {
+      case Event::Kind::Deliver: {
+        const bool transient =
+            e.tuple.predicate() == "periodic" ||
+            (catalog_.contains(e.tuple.predicate()) &&
+             catalog_.info(e.tuple.predicate()).lifetime_seconds.has_value() &&
+             *catalog_.info(e.tuple.predicate()).lifetime_seconds == 0.0);
+        deliver(e.node, e.tuple, e.time, transient);
+        break;
+      }
+      case Event::Kind::Periodic:
+        deliver(e.node, e.tuple, e.time, /*transient=*/true);
+        break;
+      case Event::Kind::Expire: {
+        auto it = state.expires_at.find(e.tuple);
+        // Only expire if this event corresponds to the latest refresh.
+        if (it != state.expires_at.end() && it->second <= e.time + 1e-12) {
+          state.expires_at.erase(it);
+          state.db.erase(e.tuple);
+          state.by_key.erase(key_of(e.tuple));
+          ++stats_.expirations;
+          stats_.last_change_time = e.time;
+          if (options_.record_trace) {
+            trace_.push_back(TraceEntry{e.time, TraceEntry::Kind::Expire, e.node,
+                                        e.tuple.to_string()});
+          }
+        }
+        break;
+      }
+      case Event::Kind::Retract: {
+        if (state.db.erase(e.tuple)) {
+          state.by_key.erase(key_of(e.tuple));
+          state.expires_at.erase(e.tuple);
+          stats_.last_change_time = e.time;
+        }
+        break;
+      }
+    }
+  }
+  stats_.quiesced = true;
+  return stats_;
+}
+
+const Database& Simulator::database(const std::string& node) const {
+  static const Database empty;
+  auto it = node_states_.find(node);
+  return it == node_states_.end() ? empty : it->second.db;
+}
+
+Database Simulator::merged_database() const {
+  Database out;
+  for (const auto& [name, state] : node_states_) {
+    for (const auto& pred : state.db.predicates()) {
+      for (const auto& t : state.db.relation(pred)) out.insert(t);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Simulator::nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, state] : node_states_) out.push_back(name);
+  return out;
+}
+
+}  // namespace fvn::runtime

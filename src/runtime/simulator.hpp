@@ -1,0 +1,175 @@
+// The distributed declarative-networking executor — FVN's stand-in for the
+// P2 system (arc 7 of Figure 1): a discrete-event simulator in which every
+// network node runs a pipelined semi-naive NDlog engine over its local
+// tables, and derived tuples whose location specifier names another node
+// travel as messages with configurable delay and loss.
+//
+// Features exercised by the experiments:
+//   * location-specifier routing (the '@' of §2.2),
+//   * per-(key) overwrite semantics for materialized tables (P2-style
+//     primary keys from `materialize(..., keys(...))`),
+//   * soft state: tuples with finite lifetime expire; `periodic(@N,I)`
+//     events re-fire every I seconds (the native alternative to §4.2's
+//     hard-state rewrite, experiment E8),
+//   * runtime invariant monitors (the runtime-verification arc of §1),
+//   * quiescence detection: convergence time and message counts (E5).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <random>
+#include <set>
+
+#include "ndlog/catalog.hpp"
+#include "ndlog/eval.hpp"
+
+namespace fvn::runtime {
+
+struct SimOptions {
+  double default_link_delay = 0.01;  // seconds
+  double loss_rate = 0.0;            // per-message drop probability
+  std::uint64_t seed = 1;
+  double max_time = 1e6;
+  std::size_t max_events = 5'000'000;
+  /// Fire `periodic(@N,Interval)` events at every node that the program
+  /// mentions, until max_time (bounded by this count per node).
+  std::size_t max_periodic_rounds = 0;
+  double periodic_interval = 1.0;
+  /// Require the program to be stratifiable (the static semantics guarantee).
+  /// Periodic/soft-state protocols whose aggregate feedback loops are broken
+  /// by time rather than by strata (e.g. distance-vector with re-advertised
+  /// best routes) set this to false; the executor's incremental semantics is
+  /// still well-defined operationally, as in P2.
+  bool require_stratified = true;
+  /// Record an event trace (see Simulator::trace()); off by default — traces
+  /// grow linearly with event count.
+  bool record_trace = false;
+};
+
+/// One recorded simulation event (Pip-style trace entry for offline checks).
+struct TraceEntry {
+  double time = 0.0;
+  enum class Kind : std::uint8_t { Send, Deliver, Install, Expire, Retract } kind;
+  std::string node;  // acting node (sender for Send, owner otherwise)
+  std::string detail;
+};
+
+struct SimStats {
+  std::size_t events_processed = 0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t tuples_derived = 0;
+  std::size_t overwrites = 0;      // key-replacement updates
+  std::size_t expirations = 0;     // soft-state timeouts
+  double last_change_time = 0.0;   // convergence instant (quiescence)
+  /// Per-predicate settle time: when each relation last changed anywhere
+  /// (E5's "delayed convergence" is visible on bestRoute).
+  std::map<std::string, double> last_change_by_predicate;
+  double end_time = 0.0;
+  bool quiesced = false;           // queue drained before budget exhausted
+  std::size_t monitor_violations = 0;
+};
+
+/// A runtime-verification monitor: called for every newly installed tuple.
+/// Return false to flag an invariant violation (recorded in stats; the run
+/// continues, like Pip-style online checkers).
+using Monitor =
+    std::function<bool(const std::string& node, const ndlog::Tuple& tuple, double now)>;
+
+/// Discrete-event distributed executor for one NDlog program.
+class Simulator {
+ public:
+  Simulator(ndlog::Program program, SimOptions options = {},
+            const ndlog::BuiltinRegistry& builtins = ndlog::BuiltinRegistry::standard());
+
+  /// Nodes are created implicitly by fact locations; explicit creation is
+  /// useful for nodes that only receive.
+  void add_node(const std::string& name);
+
+  /// Override the delay of the directed link a->b (defaults apply otherwise).
+  void set_link_delay(const std::string& from, const std::string& to, double delay);
+
+  /// Inject a base fact at `time`; it is delivered to the node named by its
+  /// location attribute.
+  void inject(const ndlog::Tuple& fact, double time = 0.0);
+  void inject_all(const std::vector<ndlog::Tuple>& facts, double time = 0.0);
+
+  /// Delete a base tuple at `time` (e.g. a link failure). No derivation
+  /// cascade is performed (P2-style); soft state re-derives around it.
+  void retract(const ndlog::Tuple& fact, double time);
+
+  void add_monitor(Monitor monitor);
+
+  /// Run to quiescence (or budget exhaustion). May be called once.
+  SimStats run();
+
+  /// Local database of a node (valid after run()).
+  const ndlog::Database& database(const std::string& node) const;
+  /// Recorded events (empty unless options.record_trace).
+  const std::vector<TraceEntry>& trace() const noexcept { return trace_; }
+  /// Union of all nodes' relations (for comparing with the centralized
+  /// evaluator's result).
+  ndlog::Database merged_database() const;
+  std::vector<std::string> nodes() const;
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t sequence = 0;  // FIFO tie-break for determinism
+    enum class Kind : std::uint8_t { Deliver, Expire, Retract, Periodic } kind = Kind::Deliver;
+    std::string node;
+    ndlog::Tuple tuple;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  struct NodeState {
+    ndlog::Database db;
+    /// key (predicate + key-field values) -> installed tuple, for overwrite.
+    std::map<std::string, ndlog::Tuple> by_key;
+    /// expiry bookkeeping: tuple -> scheduled expiry time (latest refresh).
+    std::map<ndlog::Tuple, double> expires_at;
+    /// per-aggregate-rule last output (incremental view maintenance).
+    std::map<const ndlog::Rule*, ndlog::TupleSet> agg_cache;
+  };
+
+  void schedule(Event event);
+  void deliver(const std::string& node, const ndlog::Tuple& tuple, double now,
+               bool transient);
+  void send(const std::string& from, const ndlog::Tuple& tuple, double now);
+  /// Install into local tables honoring keys/lifetimes; returns true if the
+  /// database changed (new tuple or overwrite).
+  bool install(NodeState& state, const std::string& node, const ndlog::Tuple& tuple,
+               double now);
+  void run_rules(const std::string& node, const ndlog::Tuple& delta, double now);
+  void run_agg_rules(const std::string& node, double now);
+  std::string key_of(const ndlog::Tuple& tuple) const;
+  std::string location_of(const ndlog::Tuple& tuple) const;
+
+  ndlog::Program program_;
+  ndlog::Catalog catalog_;
+  SimOptions options_;
+  const ndlog::BuiltinRegistry* builtins_;
+  ndlog::RuleEngine engine_;
+
+  std::map<std::string, NodeState> node_states_;
+  std::map<std::pair<std::string, std::string>, double> link_delays_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t sequence_ = 0;
+  std::mt19937_64 rng_;
+  std::vector<Monitor> monitors_;
+  std::vector<TraceEntry> trace_;
+  SimStats stats_;
+  bool ran_ = false;
+  /// Rules with aggregates, re-evaluated incrementally per node.
+  std::vector<const ndlog::Rule*> agg_rules_;
+  std::vector<const ndlog::Rule*> normal_rules_;
+  bool uses_periodic_ = false;
+};
+
+}  // namespace fvn::runtime

@@ -1,0 +1,227 @@
+#include "translate/components.hpp"
+
+#include <algorithm>
+
+#include "translate/ndlog_to_logic.hpp"
+
+namespace fvn::translate {
+
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::InductiveDef;
+using logic::LTerm;
+using logic::LTermPtr;
+using logic::TypedVar;
+using ndlog::Atom;
+using ndlog::BodyAtom;
+using ndlog::HeadArg;
+using ndlog::HeadAtom;
+using ndlog::Program;
+using ndlog::Rule;
+using ndlog::Term;
+
+std::set<std::string> CompositeComponent::internal_predicates() const {
+  std::set<std::string> produced, consumed;
+  for (const auto& part : parts) {
+    for (const auto& p : part.outputs) produced.insert(p.predicate);
+    for (const auto& p : part.inputs) consumed.insert(p.predicate);
+  }
+  std::set<std::string> out;
+  for (const auto& p : produced) {
+    if (consumed.count(p)) out.insert(p);
+  }
+  return out;
+}
+
+std::set<std::string> CompositeComponent::external_input_predicates() const {
+  std::set<std::string> produced;
+  for (const auto& part : parts) {
+    for (const auto& p : part.outputs) produced.insert(p.predicate);
+  }
+  std::set<std::string> out;
+  for (const auto& part : parts) {
+    for (const auto& p : part.inputs) {
+      if (!produced.count(p.predicate)) out.insert(p.predicate);
+    }
+  }
+  return out;
+}
+
+std::set<std::string> CompositeComponent::external_output_predicates() const {
+  std::set<std::string> consumed;
+  for (const auto& part : parts) {
+    for (const auto& p : part.inputs) consumed.insert(p.predicate);
+  }
+  std::set<std::string> out;
+  for (const auto& part : parts) {
+    for (const auto& p : part.outputs) {
+      if (!consumed.count(p.predicate)) out.insert(p.predicate);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Atom port_atom(const PortSchema& port, const LocationSchema& locations) {
+  Atom atom;
+  atom.predicate = port.predicate;
+  for (const auto& f : port.fields) atom.args.push_back(Term::var(f));
+  auto it = locations.find(port.predicate);
+  if (it != locations.end()) atom.loc_index = static_cast<int>(it->second);
+  return atom;
+}
+
+}  // namespace
+
+Program generate_ndlog(const CompositeComponent& composite,
+                       const LocationSchema& locations) {
+  Program program;
+  program.name = composite.name;
+  std::size_t rule_index = 0;
+  for (const auto& part : composite.parts) {
+    for (const auto& out_port : part.outputs) {
+      Rule rule;
+      rule.name = part.name + "_r" + std::to_string(++rule_index);
+      HeadAtom head;
+      head.predicate = out_port.predicate;
+      for (const auto& f : out_port.fields) head.args.push_back(HeadArg::plain(Term::var(f)));
+      auto it = locations.find(out_port.predicate);
+      if (it != locations.end()) head.loc_index = static_cast<int>(it->second);
+      rule.head = std::move(head);
+      for (const auto& in_port : part.inputs) {
+        BodyAtom ba;
+        ba.atom = port_atom(in_port, locations);
+        rule.body.emplace_back(std::move(ba));
+      }
+      for (const auto& c : part.constraints) rule.body.emplace_back(c);
+      program.rules.push_back(std::move(rule));
+    }
+  }
+  return program;
+}
+
+logic::Theory generate_logic(const CompositeComponent& composite) {
+  logic::Theory theory;
+  theory.name = composite.name;
+
+  // Per-part definition: t(all port fields, deduped in first-use order) =
+  // conjunction of constraints.
+  for (const auto& part : composite.parts) {
+    InductiveDef def;
+    def.pred_name = part.name;
+    std::vector<std::string> fields;
+    auto add_fields = [&fields](const PortSchema& p) {
+      for (const auto& f : p.fields) {
+        if (std::find(fields.begin(), fields.end(), f) == fields.end()) {
+          fields.push_back(f);
+        }
+      }
+    };
+    for (const auto& p : part.inputs) add_fields(p);
+    for (const auto& p : part.outputs) add_fields(p);
+    for (const auto& f : fields) def.params.push_back(TypedVar{f, sort_of_variable(f)});
+
+    std::vector<FormulaPtr> conjuncts;
+    for (const auto& c : part.constraints) {
+      conjuncts.push_back(Formula::cmp(c.op, translate_term(c.lhs), translate_term(c.rhs)));
+    }
+    def.clauses.push_back(Formula::conj(std::move(conjuncts)));
+    theory.definitions.push_back(std::move(def));
+  }
+
+  // Composite definition: tc(external fields) = EXISTS (internal fields):
+  // AND over part applications. Field classification: a field is external if
+  // it appears on an external port, internal otherwise.
+  const auto internal_preds = composite.internal_predicates();
+  std::vector<std::string> external_fields, internal_fields;
+  auto classify = [&](const PortSchema& p) {
+    const bool internal = internal_preds.count(p.predicate) != 0;
+    auto& target = internal ? internal_fields : external_fields;
+    for (const auto& f : p.fields) {
+      if (std::find(external_fields.begin(), external_fields.end(), f) ==
+              external_fields.end() &&
+          std::find(internal_fields.begin(), internal_fields.end(), f) ==
+              internal_fields.end()) {
+        target.push_back(f);
+      }
+    }
+  };
+  // External ports first so shared fields prefer the external classification.
+  for (const auto& part : composite.parts) {
+    for (const auto& p : part.inputs) {
+      if (!internal_preds.count(p.predicate)) classify(p);
+    }
+    for (const auto& p : part.outputs) {
+      if (!internal_preds.count(p.predicate)) classify(p);
+    }
+  }
+  for (const auto& part : composite.parts) {
+    for (const auto& p : part.inputs) classify(p);
+    for (const auto& p : part.outputs) classify(p);
+  }
+
+  InductiveDef top;
+  top.pred_name = composite.name;
+  for (const auto& f : external_fields) top.params.push_back(TypedVar{f, sort_of_variable(f)});
+  std::vector<FormulaPtr> apps;
+  for (const auto& part : composite.parts) {
+    const InductiveDef* def = theory.find_definition(part.name);
+    std::vector<LTermPtr> args;
+    for (const auto& p : def->params) args.push_back(LTerm::var(p.name));
+    apps.push_back(Formula::pred(part.name, std::move(args)));
+  }
+  std::vector<TypedVar> ex;
+  for (const auto& f : internal_fields) ex.push_back(TypedVar{f, sort_of_variable(f)});
+  top.clauses.push_back(Formula::exists(std::move(ex), Formula::conj(std::move(apps))));
+  theory.definitions.push_back(std::move(top));
+  return theory;
+}
+
+CompositeComponent example_tc() {
+  using ndlog::CmpOp;
+  CompositeComponent tc;
+  tc.name = "tc";
+
+  auto cmp = [](CmpOp op, ndlog::TermPtr l, ndlog::TermPtr r) {
+    ndlog::Comparison c;
+    c.op = op;
+    c.lhs = std::move(l);
+    c.rhs = std::move(r);
+    return c;
+  };
+
+  // t1: O1 = I1 + 1  (C1)
+  AtomicComponent t1;
+  t1.name = "t1";
+  t1.inputs = {PortSchema{"t1_in", {"I1"}}};
+  t1.outputs = {PortSchema{"t1_out", {"O1"}}};
+  t1.constraints = {cmp(CmpOp::Eq, Term::var("O1"),
+                        Term::binary(ndlog::BinOp::Add, Term::var("I1"),
+                                     Term::constant_of(ndlog::Value::integer(1))))};
+
+  // t2: O2 = I2 * 2  (C2)
+  AtomicComponent t2;
+  t2.name = "t2";
+  t2.inputs = {PortSchema{"t2_in", {"I2"}}};
+  t2.outputs = {PortSchema{"t2_out", {"O2"}}};
+  t2.constraints = {cmp(CmpOp::Eq, Term::var("O2"),
+                        Term::binary(ndlog::BinOp::Mul, Term::var("I2"),
+                                     Term::constant_of(ndlog::Value::integer(2))))};
+
+  // t3: O3 = O1 + O2, guarded by O1 <= O2  (C3)
+  AtomicComponent t3;
+  t3.name = "t3";
+  t3.inputs = {PortSchema{"t1_out", {"O1"}}, PortSchema{"t2_out", {"O2"}}};
+  t3.outputs = {PortSchema{"t3_out", {"O3"}}};
+  t3.constraints = {
+      cmp(CmpOp::Eq, Term::var("O3"),
+          Term::binary(ndlog::BinOp::Add, Term::var("O1"), Term::var("O2"))),
+      cmp(CmpOp::Le, Term::var("O1"), Term::var("O2")),
+  };
+
+  tc.parts = {t1, t2, t3};
+  return tc;
+}
+
+}  // namespace fvn::translate

@@ -1,0 +1,73 @@
+// Arc 3 of the FVN framework (§3.2): component-based network models and the
+// property-preserving generation of NDlog programs from them.
+//
+// A component t with inputs I, outputs O and constraints CT(I,O) has the PVS
+// specification  t(I,O): INDUCTIVE bool = CT(I,O)  and the equivalent NDlog
+// rule  t_out(O) :- t_in(I), CT(I,O).  Composites wire sub-components by
+// sharing port predicates (the paper's tc example, Figure 3).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/formula.hpp"
+#include "ndlog/ast.hpp"
+
+namespace fvn::translate {
+
+/// A port: the predicate a component reads or writes, with named fields. The
+/// field names are the variables the component's constraints range over;
+/// using one field name on two ports expresses equality wiring inside the
+/// component.
+struct PortSchema {
+  std::string predicate;
+  std::vector<std::string> fields;
+};
+
+/// An atomic route-transformation component (paper §3.2.2): consumes one
+/// tuple from every input port, applies constraints/assignments, and emits
+/// its output ports.
+struct AtomicComponent {
+  std::string name;
+  std::vector<PortSchema> inputs;
+  std::vector<PortSchema> outputs;
+  /// CT(I,O): comparisons/assignments over the port field variables.
+  std::vector<ndlog::Comparison> constraints;
+};
+
+/// A composite component: sub-components wired by shared port predicates.
+/// External inputs are ports consumed but never produced; external outputs
+/// are ports produced but never consumed (both computable).
+struct CompositeComponent {
+  std::string name;
+  std::vector<AtomicComponent> parts;
+
+  std::set<std::string> internal_predicates() const;
+  std::set<std::string> external_input_predicates() const;
+  std::set<std::string> external_output_predicates() const;
+};
+
+/// Predicate schema information for location annotation (§3.2.2: "additional
+/// predicate schema information is required as input"): predicate → index of
+/// the location attribute.
+using LocationSchema = std::map<std::string, std::size_t>;
+
+/// Generate the equivalent NDlog program: one rule per (part, output port).
+/// When `locations` contains a predicate, its atoms get the '@' marker at
+/// the given index.
+ndlog::Program generate_ndlog(const CompositeComponent& composite,
+                              const LocationSchema& locations = {});
+
+/// Generate the PVS-style logical specification: one inductive definition per
+/// part (t(I,O) = CT(I,O)) and one for the composite
+/// (tc(ext) = EXISTS (internal fields): t1(...) AND t2(...) ...).
+logic::Theory generate_logic(const CompositeComponent& composite);
+
+/// The paper's Figure 3 example: tc = {t1(I1→O1;C1), t2(I2→O2;C2),
+/// t3(O1,O2→O3;C3)} with simple arithmetic constraints — used by tests,
+/// goldens and bench E4.
+CompositeComponent example_tc();
+
+}  // namespace fvn::translate

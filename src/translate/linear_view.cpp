@@ -1,0 +1,106 @@
+#include "translate/linear_view.hpp"
+
+#include <map>
+#include <sstream>
+#include <variant>
+
+namespace fvn::translate {
+
+using ndlog::BodyAtom;
+using ndlog::Comparison;
+using ndlog::Program;
+
+std::vector<ResourceInfo> classify_resources(const Program& program) {
+  std::map<std::string, ResourceKind> kinds;
+  // Everything mentioned defaults to persistent.
+  for (const auto& rule : program.rules) {
+    kinds.emplace(rule.head.predicate, ResourceKind::Persistent);
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        kinds.emplace(ba->atom.predicate, ResourceKind::Persistent);
+      }
+    }
+  }
+  kinds["periodic"] = ResourceKind::Event;
+  for (const auto& m : program.materializations) {
+    if (!m.lifetime_seconds.has_value()) {
+      kinds[m.predicate] = ResourceKind::Persistent;
+    } else if (*m.lifetime_seconds == 0.0) {
+      kinds[m.predicate] = ResourceKind::Event;
+    } else {
+      kinds[m.predicate] = ResourceKind::Linear;
+    }
+  }
+  std::vector<ResourceInfo> out;
+  for (const auto& [pred, kind] : kinds) out.push_back(ResourceInfo{pred, kind});
+  return out;
+}
+
+std::string LinearRule::to_string() const {
+  std::ostringstream os;
+  os << name << ": ";
+  bool first = true;
+  for (const auto& p : persistent) {
+    if (!first) os << " (x) ";
+    first = false;
+    os << "!" << p;
+  }
+  for (const auto& c : consumed) {
+    if (!first) os << " (x) ";
+    first = false;
+    os << c;
+  }
+  if (first) os << "1";  // unit: rule with empty body
+  os << " -o " << produced;
+  if (!guards.empty()) {
+    os << "  [";
+    for (std::size_t i = 0; i < guards.size(); ++i) {
+      if (i) os << ", ";
+      os << guards[i];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::vector<LinearRule> linear_view(const Program& program) {
+  std::map<std::string, ResourceKind> kinds;
+  for (const auto& info : classify_resources(program)) {
+    kinds[info.predicate] = info.kind;
+  }
+  std::vector<LinearRule> out;
+  for (const auto& rule : program.rules) {
+    if (rule.is_fact()) continue;
+    LinearRule lr;
+    lr.name = rule.name.empty() ? rule.head.predicate : rule.name;
+    lr.produced = rule.head.to_string();
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        if (ba->negated) {
+          lr.guards.push_back("not " + ba->atom.to_string());
+          continue;
+        }
+        const ResourceKind kind = kinds.count(ba->atom.predicate)
+                                      ? kinds.at(ba->atom.predicate)
+                                      : ResourceKind::Persistent;
+        if (kind == ResourceKind::Persistent) {
+          lr.persistent.push_back(ba->atom.to_string());
+        } else {
+          lr.consumed.push_back(ba->atom.to_string());
+        }
+      } else {
+        lr.guards.push_back(std::get<Comparison>(elem).to_string());
+      }
+    }
+    out.push_back(std::move(lr));
+  }
+  return out;
+}
+
+std::string render_linear_view(const Program& program) {
+  std::string out = "%% linear-logic transition view of " + program.name + "\n";
+  for (const auto& rule : linear_view(program)) out += rule.to_string() + "\n";
+  return out;
+}
+
+}  // namespace fvn::translate

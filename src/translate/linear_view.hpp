@@ -1,0 +1,51 @@
+// The linear-logic view of NDlog (paper §4.2/§4.3): render rules as state
+// transitions in which soft-state and event premises are *consumed*
+// (linear hypotheses, ⊗/⊸) while hard-state premises persist (!-banged).
+// This is the representation the paper proposes for interfacing NDlog with
+// model checkers — realized executably by mc::NdlogTransitionSystem; this
+// module produces the human-readable transition-rule rendering and the
+// resource classification both rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"
+
+namespace fvn::translate {
+
+enum class ResourceKind : std::uint8_t {
+  Persistent,  // hard state: !p — free reuse
+  Linear,      // soft state: consumed on use (expires / is replaced)
+  Event,       // transient (periodic, lifetime 0): consumed immediately
+};
+
+/// Classification of one predicate in the linear view.
+struct ResourceInfo {
+  std::string predicate;
+  ResourceKind kind = ResourceKind::Persistent;
+};
+
+/// Classify every predicate of the program from its materialize declarations
+/// (no declaration or infinite lifetime ⇒ persistent; finite ⇒ linear;
+/// zero lifetime or `periodic` ⇒ event).
+std::vector<ResourceInfo> classify_resources(const ndlog::Program& program);
+
+/// One transition rule rendering:
+///   !link(S,Z,C1) ⊗ path(Z,D,P2,C2) ⊸ path(S,D,P,C)  [C=C1+C2, ...]
+struct LinearRule {
+  std::string name;
+  std::vector<std::string> consumed;    // linear/event premises
+  std::vector<std::string> persistent;  // !-banged premises
+  std::string produced;
+  std::vector<std::string> guards;
+  std::string to_string() const;
+};
+
+/// The whole program as transition rules.
+std::vector<LinearRule> linear_view(const ndlog::Program& program);
+
+/// Full pretty rendering (one rule per line).
+std::string render_linear_view(const ndlog::Program& program);
+
+}  // namespace fvn::translate

@@ -1,0 +1,58 @@
+// Arc 4 of the FVN framework (paper Figure 1, §3.1): automatic compilation of
+// NDlog programs into logical specifications — one inductive definition per
+// derived predicate, following the proof-theoretic semantics of Datalog.
+//
+// The paper's example becomes exactly:
+//   path(S,D,P:Path,C): INDUCTIVE bool =
+//     (link(S,D,C) AND P=f_init(S,D)) OR
+//     (EXISTS (C1,C2:Metric)(P2:Path)(Z:Node):
+//        link(S,Z,C1) AND path(Z,D,P2,C2) AND C=C1+C2
+//        AND P=f_concatPath(S,P2) AND f_inPath(P2,S)=FALSE)
+//
+// Aggregates translate to their first-order characterization; for min:
+//   bestPathCost(S,D,C): INDUCTIVE bool =
+//     (EXISTS (P:Path): path(S,D,P,C)) AND
+//     (FORALL (P2:Path)(C2:Metric): path(S,D,P2,C2) => C <= C2)
+#pragma once
+
+#include <stdexcept>
+
+#include "logic/formula.hpp"
+#include "ndlog/analysis.hpp"
+#include "ndlog/ast.hpp"
+
+namespace fvn::translate {
+
+class TranslateError : public std::runtime_error {
+ public:
+  explicit TranslateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Options for the NDlog → logic translation.
+struct LogicOptions {
+  /// Drop location specifiers (they are ordinary attributes in the logical
+  /// semantics, as in the paper's §3.1 rendering).
+  bool keep_location_markers = false;
+};
+
+/// Infer a display sort for a variable from the name conventions used in the
+/// paper (S,D,Z,N,U,W,M: Node; P*: Path; C*,LP: Metric; T: Time).
+logic::Sort sort_of_variable(const std::string& name);
+
+/// Translate one NDlog term into a logical term.
+logic::LTermPtr translate_term(const ndlog::TermPtr& term);
+
+/// Translate a whole program into a Theory containing one InductiveDef per
+/// derived predicate (base predicates stay uninterpreted). Throws
+/// TranslateError on count/sum aggregates (no finite first-order
+/// characterization; the paper only exercises min).
+logic::Theory to_logic(const ndlog::Program& program,
+                       const LogicOptions& options = {});
+
+/// Translate the rules of a single predicate (used by tests and by the
+/// incremental verifier).
+logic::InductiveDef predicate_to_inductive(const ndlog::Program& program,
+                                           const std::string& predicate,
+                                           const LogicOptions& options = {});
+
+}  // namespace fvn::translate

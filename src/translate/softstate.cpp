@@ -1,0 +1,138 @@
+#include "translate/softstate.hpp"
+
+#include <map>
+#include <variant>
+
+namespace fvn::translate {
+
+using ndlog::BodyAtom;
+using ndlog::BodyElem;
+using ndlog::CmpOp;
+using ndlog::Comparison;
+using ndlog::HeadArg;
+using ndlog::Program;
+using ndlog::Rule;
+using ndlog::Term;
+using ndlog::TermPtr;
+using ndlog::Value;
+
+namespace {
+
+bool is_soft(const Program& p, const std::string& pred) {
+  const auto* m = p.materialization_of(pred);
+  return m != nullptr && m->lifetime_seconds.has_value();
+}
+
+double lifetime_of(const Program& p, const std::string& pred) {
+  return *p.materialization_of(pred)->lifetime_seconds;
+}
+
+}  // namespace
+
+SoftStateRewrite soft_to_hard(const Program& original) {
+  SoftStateRewrite out;
+  Program& rewritten = out.program;
+  rewritten.name = original.name + "_hard";
+
+  // Materializations: soft predicates become hard with two extra key fields.
+  std::map<std::string, bool> soft;
+  for (const auto& m : original.materializations) {
+    ndlog::Materialize hm = m;
+    if (m.lifetime_seconds.has_value()) {
+      soft[m.predicate] = true;
+      ++out.predicates_rewritten;
+      hm.lifetime_seconds = std::nullopt;
+      // Timestamp participates in identity: refreshes are distinct tuples.
+      hm.key_fields.clear();
+    }
+    rewritten.materializations.push_back(std::move(hm));
+  }
+
+  int fresh = 0;
+  auto fresh_var = [&fresh](const char* base) {
+    return Term::var(std::string(base) + "_ss" + std::to_string(++fresh));
+  };
+
+  for (const auto& rule : original.rules) {
+    Rule r = rule;
+    std::vector<TermPtr> body_timestamps;
+
+    for (auto& elem : r.body) {
+      auto* ba = std::get_if<BodyAtom>(&elem);
+      if (ba == nullptr || ba->negated || !is_soft(original, ba->atom.predicate)) continue;
+      TermPtr ts = fresh_var("Ts");
+      TermPtr lt = fresh_var("Lt");
+      ba->atom.args.push_back(ts);
+      ba->atom.args.push_back(lt);
+      out.extra_attributes += 2;
+      body_timestamps.push_back(ts);
+      // Liveness of this tuple is asserted against the head timestamp below;
+      // remember (ts, lt) via the pushed args.
+    }
+
+    const bool head_soft = is_soft(original, r.head.predicate);
+    if (head_soft || !body_timestamps.empty()) {
+      // Head timestamp = max of body timestamps (0 if none).
+      TermPtr head_ts;
+      if (body_timestamps.empty()) {
+        head_ts = Term::constant_of(Value::real(0.0));
+      } else {
+        head_ts = body_timestamps[0];
+        for (std::size_t i = 1; i < body_timestamps.size(); ++i) {
+          head_ts = Term::func("f_max", {head_ts, body_timestamps[i]});
+        }
+      }
+      TermPtr head_ts_var = fresh_var("Ts");
+      {
+        Comparison assign;
+        assign.op = CmpOp::Eq;
+        assign.lhs = head_ts_var;
+        assign.rhs = head_ts;
+        r.body.push_back(assign);
+        ++out.extra_body_elements;
+      }
+      // Every soft body tuple must still be alive at the derivation instant:
+      // Ts_i + Lt_i >= Ts_head.
+      for (auto& elem : r.body) {
+        auto* ba = std::get_if<BodyAtom>(&elem);
+        if (ba == nullptr || ba->negated || !is_soft(original, ba->atom.predicate)) continue;
+        const auto n = ba->atom.args.size();
+        Comparison alive;
+        alive.op = CmpOp::Ge;
+        alive.lhs = Term::binary(ndlog::BinOp::Add, ba->atom.args[n - 2],
+                                 ba->atom.args[n - 1]);
+        alive.rhs = head_ts_var;
+        r.body.push_back(alive);
+        ++out.extra_body_elements;
+      }
+      if (head_soft) {
+        r.head.args.push_back(HeadArg::plain(head_ts_var));
+        r.head.args.push_back(HeadArg::plain(
+            Term::constant_of(Value::real(lifetime_of(original, r.head.predicate)))));
+        out.extra_attributes += 2;
+      }
+    }
+    rewritten.rules.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ndlog::Tuple> stamp_facts(const Program& original,
+                                      const std::vector<ndlog::Tuple>& facts,
+                                      double timestamp) {
+  std::vector<ndlog::Tuple> out;
+  out.reserve(facts.size());
+  for (const auto& f : facts) {
+    if (!is_soft(original, f.predicate())) {
+      out.push_back(f);
+      continue;
+    }
+    std::vector<Value> values = f.values();
+    values.push_back(Value::real(timestamp));
+    values.push_back(Value::real(lifetime_of(original, f.predicate())));
+    out.emplace_back(f.predicate(), std::move(values));
+  }
+  return out;
+}
+
+}  // namespace fvn::translate

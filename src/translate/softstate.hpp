@@ -1,0 +1,34 @@
+// The soft-state → hard-state rule rewrite of §4.2 (after Wang et al. [22]):
+// every soft-state predicate (one with a finite lifetime in its materialize
+// declaration) gains explicit timestamp and lifetime attributes; each rule
+// deriving it stamps the head with the latest body timestamp and asserts
+// that every soft body tuple is still alive at that instant.
+//
+// The paper's point — and experiment E8's ablation — is that this encoding is
+// "heavy-weight and cumbersome": measurably longer rules and costlier
+// evaluation than the runtime's native timeout tables.
+#pragma once
+
+#include "ndlog/ast.hpp"
+#include "ndlog/tuple.hpp"
+
+namespace fvn::translate {
+
+struct SoftStateRewrite {
+  ndlog::Program program;              // the rewritten (hard-state) program
+  std::size_t predicates_rewritten = 0;
+  std::size_t extra_body_elements = 0; // added constraints/assignments
+  std::size_t extra_attributes = 0;    // added head/body attributes
+};
+
+/// Rewrite `program`, appending (Tstamp, Lifetime) attributes to every
+/// soft-state predicate. Hard-state predicates are untouched.
+SoftStateRewrite soft_to_hard(const ndlog::Program& program);
+
+/// Extend base facts of soft-state predicates with (timestamp, lifetime)
+/// attributes so they can feed the rewritten program.
+std::vector<ndlog::Tuple> stamp_facts(const ndlog::Program& original,
+                                      const std::vector<ndlog::Tuple>& facts,
+                                      double timestamp);
+
+}  // namespace fvn::translate

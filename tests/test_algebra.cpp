@@ -1,0 +1,195 @@
+// Metarouting tests (E6): automatic discharge of the four axioms for every
+// base algebra, composition via lexProduct (including the paper's BGPSystem),
+// and the convergence theorem exercised on the generalized solver.
+#include <gtest/gtest.h>
+
+#include "algebra/routing_algebra.hpp"
+#include "algebra/solver.hpp"
+
+namespace fvn {
+namespace {
+
+using namespace fvn::algebra;
+
+TEST(Discharge, AddAlgebraSatisfiesAllAxioms) {
+  auto report = discharge(add_algebra());
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_TRUE(report.monotonicity.holds) << report.to_string();
+  EXPECT_TRUE(report.strict_monotonicity.holds) << report.to_string();
+  EXPECT_TRUE(report.isotonicity.holds) << report.to_string();
+  EXPECT_TRUE(report.convergent());
+  EXPECT_GT(report.total_checks, 100u);
+}
+
+TEST(Discharge, HopAlgebraSatisfiesAllAxioms) {
+  auto report = discharge(hop_algebra());
+  EXPECT_TRUE(report.well_formed() && report.convergent()) << report.to_string();
+  EXPECT_TRUE(report.strict_monotonicity.holds);
+}
+
+TEST(Discharge, BandwidthAlgebraMonotoneButNotStrictly) {
+  auto report = discharge(bandwidth_algebra());
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_TRUE(report.monotonicity.holds);
+  EXPECT_FALSE(report.strict_monotonicity.holds);  // min(l,s)=s when l>=s
+  EXPECT_TRUE(report.isotonicity.holds);
+}
+
+TEST(Discharge, ReliabilityAlgebraMonotoneAndIsotone) {
+  auto report = discharge(reliability_algebra());
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_TRUE(report.monotonicity.holds);
+  EXPECT_TRUE(report.isotonicity.holds);
+}
+
+TEST(Discharge, LpAlgebraIsNotMonotone) {
+  // The paper's LP snippet (labelApply(l,s)=l) violates monotonicity — the
+  // discharge machinery must find the counterexample automatically.
+  auto report = discharge(lp_algebra());
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_FALSE(report.monotonicity.holds);
+  EXPECT_FALSE(report.monotonicity.counterexample.empty());
+}
+
+TEST(Discharge, LexProductOfStrictlyMonotoneStaysConvergent) {
+  auto lex = lex_product(add_algebra(8, 3), hop_algebra(8));
+  auto report = discharge(lex);
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_TRUE(report.monotonicity.holds);
+  EXPECT_TRUE(report.isotonicity.holds);
+  EXPECT_TRUE(report.convergent());
+}
+
+TEST(Discharge, BgpSystemInheritsLpNonMonotonicity) {
+  // BGPSystem = lexProduct[LP, RC]: the LP component breaks monotonicity of
+  // the product — exactly why BGP needs extra conditions for convergence.
+  auto report = discharge(bgp_system());
+  EXPECT_TRUE(report.well_formed()) << report.to_string();
+  EXPECT_FALSE(report.monotonicity.holds);
+}
+
+TEST(Discharge, LexProductIsotonicityNeedsStrictFirstComponent) {
+  // Classic metarouting fact: lex product of a merely monotone (non-strict)
+  // first component with a second component can break isotonicity.
+  auto lex = lex_product(bandwidth_algebra(4), add_algebra(4, 2));
+  auto report = discharge(lex);
+  EXPECT_FALSE(report.isotonicity.holds) << report.to_string();
+}
+
+TEST(Discharge, ReportRendersCounterexamples) {
+  auto report = discharge(lp_algebra());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("monotonicity=FAIL"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Solver / convergence theorem
+// ---------------------------------------------------------------------------
+
+std::vector<LabeledEdge> grid_edges(std::size_t n, std::int64_t label_cost) {
+  // Bidirectional ring with a chord, integer labels.
+  std::vector<LabeledEdge> edges;
+  auto add = [&](std::size_t a, std::size_t b, std::int64_t c) {
+    edges.push_back({a, b, Value::integer(c)});
+    edges.push_back({b, a, Value::integer(c)});
+  };
+  for (std::size_t i = 0; i + 1 < n; ++i) add(i, i + 1, label_cost);
+  add(n - 1, 0, label_cost);
+  add(0, n / 2, label_cost + 1);
+  return edges;
+}
+
+TEST(Solver, ShortestPathsMatchEnumerationOnAddAlgebra) {
+  auto alg = add_algebra(100, 10);
+  auto edges = grid_edges(6, 2);
+  auto fast = solve(alg, 6, edges, 0);
+  auto truth = solve_by_path_enumeration(alg, 6, edges, 0);
+  ASSERT_TRUE(fast.converged);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(fast.best[i], truth.best[i]) << "node " << i;
+  }
+}
+
+TEST(Solver, ConvergesWithinDiameterRoundsForMonotoneAlgebras) {
+  auto alg = add_algebra(1000, 10);
+  for (std::size_t n : {4u, 8u, 16u}) {
+    auto edges = grid_edges(n, 1);
+    auto result = solve(alg, n, edges, 0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.iterations, n + 1) << n;
+  }
+}
+
+TEST(Solver, BandwidthSolverFindsBottleneckPaths) {
+  auto alg = bandwidth_algebra(10);
+  // 0 <-2- 1 <-9- 2 : the best bandwidth from 2 to 0 is min(9,2)=2.
+  std::vector<LabeledEdge> edges = {
+      {1, 0, Value::integer(2)},
+      {2, 1, Value::integer(9)},
+      {2, 0, Value::integer(1)},  // direct but thin
+  };
+  auto result = solve(alg, 3, edges, 0);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.best[2].as_int(), 2);
+}
+
+TEST(Solver, UnreachableNodesKeepPhi) {
+  auto alg = add_algebra();
+  std::vector<LabeledEdge> edges = {{1, 0, Value::integer(1)}};
+  auto result = solve(alg, 3, edges, 0);
+  EXPECT_EQ(result.best[2], alg.phi);
+  EXPECT_EQ(result.best[1].as_int(), 1);
+}
+
+TEST(Solver, BgpSystemSelectsByLocalPrefFirst) {
+  auto sys = bgp_system();
+  // Node 1 -> 0 two ways: label (lp=1, cost=3) direct, or (lp=2, cost=1)
+  // via node 2. Lower lp wins (the paper's prefRel: smaller preferred),
+  // despite the higher cost path being cheaper.
+  std::vector<LabeledEdge> edges = {
+      {1, 0, Value::list({Value::integer(1), Value::integer(3)})},
+      {1, 2, Value::list({Value::integer(2), Value::integer(1)})},
+      {2, 0, Value::list({Value::integer(2), Value::integer(1)})},
+  };
+  auto result = solve(sys, 3, edges, 0,
+                      Value::list({Value::integer(1), Value::integer(0)}));
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.best[1].as_list()[0].as_int(), 1);   // lp of chosen route
+  EXPECT_EQ(result.best[1].as_list()[1].as_int(), 3);   // its cost
+}
+
+class AlgebraAxiomSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlgebraAxiomSweep, AddAlgebraAxiomsHoldAcrossParameterizations) {
+  const auto [max_metric, max_label] = GetParam();
+  auto report = discharge(add_algebra(max_metric, max_label));
+  EXPECT_TRUE(report.well_formed() && report.convergent()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlgebraAxiomSweep,
+                         ::testing::Combine(::testing::Values(5, 10, 20),
+                                            ::testing::Values(1, 3, 7)));
+
+class LexProductSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LexProductSweep, StrictMonotoneLexProductsConverge) {
+  const int size = GetParam();
+  auto lex = lex_product(add_algebra(size, 2), add_algebra(size, 2));
+  auto report = discharge(lex);
+  EXPECT_TRUE(report.convergent()) << report.to_string();
+  // And the solver terminates quickly on a ring.
+  auto edges = grid_edges(5, 1);
+  std::vector<LabeledEdge> lifted;
+  for (const auto& e : edges) {
+    lifted.push_back({e.from, e.to, Value::list({e.label, e.label})});
+  }
+  auto result = solve(lex, 5, lifted, 0,
+                      Value::list({Value::integer(0), Value::integer(0)}));
+  EXPECT_TRUE(result.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LexProductSweep, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,177 @@
+// SPP / SPVP tests (E3): Disagree has exactly two stable states and
+// oscillates under synchronous activation; Good Gadget converges uniquely;
+// Bad Gadget has no stable state and always diverges. Plus the component
+// BGP model of Figure 2 (E4 input).
+#include <gtest/gtest.h>
+
+#include "bgp/component_model.hpp"
+#include "bgp/spp.hpp"
+#include "bgp/spp_mc.hpp"
+#include "ndlog/eval.hpp"
+
+namespace fvn {
+namespace {
+
+using namespace fvn::bgp;
+
+TEST(Spp, DisagreeHasExactlyTwoStableStates) {
+  auto states = stable_states(disagree());
+  EXPECT_EQ(states.size(), 2u);
+  // One has node 1 on the indirect route, the other node 2.
+  bool saw_1_indirect = false, saw_2_indirect = false;
+  for (const auto& a : states) {
+    if (a[1] == Path{1, 2, 0}) saw_1_indirect = true;
+    if (a[2] == Path{2, 1, 0}) saw_2_indirect = true;
+  }
+  EXPECT_TRUE(saw_1_indirect);
+  EXPECT_TRUE(saw_2_indirect);
+}
+
+TEST(Spp, GoodGadgetHasUniqueStableState) {
+  auto states = stable_states(good_gadget());
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_TRUE(is_stable(good_gadget(), states[0]));
+}
+
+TEST(Spp, BadGadgetHasNoStableState) {
+  EXPECT_TRUE(stable_states(bad_gadget()).empty());
+}
+
+TEST(Spp, ShortestHopRingHasUniqueStableState) {
+  for (std::size_t n : {3u, 5u, 7u}) {
+    auto states = stable_states(shortest_hop_ring(n));
+    EXPECT_EQ(states.size(), 1u) << "ring " << n;
+  }
+}
+
+TEST(Spvp, DisagreeOscillatesSynchronously) {
+  SpvpOptions options;
+  options.schedule = SpvpOptions::Schedule::Synchronous;
+  auto result = run_spvp(disagree(), options);
+  EXPECT_TRUE(result.oscillated);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.cycle_length, 2u);  // the classic 2-phase flip
+}
+
+TEST(Spvp, DisagreeConvergesUnderRoundRobin) {
+  SpvpOptions options;
+  options.schedule = SpvpOptions::Schedule::RoundRobin;
+  auto result = run_spvp(disagree(), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_stable(disagree(), result.final_assignment));
+}
+
+TEST(Spvp, GoodGadgetConvergesUnderAllSchedules) {
+  for (auto schedule : {SpvpOptions::Schedule::Synchronous, SpvpOptions::Schedule::RoundRobin,
+                        SpvpOptions::Schedule::Random}) {
+    SpvpOptions options;
+    options.schedule = schedule;
+    auto result = run_spvp(good_gadget(), options);
+    EXPECT_TRUE(result.converged) << static_cast<int>(schedule);
+  }
+}
+
+TEST(Spvp, BadGadgetNeverConverges) {
+  for (auto schedule : {SpvpOptions::Schedule::Synchronous, SpvpOptions::Schedule::RoundRobin,
+                        SpvpOptions::Schedule::Random}) {
+    SpvpOptions options;
+    options.schedule = schedule;
+    options.max_steps = 2000;
+    auto result = run_spvp(bad_gadget(), options);
+    EXPECT_FALSE(result.converged) << static_cast<int>(schedule);
+  }
+}
+
+TEST(Spvp, RandomScheduleIsDeterministicInSeed) {
+  SpvpOptions a;
+  a.schedule = SpvpOptions::Schedule::Random;
+  a.seed = 42;
+  SpvpOptions b = a;
+  auto ra = run_spvp(disagree(), a);
+  auto rb = run_spvp(disagree(), b);
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_EQ(to_string(ra.final_assignment), to_string(rb.final_assignment));
+}
+
+// ---------------------------------------------------------------------------
+// Model-checking the SPVP dynamics (the mc side of E3)
+// ---------------------------------------------------------------------------
+
+TEST(SpvpMc, DisagreeOscillationFoundByCycleSearch) {
+  auto report = check_oscillation(disagree());
+  EXPECT_TRUE(report.has_cycle);
+  EXPECT_GE(report.cycle_length, 2u);
+}
+
+TEST(SpvpMc, GoodGadgetHasNoOscillation) {
+  auto report = check_oscillation(good_gadget());
+  EXPECT_FALSE(report.has_cycle);
+}
+
+TEST(SpvpMc, BadGadgetOscillates) {
+  auto report = check_oscillation(bad_gadget());
+  EXPECT_TRUE(report.has_cycle);
+}
+
+TEST(SpvpMc, DisagreeReachesBothStableStates) {
+  auto reachable = reachable_stable_states(disagree());
+  std::set<std::string> keys;
+  for (const auto& a : reachable) keys.insert(to_string(a));
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(SpvpMc, BadGadgetReachesNoStableState) {
+  EXPECT_TRUE(reachable_stable_states(bad_gadget()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Component BGP model (Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST(ComponentBgp, GeneratedNdlogComputesRouteTransformations) {
+  auto program = translate::generate_ndlog(pt_model(100, 5), pt_location_schema());
+  ndlog::Evaluator eval;
+  std::vector<ndlog::Tuple> facts;
+  using ndlog::Value;
+  facts.emplace_back("bestRoute", std::vector<Value>{Value::addr("w"), Value::integer(1),
+                                                     Value::integer(10)});
+  facts.emplace_back("activeAS", std::vector<Value>{Value::addr("u"), Value::addr("w"),
+                                                    Value::integer(1)});
+  auto result = eval.run(program, facts);
+  // export keeps R1=10, pvt adds 1 -> 11, import adds 5 -> 16.
+  bool found = false;
+  for (const auto& t : result.database.relation("ptOut")) {
+    EXPECT_EQ(t.at(2).as_int(), 16);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ComponentBgp, ExportFilterDropsExpensiveRoutes) {
+  auto program = translate::generate_ndlog(pt_model(/*export_ceiling=*/50), {});
+  ndlog::Evaluator eval;
+  using ndlog::Value;
+  std::vector<ndlog::Tuple> facts;
+  facts.emplace_back("bestRoute", std::vector<Value>{Value::addr("w"), Value::integer(1),
+                                                     Value::integer(99)});
+  facts.emplace_back("activeAS", std::vector<Value>{Value::addr("u"), Value::addr("w"),
+                                                    Value::integer(1)});
+  auto result = eval.run(program, facts);
+  EXPECT_EQ(result.database.size("ptOut"), 0u);
+}
+
+TEST(ComponentBgp, LogicSpecMirrorsPaperStructure) {
+  auto theory = translate::generate_logic(pt_model());
+  // Per-part definitions plus the composite (paper §3.2.1's pt definition).
+  EXPECT_NE(theory.find_definition("exportC"), nullptr);
+  EXPECT_NE(theory.find_definition("pvtC"), nullptr);
+  EXPECT_NE(theory.find_definition("importC"), nullptr);
+  const auto* pt = theory.find_definition("pt");
+  ASSERT_NE(pt, nullptr);
+  const std::string text = pt->to_string();
+  EXPECT_NE(text.find("EXISTS"), std::string::npos) << text;
+  EXPECT_NE(text.find("exportC"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,141 @@
+// Dispute-wheel detection tests (GSW safety condition) and the spanning-tree
+// root-election protocol — both extensions of the paper's §3.2.1 policy
+// analysis and §2.2 protocol library.
+#include <gtest/gtest.h>
+
+#include "bgp/dispute_wheel.hpp"
+#include "bgp/spp_mc.hpp"
+#include "core/protocols.hpp"
+#include "ndlog/eval.hpp"
+#include "runtime/simulator.hpp"
+
+namespace fvn {
+namespace {
+
+using namespace fvn::bgp;
+
+TEST(DisputeWheel, DisagreeHasTheClassicTwoPivotWheel) {
+  auto wheel = find_dispute_wheel(disagree());
+  ASSERT_TRUE(wheel.has_value());
+  EXPECT_EQ(wheel->pivots.size(), 2u);
+  // Spokes are the direct routes, rims the routes through each other.
+  for (std::size_t i = 0; i < wheel->pivots.size(); ++i) {
+    EXPECT_EQ(wheel->spokes[i].size(), 2u) << wheel->to_string();
+    EXPECT_EQ(wheel->rim_routes[i].size(), 3u) << wheel->to_string();
+  }
+}
+
+TEST(DisputeWheel, BadGadgetHasThreePivotWheel) {
+  auto wheel = find_dispute_wheel(bad_gadget());
+  ASSERT_TRUE(wheel.has_value());
+  EXPECT_EQ(wheel->pivots.size(), 3u);
+}
+
+TEST(DisputeWheel, GoodGadgetHasNone) {
+  EXPECT_FALSE(has_dispute_wheel(good_gadget()));
+}
+
+TEST(DisputeWheel, ShortestHopRingsHaveNone) {
+  for (std::size_t n : {3u, 5u, 8u}) {
+    EXPECT_FALSE(has_dispute_wheel(shortest_hop_ring(n))) << n;
+  }
+}
+
+TEST(DisputeWheel, NoWheelImpliesSafeOnCorpus) {
+  // The GSW implication checked empirically: wheel-free instances have a
+  // unique stable state and no reachable oscillation.
+  for (const auto& spp : {good_gadget(), shortest_hop_ring(4), shortest_hop_ring(6)}) {
+    ASSERT_FALSE(has_dispute_wheel(spp)) << spp.name;
+    EXPECT_EQ(stable_states(spp).size(), 1u) << spp.name;
+    EXPECT_FALSE(check_oscillation(spp).has_cycle) << spp.name;
+  }
+  // And the wheel instances are exactly the troubled ones.
+  for (const auto& spp : {disagree(), bad_gadget()}) {
+    EXPECT_TRUE(has_dispute_wheel(spp)) << spp.name;
+    EXPECT_TRUE(check_oscillation(spp).has_cycle) << spp.name;
+  }
+}
+
+TEST(DisputeWheel, RenderingNamesPivots) {
+  auto wheel = find_dispute_wheel(disagree());
+  ASSERT_TRUE(wheel.has_value());
+  const std::string text = wheel->to_string();
+  EXPECT_NE(text.find("dispute wheel:"), std::string::npos);
+  EXPECT_NE(text.find("spoke"), std::string::npos);
+  EXPECT_NE(text.find("rim"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spanning-tree root election
+// ---------------------------------------------------------------------------
+
+std::vector<ndlog::Tuple> st_facts(const std::vector<core::Link>& links,
+                                   std::size_t node_count) {
+  using ndlog::Value;
+  std::vector<ndlog::Tuple> facts;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    facts.emplace_back("node",
+                       std::vector<Value>{Value::addr(core::node_name(i))});
+  }
+  for (const auto& t : core::link_facts(links)) facts.push_back(t);
+  return facts;
+}
+
+TEST(SpanningTree, AllNodesElectGlobalMinimumRoot) {
+  ndlog::Evaluator eval;
+  auto result = eval.run(core::spanning_tree_program(),
+                         st_facts(core::random_topology(7, 4, 2), 7));
+  const auto& roots = result.database.relation("root");
+  EXPECT_EQ(roots.size(), 7u);
+  for (const auto& t : roots) {
+    EXPECT_EQ(t.at(1).as_addr(), "n0") << t.to_string();  // n0 < n1 < ... lexically
+  }
+}
+
+TEST(SpanningTree, DistancesAreBfsDepths) {
+  ndlog::Evaluator eval;
+  auto result =
+      eval.run(core::spanning_tree_program(), st_facts(core::line_topology(5), 5));
+  for (const auto& t : result.database.relation("dist")) {
+    const std::size_t idx = std::stoul(t.at(0).as_addr().substr(1));
+    EXPECT_EQ(t.at(1).as_int(), static_cast<std::int64_t>(idx)) << t.to_string();
+  }
+}
+
+TEST(SpanningTree, ParentsFormATreeTowardTheRoot) {
+  ndlog::Evaluator eval;
+  auto result = eval.run(core::spanning_tree_program(),
+                         st_facts(core::random_topology(6, 3, 9), 6));
+  const auto& db = result.database;
+  // Every non-root node has exactly one parent; following parents reaches n0.
+  std::map<std::string, std::string> parent;
+  for (const auto& t : db.relation("parent")) {
+    parent[t.at(0).as_addr()] = t.at(1).as_addr();
+  }
+  EXPECT_EQ(parent.size(), 5u);  // all but the root
+  for (auto [n, p] : parent) {
+    std::string current = n;
+    std::size_t hops = 0;
+    while (current != "n0" && hops++ < 10) {
+      ASSERT_TRUE(parent.count(current)) << current;
+      current = parent.at(current);
+    }
+    EXPECT_EQ(current, "n0");
+  }
+}
+
+TEST(SpanningTree, RunsDistributed) {
+  runtime::Simulator sim(core::spanning_tree_program(), {});
+  sim.inject_all(st_facts(core::ring_topology(5), 5));
+  auto stats = sim.run();
+  EXPECT_TRUE(stats.quiesced);
+  // Every node's local root table says n0.
+  for (const auto& node : sim.nodes()) {
+    const auto& roots = sim.database(node).relation("root");
+    ASSERT_EQ(roots.size(), 1u) << node;
+    EXPECT_EQ(roots.begin()->at(1).as_addr(), "n0");
+  }
+}
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,274 @@
+// Edge-case coverage: degenerate programs and topologies for the evaluator,
+// localization error paths, catalog fallbacks, and two further prover
+// theorems over the reachability program.
+#include <gtest/gtest.h>
+
+#include "core/protocols.hpp"
+#include "ndlog/eval.hpp"
+#include "prover/prover.hpp"
+#include "runtime/localize.hpp"
+#include "runtime/simulator.hpp"
+#include "translate/ndlog_to_logic.hpp"
+
+namespace fvn {
+namespace {
+
+using ndlog::Evaluator;
+using ndlog::Tuple;
+using ndlog::Value;
+
+TEST(EvalEdge, EmptyProgramEmptyFacts) {
+  ndlog::Program empty;
+  Evaluator eval;
+  auto result = eval.run(empty, {});
+  EXPECT_EQ(result.database.total_size(), 0u);
+}
+
+TEST(EvalEdge, FactsOnlyProgram) {
+  auto program = ndlog::parse_program("link(@n0,n1,1). link(@n1,n0,1).");
+  Evaluator eval;
+  auto result = eval.run(program, {});
+  EXPECT_EQ(result.database.size("link"), 2u);
+}
+
+TEST(EvalEdge, SelfLoopLinkDoesNotBreakCycleCheck) {
+  // A self-loop link(n0,n0): r1 creates path [n0,n0]; r2's f_inPath guard
+  // must stop any further growth.
+  std::vector<Tuple> facts = {
+      Tuple("link", {Value::addr("n0"), Value::addr("n0"), Value::integer(1)}),
+      Tuple("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(1)}),
+  };
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), facts);
+  for (const auto& t : result.database.relation("path")) {
+    EXPECT_LE(t.at(2).as_list().size(), 3u) << t.to_string();
+  }
+}
+
+TEST(EvalEdge, DuplicateFactsAreIdempotent) {
+  auto links = core::link_facts(core::line_topology(3));
+  std::vector<Tuple> doubled = links;
+  doubled.insert(doubled.end(), links.begin(), links.end());
+  Evaluator eval;
+  auto a = eval.run(core::path_vector_program(), links);
+  auto b = eval.run(core::path_vector_program(), doubled);
+  EXPECT_EQ(a.database.dump(), b.database.dump());
+}
+
+TEST(EvalEdge, DisconnectedComponentsStayDisconnected) {
+  // Two separate 2-cliques: no cross paths.
+  std::vector<core::Link> links = {
+      {"n0", "n1", 1}, {"n1", "n0", 1}, {"n2", "n3", 1}, {"n3", "n2", 1},
+  };
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), core::link_facts(links));
+  for (const auto& t : result.database.relation("path")) {
+    const bool src_low = t.at(0).as_addr() < std::string("n2");
+    const bool dst_low = t.at(1).as_addr() < std::string("n2");
+    EXPECT_EQ(src_low, dst_low) << t.to_string();
+  }
+}
+
+TEST(EvalEdge, ZeroCostLinksAreLegalForPathVector) {
+  std::vector<core::Link> links = {{"n0", "n1", 0}, {"n1", "n2", 0}};
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), core::link_facts(links));
+  bool found = false;
+  for (const auto& t : result.database.relation("bestPathCost")) {
+    if (t.at(0) == Value::addr("n0") && t.at(1) == Value::addr("n2")) {
+      EXPECT_EQ(t.at(2).as_int(), 0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LocalizeEdge, ThreeLocationBodyRejected) {
+  auto program = ndlog::parse_program(
+      "a(@X) :- p(@X,Y), q(@Y,Z), r(@Z,X).");
+  EXPECT_THROW(runtime::localize(program), ndlog::AnalysisError);
+}
+
+TEST(LocalizeEdge, NegationStaysAtItsOwnSite) {
+  // The negated atom lives at Y; the only legal orientation ships the
+  // (positive) link to Y and evaluates the negation locally there.
+  auto program = ndlog::parse_program(
+      "a(@X,Y) :- link(@X,Y,C), !bad(@Y,X).");
+  auto localized = runtime::localize(program);
+  ASSERT_EQ(localized.rules.size(), 2u);  // ship rule + rewritten rule
+  for (const auto& r : localized.rules) {
+    EXPECT_TRUE(runtime::is_local_rule(r)) << r.to_string();
+  }
+  // The negated atom is untouched (still on `bad`).
+  bool negation_preserved = false;
+  for (const auto& elem : localized.rules[1].body) {
+    if (const auto* ba = std::get_if<ndlog::BodyAtom>(&elem)) {
+      if (ba->negated && ba->atom.predicate == "bad") negation_preserved = true;
+    }
+  }
+  EXPECT_TRUE(negation_preserved);
+}
+
+TEST(LocalizeEdge, NotLinkRestrictedRejected) {
+  // The remote atom q(@Y,...) never mentions X, and p(@X,...) never mentions
+  // Y: neither orientation is link-restricted.
+  auto program = ndlog::parse_program("a(@X) :- p(@X,W), q(@Y,Z), W = Z.");
+  EXPECT_THROW(runtime::localize(program), ndlog::AnalysisError);
+}
+
+TEST(SimulatorEdge, TupleWithoutAddressLocationRejected) {
+  auto program = ndlog::parse_program("a(@X,Y) :- b(@X,Y).");
+  runtime::Simulator sim(program, {});
+  EXPECT_THROW(sim.inject(Tuple("b", {Value::integer(1), Value::integer(2)})),
+               ndlog::AnalysisError);
+}
+
+TEST(SimulatorEdge, EventBudgetStopsRunawayPrograms) {
+  // Two nodes ping-ponging a growing counter forever; the event budget must
+  // stop the run with quiesced=false.
+  auto program = ndlog::parse_program(R"(
+    p1 ping(@Y,X,N) :- ping(@X,Y,M), N = M + 1.
+  )");
+  runtime::SimOptions options;
+  options.max_events = 500;
+  runtime::Simulator sim(program, options);
+  sim.inject(Tuple("ping", {Value::addr("a"), Value::addr("b"), Value::integer(0)}));
+  auto stats = sim.run();
+  EXPECT_FALSE(stats.quiesced);
+  EXPECT_LE(stats.events_processed, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Extra prover corpus: reachability theorems
+// ---------------------------------------------------------------------------
+
+TEST(ReachableProver, LinkImpliesReachable) {
+  using logic::Formula;
+  using logic::LTerm;
+  using logic::Sort;
+  using logic::TypedVar;
+  auto theory = translate::to_logic(core::reachable_program());
+  prover::Prover prover(theory);
+  auto X = LTerm::var("X");
+  auto Y = LTerm::var("Y");
+  auto C = LTerm::var("C");
+  auto stmt = Formula::forall(
+      {TypedVar{"X", Sort::Node}, TypedVar{"Y", Sort::Node}, TypedVar{"C", Sort::Metric}},
+      Formula::implies(Formula::pred("link", {X, Y, C}),
+                       Formula::pred("reachable", {X, Y})));
+  // `reachable` is recursive, so grind will not unfold it on its own — one
+  // scripted expand is the human contribution, the rest is automatic.
+  auto result = prover.prove(logic::Theorem{"linkImpliesReachable", stmt},
+                             {prover::Command::expand("reachable"),
+                              prover::Command::grind()});
+  EXPECT_TRUE(result.proved) << (result.open_goals.empty()
+                                     ? result.failure_reason
+                                     : result.open_goals.front().to_string());
+}
+
+TEST(ReachableProver, ReachableNeedsSomeLinkByInduction) {
+  // reachable(X,Y) => EXISTS Z,C: link(X,Z,C)  (the first hop exists).
+  using logic::Formula;
+  using logic::LTerm;
+  using logic::Sort;
+  using logic::TypedVar;
+  auto theory = translate::to_logic(core::reachable_program());
+  prover::Prover prover(theory);
+  auto X = LTerm::var("X");
+  auto Y = LTerm::var("Y");
+  auto stmt = Formula::forall(
+      {TypedVar{"X", Sort::Node}, TypedVar{"Y", Sort::Node}},
+      Formula::implies(
+          Formula::pred("reachable", {X, Y}),
+          Formula::exists({TypedVar{"Z", Sort::Node}, TypedVar{"C", Sort::Metric}},
+                          Formula::pred("link", {X, LTerm::var("Z"), LTerm::var("C")}))));
+  auto result =
+      prover.prove(logic::Theorem{"reachableHasFirstHop", stmt},
+                   {prover::Command::induct("reachable"), prover::Command::grind()});
+  EXPECT_TRUE(result.proved) << (result.open_goals.empty()
+                                     ? result.failure_reason
+                                     : result.open_goals.front().to_string());
+}
+
+// ---------------------------------------------------------------------------
+// DRed incremental deletion (link failure at the evaluator level)
+// ---------------------------------------------------------------------------
+
+TEST(Retract, MatchesFromScratchReevaluation) {
+  // Delete one link from an evaluated database; the incremental result must
+  // equal evaluating the reduced fact set from scratch.
+  Evaluator eval;
+  auto program = core::path_vector_program();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto links = core::link_facts(core::random_topology(6, 4, seed));
+    auto result = eval.run(program, links);
+    const Tuple victim = links[seed % links.size()];
+    auto stats = eval.retract(program, result.database, victim);
+    EXPECT_GT(stats.overdeleted, 0u) << seed;
+
+    std::vector<Tuple> reduced;
+    for (const auto& l : links) {
+      if (!(l == victim)) reduced.push_back(l);
+    }
+    auto scratch = eval.run(program, reduced);
+    EXPECT_EQ(result.database.dump(), scratch.database.dump()) << "seed " << seed;
+  }
+}
+
+TEST(Retract, RerouteAroundFailedLink) {
+  // Triangle: n0-n2 direct (cost 1) and n0-n1-n2 (cost 4). Failing the
+  // direct link re-routes bestPath onto the detour.
+  std::vector<core::Link> links = {
+      {"n0", "n2", 1}, {"n2", "n0", 1}, {"n0", "n1", 2},
+      {"n1", "n0", 2}, {"n1", "n2", 2}, {"n2", "n1", 2},
+  };
+  Evaluator eval;
+  auto program = core::path_vector_program();
+  auto result = eval.run(program, core::link_facts(links));
+  auto best_cost = [&](const ndlog::Database& db) {
+    for (const auto& t : db.relation("bestPathCost")) {
+      if (t.at(0) == Value::addr("n0") && t.at(1) == Value::addr("n2")) {
+        return t.at(2).as_int();
+      }
+    }
+    return std::int64_t{-1};
+  };
+  EXPECT_EQ(best_cost(result.database), 1);
+  eval.retract(program, result.database,
+               Tuple("link", {Value::addr("n0"), Value::addr("n2"), Value::integer(1)}));
+  EXPECT_EQ(best_cost(result.database), 4);  // rerouted via n1
+}
+
+TEST(Retract, MissingFactIsNoOp) {
+  Evaluator eval;
+  auto program = core::reachable_program();
+  auto result = eval.run(program, core::link_facts(core::line_topology(3)));
+  auto before = result.database.dump();
+  auto stats = eval.retract(program, result.database,
+                            Tuple("link", {Value::addr("n8"), Value::addr("n9"),
+                                           Value::integer(1)}));
+  EXPECT_EQ(stats.overdeleted, 0u);
+  EXPECT_EQ(result.database.dump(), before);
+}
+
+TEST(Retract, PartitioningDeletionRemovesRoutes) {
+  // Cutting the only bridge of a line partitions it: no cross-side routes
+  // survive.
+  Evaluator eval;
+  auto program = core::reachable_program();
+  auto links = core::link_facts(core::line_topology(4));
+  auto result = eval.run(program, links);
+  // Remove both directions of the middle link n1-n2.
+  eval.retract(program, result.database,
+               Tuple("link", {Value::addr("n1"), Value::addr("n2"), Value::integer(1)}));
+  eval.retract(program, result.database,
+               Tuple("link", {Value::addr("n2"), Value::addr("n1"), Value::integer(1)}));
+  for (const auto& t : result.database.relation("reachable")) {
+    const bool src_low = t.at(0).as_addr() <= std::string("n1");
+    const bool dst_low = t.at(1).as_addr() <= std::string("n1");
+    EXPECT_EQ(src_low, dst_low) << t.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,247 @@
+// Model-checker tests (E2 + arc 8): count-to-infinity detection on
+// distance-vector after link failure, split-horizon contrast, generic checker
+// behaviors, and NDlog-as-transition-system exploration of all message
+// interleavings.
+#include <gtest/gtest.h>
+
+#include "core/protocols.hpp"
+#include "mc/checker.hpp"
+#include "mc/dv_model.hpp"
+#include "mc/ndlog_ts.hpp"
+#include "ndlog/eval.hpp"
+
+namespace fvn {
+namespace {
+
+using namespace fvn::mc;
+
+DvConfig triangle_with_failure() {
+  // 0 - 1 - 2 triangle; link 0-1 fails. Node 1 can count up through node 2.
+  DvConfig config;
+  config.node_count = 3;
+  config.edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  config.failed_link = {{0, 1}};
+  config.infinity_threshold = 16;
+  return config;
+}
+
+DvConfig line_with_failure(bool split_horizon) {
+  // 0 - 1 - 2 line; link 0-1 fails: 1 and 2 can bounce the stale route
+  // between each other (the textbook two-node count-to-infinity).
+  DvConfig config;
+  config.node_count = 3;
+  config.edges = {{0, 1, 1}, {1, 2, 1}};
+  config.failed_link = {{0, 1}};
+  config.split_horizon = split_horizon;
+  config.infinity_threshold = 12;
+  return config;
+}
+
+TEST(DvModel, ConvergedStateIsBellmanFordFixpoint) {
+  auto config = triangle_with_failure();
+  auto state = converged_state(config);
+  ASSERT_TRUE(state[1].has_value());
+  ASSERT_TRUE(state[2].has_value());
+  EXPECT_EQ(state[1]->cost, 1);
+  EXPECT_EQ(state[2]->cost, 1);
+}
+
+TEST(DvModel, CountToInfinityFoundOnLineAfterFailure) {
+  // E2: the checker finds a trace in which route costs climb past the
+  // threshold — the count-to-infinity anomaly.
+  auto result = check_count_to_infinity(line_with_failure(false));
+  EXPECT_FALSE(result.property_holds);
+  ASSERT_GE(result.counterexample.size(), 3u);
+  // The trace shows monotone cost growth at node 1 or 2.
+  const DvState last = decode(result.counterexample.back(), 3);
+  bool climbed = false;
+  for (std::size_t u = 1; u < 3; ++u) {
+    if (last[u] && last[u]->cost >= 12) climbed = true;
+  }
+  EXPECT_TRUE(climbed) << result.counterexample.back();
+}
+
+TEST(DvModel, SplitHorizonPreventsTwoNodeLoop) {
+  auto result = check_count_to_infinity(line_with_failure(true));
+  EXPECT_TRUE(result.property_holds);
+  EXPECT_TRUE(result.exhausted);  // full state space explored, no violation
+}
+
+TEST(DvModel, CountToInfinityAlsoOnTriangle) {
+  auto result = check_count_to_infinity(triangle_with_failure());
+  // The triangle has an alternate real route (cost 2 via node 2), but plain
+  // DV can still climb transiently? With min-selection the direct recompute
+  // picks cost 2 immediately — no CTI on this topology.
+  EXPECT_TRUE(result.property_holds);
+}
+
+TEST(Checker, InvariantTraceIsShortest) {
+  // Simple counter system: states 0..10, successor +1; invariant < 5.
+  auto successors = [](const int& s) { return std::vector<int>{s + 1}; };
+  auto invariant = [](const int& s) { return s < 5; };
+  auto result = check_invariant<int>({0}, successors, invariant, 1000);
+  EXPECT_FALSE(result.property_holds);
+  ASSERT_EQ(result.counterexample.size(), 6u);  // 0,1,2,3,4,5
+  EXPECT_EQ(result.counterexample.back(), 5);
+}
+
+TEST(Checker, CycleDetectionFindsLasso) {
+  // 0 -> 1 -> 2 -> 1 (lasso).
+  auto successors = [](const int& s) {
+    switch (s) {
+      case 0: return std::vector<int>{1};
+      case 1: return std::vector<int>{2};
+      case 2: return std::vector<int>{1};
+      default: return std::vector<int>{};
+    }
+  };
+  auto any = [](const int&) { return true; };
+  auto result = find_cycle<int>({0}, successors, any, 1000);
+  EXPECT_FALSE(result.property_holds);
+  ASSERT_GE(result.counterexample.size(), 3u);
+  EXPECT_EQ(result.counterexample.front(), result.counterexample.back());
+}
+
+TEST(Checker, AcyclicSystemHasNoCycle) {
+  auto successors = [](const int& s) {
+    return s < 10 ? std::vector<int>{s + 1} : std::vector<int>{};
+  };
+  auto any = [](const int&) { return true; };
+  auto result = find_cycle<int>({0}, successors, any, 1000);
+  EXPECT_TRUE(result.property_holds);
+}
+
+// ---------------------------------------------------------------------------
+// NDlog transition system (arc 8)
+// ---------------------------------------------------------------------------
+
+TEST(NdlogTs, ReachableQuiescentStateMatchesEvaluator) {
+  // Deliver messages in one arbitrary order: the quiescent state's bestPath
+  // costs equal the centralized evaluator's.
+  auto program = core::path_vector_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(3));
+  NetState state = ts.initial(links);
+  std::size_t guard = 10000;
+  while (!state.quiescent() && guard-- > 0) {
+    state = ts.deliver(state, 0);
+  }
+  ASSERT_TRUE(state.quiescent());
+
+  ndlog::Evaluator eval;
+  auto central = eval.run(program, links);
+  // Check each node's bestPath rows exist centrally with equal cost.
+  std::size_t rows = 0;
+  for (const auto& [node, tuples] : state.stored) {
+    for (const auto& t : tuples) {
+      if (t.predicate() != "bestPath") continue;
+      ++rows;
+      bool found = false;
+      for (const auto& c : central.database.relation("bestPath")) {
+        if (c.at(0) == t.at(0) && c.at(1) == t.at(1) && c.at(3) == t.at(3)) found = true;
+      }
+      EXPECT_TRUE(found) << t.to_string();
+    }
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(NdlogTs, InvariantHoldsAcrossAllInterleavings) {
+  // Route-optimality safety across *every* message interleaving on a small
+  // instance: no installed bestPath row is ever worse than the true optimum
+  // once the system quiesces; transiently costs may be higher, so check a
+  // weaker invariant: path costs are always >= 1 (cost positivity, the
+  // prover's pathCostPositive, now model-checked).
+  auto program = core::path_vector_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(3));
+  auto invariant = [](const NetState& s) {
+    for (const auto& [node, tuples] : s.stored) {
+      for (const auto& t : tuples) {
+        if (t.predicate() == "path" && t.at(3).as_int() < 1) return false;
+      }
+    }
+    return true;
+  };
+  auto result = ts.check_invariant_all_interleavings(ts.initial(links), invariant, 20000);
+  EXPECT_TRUE(result.property_holds);
+  EXPECT_GT(result.states_explored, 10u);
+}
+
+TEST(NdlogTs, ViolationProducesTrace) {
+  // A deliberately false invariant ("no node ever stores a 2-hop path")
+  // yields a counterexample trace ending in the violating state.
+  auto program = core::path_vector_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(3));
+  auto invariant = [](const NetState& s) {
+    for (const auto& [node, tuples] : s.stored) {
+      for (const auto& t : tuples) {
+        if (t.predicate() == "path" && t.at(2).as_list().size() >= 3) return false;
+      }
+    }
+    return true;
+  };
+  auto result = ts.check_invariant_all_interleavings(ts.initial(links), invariant, 20000);
+  EXPECT_FALSE(result.property_holds);
+  EXPECT_GE(result.counterexample.size(), 2u);
+}
+
+TEST(NdlogTs, InterleavingCountIsSubstantial) {
+  // The exploration really branches over message orders.
+  auto program = core::reachable_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(3));
+  auto always = [](const NetState&) { return true; };
+  auto result = ts.check_invariant_all_interleavings(ts.initial(links), always, 50000);
+  EXPECT_TRUE(result.property_holds);
+  EXPECT_GT(result.states_explored, 50u);
+}
+
+
+TEST(NdlogTs, EventualConsistencyAcrossAllInterleavings) {
+  // Every message interleaving of path-vector on a 3-line quiesces with the
+  // *same* stores (confluence) and with optimal best paths — the eventual-
+  // consistency result the transition-system view makes checkable.
+  auto program = core::path_vector_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(3));
+
+  ndlog::Evaluator eval;
+  auto central = eval.run(program, links);
+  std::set<std::string> expected;
+  for (const auto& t : central.database.relation("bestPath")) {
+    expected.insert(t.at(0).to_string() + "|" + t.at(1).to_string() + "|" +
+                    t.at(3).to_string());
+  }
+
+  auto optimal = [&expected](const NetState& s) {
+    std::set<std::string> got;
+    for (const auto& [node, tuples] : s.stored) {
+      for (const auto& t : tuples) {
+        if (t.predicate() != "bestPath") continue;
+        got.insert(t.at(0).to_string() + "|" + t.at(1).to_string() + "|" +
+                   t.at(3).to_string());
+      }
+    }
+    return got == expected;
+  };
+  auto report = ts.check_quiescent_states(ts.initial(links), optimal, 150000);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_GT(report.quiescent_states, 0u);
+  EXPECT_TRUE(report.all_satisfy) << report.violating_state;
+  EXPECT_TRUE(report.confluent);
+}
+
+TEST(NdlogTs, QuiescenceViolationReported) {
+  auto program = core::reachable_program();
+  NdlogTransitionSystem ts(program);
+  auto links = core::link_facts(core::line_topology(2));
+  auto impossible = [](const NetState&) { return false; };
+  auto report = ts.check_quiescent_states(ts.initial(links), impossible, 50000);
+  EXPECT_FALSE(report.all_satisfy);
+  EXPECT_FALSE(report.violating_state.empty());
+}
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,238 @@
+// Integration tests for the NDlog engine on the paper's programs: the §2.2
+// path-vector program, distance-vector (count-to-infinity divergence),
+// link-state, reachability, and the staged policy path-vector.
+#include <gtest/gtest.h>
+
+#include "core/protocols.hpp"
+#include "ndlog/eval.hpp"
+
+namespace fvn {
+namespace {
+
+using core::link_facts;
+using core::node_name;
+using ndlog::Database;
+using ndlog::EvalOptions;
+using ndlog::Evaluator;
+using ndlog::Tuple;
+using ndlog::Value;
+
+Tuple best_path(const std::string& s, const std::string& d,
+                std::vector<std::string> path, std::int64_t cost) {
+  std::vector<Value> p;
+  for (auto& n : path) p.push_back(Value::addr(n));
+  return Tuple("bestPath", {Value::addr(s), Value::addr(d), Value::list(std::move(p)),
+                            Value::integer(cost)});
+}
+
+TEST(PathVectorEval, LineTopologyShortestPaths) {
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), link_facts(core::line_topology(4)));
+  const auto& db = result.database;
+  EXPECT_TRUE(db.contains(best_path("n0", "n3", {"n0", "n1", "n2", "n3"}, 3)));
+  EXPECT_TRUE(db.contains(best_path("n3", "n0", {"n3", "n2", "n1", "n0"}, 3)));
+  EXPECT_TRUE(db.contains(best_path("n0", "n1", {"n0", "n1"}, 1)));
+  // 4 nodes, all pairs reachable: 12 best paths (ties impossible on a line).
+  EXPECT_EQ(db.size("bestPath"), 12u);
+}
+
+TEST(PathVectorEval, PicksCheaperOfTwoRoutes) {
+  // Triangle with one expensive direct edge: n0-n2 costs 10, n0-n1-n2 costs 2.
+  std::vector<core::Link> links = {
+      {"n0", "n1", 1}, {"n1", "n0", 1}, {"n1", "n2", 1},
+      {"n2", "n1", 1}, {"n0", "n2", 10}, {"n2", "n0", 10},
+  };
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), link_facts(links));
+  EXPECT_TRUE(result.database.contains(best_path("n0", "n2", {"n0", "n1", "n2"}, 2)));
+  EXPECT_FALSE(result.database.contains(best_path("n0", "n2", {"n0", "n2"}, 10)));
+}
+
+TEST(PathVectorEval, CycleAvoidanceTerminatesOnRing) {
+  Evaluator eval;
+  auto result = eval.run(core::path_vector_program(), link_facts(core::ring_topology(5)));
+  // Every path is simple: at most 5 nodes.
+  for (const auto& t : result.database.relation("path")) {
+    EXPECT_LE(t.at(2).as_list().size(), 5u) << t.to_string();
+  }
+}
+
+TEST(PathVectorEval, BestPathIsOptimalOnRandomGraphs) {
+  // The route-optimality property of §3.1 (bestPathStrong), checked
+  // empirically: no path tuple beats the bestPath cost.
+  Evaluator eval;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto links = core::random_topology(8, 6, seed);
+    auto result = eval.run(core::path_vector_program(), link_facts(links));
+    const auto& db = result.database;
+    for (const auto& best : db.relation("bestPath")) {
+      for (const auto& p : db.relation("path")) {
+        if (p.at(0) == best.at(0) && p.at(1) == best.at(1)) {
+          EXPECT_LE(best.at(3).as_int(), p.at(3).as_int())
+              << "bestPath " << best.to_string() << " beaten by " << p.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceVectorEval, DivergesOnCyclicTopology) {
+  // E2 (static shape): without a path vector, `hop` grows without bound on a
+  // ring — the evaluator's divergence guard fires.
+  Evaluator eval;
+  EvalOptions options;
+  options.max_iterations = 200;
+  EXPECT_THROW(
+      eval.run(core::distance_vector_program(), link_facts(core::ring_topology(3)), options),
+      ndlog::DivergenceError);
+}
+
+TEST(DistanceVectorEval, BoundedVariantConverges) {
+  Evaluator eval;
+  auto result = eval.run(
+      ndlog::parse_program(core::distance_vector_bounded_source(16), "dv_bounded"),
+      link_facts(core::ring_topology(4)));
+  const auto& db = result.database;
+  // n0 -> n2 is two hops either way around the ring.
+  bool found = false;
+  for (const auto& t : db.relation("bestHopCost")) {
+    if (t.at(0) == Value::addr("n0") && t.at(1) == Value::addr("n2")) {
+      EXPECT_EQ(t.at(2).as_int(), 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LinkStateEval, FloodingReplicatesLsdbEverywhere) {
+  Evaluator eval;
+  auto result = eval.run(core::link_state_program(), link_facts(core::line_topology(4)));
+  const auto& db = result.database;
+  // 6 directed links, 4 nodes -> 24 lsdb entries after flooding.
+  EXPECT_EQ(db.size("lsdb"), 24u);
+}
+
+TEST(LinkStateEval, LocalComputationMatchesPathVectorCosts) {
+  Evaluator eval;
+  auto links = core::random_topology(6, 4, 42);
+  auto ls = eval.run(core::link_state_program(), link_facts(links));
+  auto pv = eval.run(core::path_vector_program(), link_facts(links));
+  // lsBestCost(@N,S,D,C): every node N agrees with path-vector's best cost.
+  for (const auto& t : ls.database.relation("lsBestCost")) {
+    const auto& s = t.at(1);
+    const auto& d = t.at(2);
+    for (const auto& b : pv.database.relation("bestPathCost")) {
+      if (b.at(0) == s && b.at(1) == d) {
+        EXPECT_EQ(t.at(3).as_int(), b.at(2).as_int())
+            << "node " << t.at(0).to_string() << " disagrees for " << s.to_string()
+            << "->" << d.to_string();
+      }
+    }
+  }
+}
+
+TEST(ReachableEval, TransitiveClosure) {
+  Evaluator eval;
+  auto result = eval.run(core::reachable_program(), link_facts(core::line_topology(5)));
+  // Bidirectional line: every node reaches every node, including itself
+  // (out-and-back), so all 25 ordered pairs are derived.
+  EXPECT_EQ(result.database.size("reachable"), 25u);
+}
+
+TEST(PolicyPathVector, ExportDenyFiltersRoutes) {
+  // n0 - n1 - n2 line; n1 refuses to export routes to destination n2 toward
+  // n0, so n0 never learns a route to n2.
+  auto program = core::policy_path_vector_program();
+  std::vector<Tuple> facts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    facts.emplace_back("node", std::vector<Value>{Value::addr(node_name(i))});
+  }
+  for (const auto& t : link_facts(core::line_topology(3))) facts.push_back(t);
+  for (const auto& pair : std::vector<std::pair<std::string, std::string>>{
+           {"n0", "n1"}, {"n1", "n0"}, {"n1", "n2"}, {"n2", "n1"}}) {
+    facts.emplace_back("importPref",
+                       std::vector<Value>{Value::addr(pair.first), Value::addr(pair.second),
+                                          Value::integer(100)});
+  }
+  facts.emplace_back("exportDeny", std::vector<Value>{Value::addr("n1"), Value::addr("n0"),
+                                                      Value::addr("n2")});
+  Evaluator eval;
+  auto result = eval.run(program, facts);
+  for (const auto& t : result.database.relation("bestRoute")) {
+    EXPECT_FALSE(t.at(0) == Value::addr("n0") && t.at(1) == Value::addr("n2"))
+        << "filtered route leaked: " << t.to_string();
+  }
+  // n2 still reaches n0 (filter was one-directional).
+  bool n2_reaches_n0 = false;
+  for (const auto& t : result.database.relation("bestRoute")) {
+    if (t.at(0) == Value::addr("n2") && t.at(1) == Value::addr("n0")) n2_reaches_n0 = true;
+  }
+  EXPECT_TRUE(n2_reaches_n0);
+}
+
+TEST(PolicyPathVector, LocalPrefBeatsCost) {
+  // n0 has two routes to n3: direct (cost 1, lp 50) and via n1 (cost > 1 but
+  // lp 200). Lexicographic selection must pick the high-lp route.
+  auto program = core::policy_path_vector_program();
+  std::vector<Tuple> facts;
+  for (const auto& n : {"n0", "n1", "n3"}) {
+    facts.emplace_back("node", std::vector<Value>{Value::addr(n)});
+  }
+  std::vector<core::Link> links = {
+      {"n0", "n3", 1}, {"n3", "n0", 1}, {"n0", "n1", 1},
+      {"n1", "n0", 1}, {"n1", "n3", 1}, {"n3", "n1", 1},
+  };
+  for (const auto& t : link_facts(links)) facts.push_back(t);
+  auto pref = [&](const char* at, const char* nbr, std::int64_t lp) {
+    facts.emplace_back("importPref", std::vector<Value>{Value::addr(at), Value::addr(nbr),
+                                                        Value::integer(lp)});
+  };
+  pref("n0", "n3", 50);
+  pref("n0", "n1", 200);
+  pref("n1", "n0", 100);
+  pref("n1", "n3", 100);
+  pref("n3", "n0", 100);
+  pref("n3", "n1", 100);
+  Evaluator eval;
+  auto result = eval.run(program, facts);
+  bool found = false;
+  for (const auto& t : result.database.relation("bestRoute")) {
+    if (t.at(0) == Value::addr("n0") && t.at(1) == Value::addr("n3")) {
+      found = true;
+      EXPECT_EQ(t.at(4).as_int(), 200) << t.to_string();
+      EXPECT_EQ(t.at(2).as_list().size(), 3u) << t.to_string();  // n0,n1,n3
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SemiNaive, MatchesNaiveOnRandomGraphs) {
+  // E8 ablation correctness: semi-naive and naive evaluation derive the same
+  // database.
+  Evaluator eval;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    auto links = core::random_topology(7, 5, seed);
+    EvalOptions semi;
+    semi.semi_naive = true;
+    EvalOptions naive;
+    naive.semi_naive = false;
+    auto a = eval.run(core::path_vector_program(), link_facts(links), semi);
+    auto b = eval.run(core::path_vector_program(), link_facts(links), naive);
+    EXPECT_EQ(a.database.dump(), b.database.dump()) << "seed " << seed;
+  }
+}
+
+TEST(SemiNaive, DoesLessJoinWorkThanNaive) {
+  Evaluator eval;
+  auto links = core::random_topology(10, 8, 7);
+  EvalOptions semi;
+  semi.semi_naive = true;
+  EvalOptions naive;
+  naive.semi_naive = false;
+  auto a = eval.run(core::path_vector_program(), link_facts(links), semi);
+  auto b = eval.run(core::path_vector_program(), link_facts(links), naive);
+  EXPECT_LT(a.stats.rule_firings, b.stats.rule_firings);
+}
+
+}  // namespace
+}  // namespace fvn

@@ -1,0 +1,131 @@
+// Unit tests for the NDlog value system: construction, total order,
+// arithmetic, hashing, rendering.
+#include <gtest/gtest.h>
+
+#include "ndlog/tuple.hpp"
+#include "ndlog/value.hpp"
+
+namespace fvn::ndlog {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value::nil().is_nil());
+  EXPECT_EQ(Value::boolean(true).as_bool(), true);
+  EXPECT_EQ(Value::integer(-7).as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::str("hi").as_str(), "hi");
+  EXPECT_EQ(Value::addr("n3").as_addr(), "n3");
+  EXPECT_EQ(Value::list({Value::integer(1)}).as_list().size(), 1u);
+}
+
+TEST(Value, IntWidensToDouble) {
+  EXPECT_DOUBLE_EQ(Value::integer(4).as_double(), 4.0);
+}
+
+TEST(Value, AccessorTypeErrors) {
+  EXPECT_THROW(Value::integer(1).as_bool(), TypeError);
+  EXPECT_THROW(Value::str("x").as_int(), TypeError);
+  EXPECT_THROW(Value::boolean(true).as_list(), TypeError);
+  EXPECT_THROW(Value::real(1.0).as_addr(), TypeError);
+}
+
+TEST(Value, TextAccessorAcceptsStrAndAddr) {
+  EXPECT_EQ(Value::str("a").as_text(), "a");
+  EXPECT_EQ(Value::addr("n1").as_text(), "n1");
+  EXPECT_THROW(Value::integer(1).as_text(), TypeError);
+}
+
+TEST(Value, TotalOrderIsKindMajor) {
+  // Bool < Int < Double < Str < Addr < List per ValueKind order.
+  EXPECT_LT(Value::boolean(true), Value::integer(0));
+  EXPECT_LT(Value::integer(99), Value::real(0.0));
+  EXPECT_LT(Value::str("zzz"), Value::addr("aaa"));
+  EXPECT_LT(Value::addr("zzz"), Value::list({}));
+}
+
+TEST(Value, IntOrdering) {
+  EXPECT_LT(Value::integer(1), Value::integer(2));
+  EXPECT_EQ(Value::integer(3), Value::integer(3));
+  EXPECT_GT(Value::integer(3), Value::integer(-3));
+}
+
+TEST(Value, ListLexicographicOrdering) {
+  auto l1 = Value::list({Value::integer(1), Value::integer(2)});
+  auto l2 = Value::list({Value::integer(1), Value::integer(3)});
+  auto l3 = Value::list({Value::integer(1)});
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l3, l1);  // shorter prefix first
+  EXPECT_EQ(l1, Value::list({Value::integer(1), Value::integer(2)}));
+}
+
+TEST(Value, Arithmetic) {
+  EXPECT_EQ(Value::integer(2).add(Value::integer(3)).as_int(), 5);
+  EXPECT_EQ(Value::integer(2).sub(Value::integer(3)).as_int(), -1);
+  EXPECT_EQ(Value::integer(2).mul(Value::integer(3)).as_int(), 6);
+  EXPECT_EQ(Value::integer(7).div(Value::integer(2)).as_int(), 3);
+  EXPECT_EQ(Value::integer(7).mod(Value::integer(3)).as_int(), 1);
+  EXPECT_DOUBLE_EQ(Value::integer(1).add(Value::real(0.5)).as_double(), 1.5);
+}
+
+TEST(Value, DivisionByZeroThrows) {
+  EXPECT_THROW(Value::integer(1).div(Value::integer(0)), TypeError);
+  EXPECT_THROW(Value::integer(1).mod(Value::integer(0)), TypeError);
+}
+
+TEST(Value, StringConcatenationViaAdd) {
+  EXPECT_EQ(Value::str("ab").add(Value::str("cd")).as_str(), "abcd");
+}
+
+TEST(Value, ListConcatenationViaAdd) {
+  auto result = Value::list({Value::integer(1)}).add(Value::list({Value::integer(2)}));
+  EXPECT_EQ(result.as_list().size(), 2u);
+}
+
+TEST(Value, Rendering) {
+  EXPECT_EQ(Value::integer(42).to_string(), "42");
+  EXPECT_EQ(Value::boolean(false).to_string(), "false");
+  EXPECT_EQ(Value::str("x").to_string(), "\"x\"");
+  EXPECT_EQ(Value::addr("n1").to_string(), "n1");
+  EXPECT_EQ(Value::list({Value::addr("n1"), Value::addr("n2")}).to_string(), "[n1,n2]");
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  auto a = Value::list({Value::addr("n1"), Value::integer(3)});
+  auto b = Value::list({Value::addr("n1"), Value::integer(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(Value::integer(1).hash(), Value::integer(2).hash());
+  EXPECT_NE(Value::str("n1").hash(), Value::addr("n1").hash());
+}
+
+TEST(Tuple, EqualityHashAndRendering) {
+  Tuple a("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(2)});
+  Tuple b("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(2)});
+  Tuple c("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.to_string(), "link(n0,n1,2)");
+  EXPECT_LT(a, c);
+}
+
+TEST(Tuple, SetSemantics) {
+  TupleSet set;
+  Tuple t("p", {Value::integer(1)});
+  EXPECT_TRUE(set.insert(t).second);
+  EXPECT_FALSE(set.insert(t).second);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Tuple, SortedStringsIsDeterministic) {
+  TupleSet set;
+  set.insert(Tuple("b", {Value::integer(2)}));
+  set.insert(Tuple("a", {Value::integer(1)}));
+  auto strings = sorted_strings(set);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0], "a(1)");
+  EXPECT_EQ(strings[1], "b(2)");
+}
+
+}  // namespace
+}  // namespace fvn::ndlog
