@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algebra_discharge.dir/bench_algebra_discharge.cpp.o"
+  "CMakeFiles/bench_algebra_discharge.dir/bench_algebra_discharge.cpp.o.d"
+  "bench_algebra_discharge"
+  "bench_algebra_discharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algebra_discharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bgp_disagree.dir/bench_bgp_disagree.cpp.o"
+  "CMakeFiles/bench_bgp_disagree.dir/bench_bgp_disagree.cpp.o.d"
+  "bench_bgp_disagree"
+  "bench_bgp_disagree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bgp_disagree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

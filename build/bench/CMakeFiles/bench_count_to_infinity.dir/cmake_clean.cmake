@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_count_to_infinity.dir/bench_count_to_infinity.cpp.o"
+  "CMakeFiles/bench_count_to_infinity.dir/bench_count_to_infinity.cpp.o.d"
+  "bench_count_to_infinity"
+  "bench_count_to_infinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_count_to_infinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndlog_eval.dir/bench_ndlog_eval.cpp.o"
+  "CMakeFiles/bench_ndlog_eval.dir/bench_ndlog_eval.cpp.o.d"
+  "bench_ndlog_eval"
+  "bench_ndlog_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndlog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proof_automation.dir/bench_proof_automation.cpp.o"
+  "CMakeFiles/bench_proof_automation.dir/bench_proof_automation.cpp.o.d"
+  "bench_proof_automation"
+  "bench_proof_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proof_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

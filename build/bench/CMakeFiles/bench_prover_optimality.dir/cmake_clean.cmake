@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prover_optimality.dir/bench_prover_optimality.cpp.o"
+  "CMakeFiles/bench_prover_optimality.dir/bench_prover_optimality.cpp.o.d"
+  "bench_prover_optimality"
+  "bench_prover_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prover_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_disagree.dir/bgp_disagree.cpp.o"
+  "CMakeFiles/bgp_disagree.dir/bgp_disagree.cpp.o.d"
+  "bgp_disagree"
+  "bgp_disagree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_disagree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

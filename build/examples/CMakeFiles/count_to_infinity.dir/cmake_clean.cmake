@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_to_infinity.dir/count_to_infinity.cpp.o"
+  "CMakeFiles/count_to_infinity.dir/count_to_infinity.cpp.o.d"
+  "count_to_infinity"
+  "count_to_infinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_to_infinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_cli.dir/fvn_cli.cpp.o"
+  "CMakeFiles/fvn_cli.dir/fvn_cli.cpp.o.d"
+  "fvn_cli"
+  "fvn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

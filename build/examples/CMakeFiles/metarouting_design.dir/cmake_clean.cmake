@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metarouting_design.dir/metarouting_design.cpp.o"
+  "CMakeFiles/metarouting_design.dir/metarouting_design.cpp.o.d"
+  "metarouting_design"
+  "metarouting_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metarouting_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

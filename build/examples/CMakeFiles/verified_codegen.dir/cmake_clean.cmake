@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_codegen.dir/verified_codegen.cpp.o"
+  "CMakeFiles/verified_codegen.dir/verified_codegen.cpp.o.d"
+  "verified_codegen"
+  "verified_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

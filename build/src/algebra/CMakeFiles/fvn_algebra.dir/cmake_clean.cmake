@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_algebra.dir/routing_algebra.cpp.o"
+  "CMakeFiles/fvn_algebra.dir/routing_algebra.cpp.o.d"
+  "CMakeFiles/fvn_algebra.dir/solver.cpp.o"
+  "CMakeFiles/fvn_algebra.dir/solver.cpp.o.d"
+  "libfvn_algebra.a"
+  "libfvn_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_bgp.dir/component_model.cpp.o"
+  "CMakeFiles/fvn_bgp.dir/component_model.cpp.o.d"
+  "CMakeFiles/fvn_bgp.dir/dispute_wheel.cpp.o"
+  "CMakeFiles/fvn_bgp.dir/dispute_wheel.cpp.o.d"
+  "CMakeFiles/fvn_bgp.dir/spp.cpp.o"
+  "CMakeFiles/fvn_bgp.dir/spp.cpp.o.d"
+  "CMakeFiles/fvn_bgp.dir/spp_mc.cpp.o"
+  "CMakeFiles/fvn_bgp.dir/spp_mc.cpp.o.d"
+  "libfvn_bgp.a"
+  "libfvn_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_core.dir/fvn.cpp.o"
+  "CMakeFiles/fvn_core.dir/fvn.cpp.o.d"
+  "CMakeFiles/fvn_core.dir/protocols.cpp.o"
+  "CMakeFiles/fvn_core.dir/protocols.cpp.o.d"
+  "libfvn_core.a"
+  "libfvn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

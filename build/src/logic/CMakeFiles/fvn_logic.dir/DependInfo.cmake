@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/finite_model.cpp" "src/logic/CMakeFiles/fvn_logic.dir/finite_model.cpp.o" "gcc" "src/logic/CMakeFiles/fvn_logic.dir/finite_model.cpp.o.d"
+  "/root/repo/src/logic/formula.cpp" "src/logic/CMakeFiles/fvn_logic.dir/formula.cpp.o" "gcc" "src/logic/CMakeFiles/fvn_logic.dir/formula.cpp.o.d"
+  "/root/repo/src/logic/pvs_emit.cpp" "src/logic/CMakeFiles/fvn_logic.dir/pvs_emit.cpp.o" "gcc" "src/logic/CMakeFiles/fvn_logic.dir/pvs_emit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndlog/CMakeFiles/fvn_ndlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_logic.dir/finite_model.cpp.o"
+  "CMakeFiles/fvn_logic.dir/finite_model.cpp.o.d"
+  "CMakeFiles/fvn_logic.dir/formula.cpp.o"
+  "CMakeFiles/fvn_logic.dir/formula.cpp.o.d"
+  "CMakeFiles/fvn_logic.dir/pvs_emit.cpp.o"
+  "CMakeFiles/fvn_logic.dir/pvs_emit.cpp.o.d"
+  "libfvn_logic.a"
+  "libfvn_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

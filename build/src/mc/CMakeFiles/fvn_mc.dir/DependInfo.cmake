@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/dv_model.cpp" "src/mc/CMakeFiles/fvn_mc.dir/dv_model.cpp.o" "gcc" "src/mc/CMakeFiles/fvn_mc.dir/dv_model.cpp.o.d"
+  "/root/repo/src/mc/ndlog_ts.cpp" "src/mc/CMakeFiles/fvn_mc.dir/ndlog_ts.cpp.o" "gcc" "src/mc/CMakeFiles/fvn_mc.dir/ndlog_ts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndlog/CMakeFiles/fvn_ndlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fvn_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

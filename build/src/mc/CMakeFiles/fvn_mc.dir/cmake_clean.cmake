@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_mc.dir/dv_model.cpp.o"
+  "CMakeFiles/fvn_mc.dir/dv_model.cpp.o.d"
+  "CMakeFiles/fvn_mc.dir/ndlog_ts.cpp.o"
+  "CMakeFiles/fvn_mc.dir/ndlog_ts.cpp.o.d"
+  "libfvn_mc.a"
+  "libfvn_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndlog/analysis.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/analysis.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/analysis.cpp.o.d"
+  "/root/repo/src/ndlog/ast.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/ast.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/ast.cpp.o.d"
+  "/root/repo/src/ndlog/builtins.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/builtins.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/builtins.cpp.o.d"
+  "/root/repo/src/ndlog/catalog.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/catalog.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/catalog.cpp.o.d"
+  "/root/repo/src/ndlog/database.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/database.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/database.cpp.o.d"
+  "/root/repo/src/ndlog/eval.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/eval.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/eval.cpp.o.d"
+  "/root/repo/src/ndlog/parser.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/parser.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/parser.cpp.o.d"
+  "/root/repo/src/ndlog/provenance.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/provenance.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/provenance.cpp.o.d"
+  "/root/repo/src/ndlog/query.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/query.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/query.cpp.o.d"
+  "/root/repo/src/ndlog/tuple.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/tuple.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/tuple.cpp.o.d"
+  "/root/repo/src/ndlog/value.cpp" "src/ndlog/CMakeFiles/fvn_ndlog.dir/value.cpp.o" "gcc" "src/ndlog/CMakeFiles/fvn_ndlog.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

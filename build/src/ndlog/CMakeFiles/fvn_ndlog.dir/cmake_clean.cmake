@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_ndlog.dir/analysis.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/analysis.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/ast.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/ast.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/builtins.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/builtins.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/catalog.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/catalog.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/database.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/database.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/eval.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/eval.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/parser.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/parser.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/provenance.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/provenance.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/query.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/query.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/tuple.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/tuple.cpp.o.d"
+  "CMakeFiles/fvn_ndlog.dir/value.cpp.o"
+  "CMakeFiles/fvn_ndlog.dir/value.cpp.o.d"
+  "libfvn_ndlog.a"
+  "libfvn_ndlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_ndlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

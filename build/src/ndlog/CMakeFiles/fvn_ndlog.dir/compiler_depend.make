@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fvn_ndlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prover/linear.cpp" "src/prover/CMakeFiles/fvn_prover.dir/linear.cpp.o" "gcc" "src/prover/CMakeFiles/fvn_prover.dir/linear.cpp.o.d"
+  "/root/repo/src/prover/prover.cpp" "src/prover/CMakeFiles/fvn_prover.dir/prover.cpp.o" "gcc" "src/prover/CMakeFiles/fvn_prover.dir/prover.cpp.o.d"
+  "/root/repo/src/prover/rewrite.cpp" "src/prover/CMakeFiles/fvn_prover.dir/rewrite.cpp.o" "gcc" "src/prover/CMakeFiles/fvn_prover.dir/rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/fvn_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/fvn_ndlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_prover.dir/linear.cpp.o"
+  "CMakeFiles/fvn_prover.dir/linear.cpp.o.d"
+  "CMakeFiles/fvn_prover.dir/prover.cpp.o"
+  "CMakeFiles/fvn_prover.dir/prover.cpp.o.d"
+  "CMakeFiles/fvn_prover.dir/rewrite.cpp.o"
+  "CMakeFiles/fvn_prover.dir/rewrite.cpp.o.d"
+  "libfvn_prover.a"
+  "libfvn_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

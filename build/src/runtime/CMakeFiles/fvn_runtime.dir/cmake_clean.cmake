@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_runtime.dir/localize.cpp.o"
+  "CMakeFiles/fvn_runtime.dir/localize.cpp.o.d"
+  "CMakeFiles/fvn_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/fvn_runtime.dir/simulator.cpp.o.d"
+  "libfvn_runtime.a"
+  "libfvn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

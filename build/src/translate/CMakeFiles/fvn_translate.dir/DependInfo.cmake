@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/components.cpp" "src/translate/CMakeFiles/fvn_translate.dir/components.cpp.o" "gcc" "src/translate/CMakeFiles/fvn_translate.dir/components.cpp.o.d"
+  "/root/repo/src/translate/linear_view.cpp" "src/translate/CMakeFiles/fvn_translate.dir/linear_view.cpp.o" "gcc" "src/translate/CMakeFiles/fvn_translate.dir/linear_view.cpp.o.d"
+  "/root/repo/src/translate/ndlog_to_logic.cpp" "src/translate/CMakeFiles/fvn_translate.dir/ndlog_to_logic.cpp.o" "gcc" "src/translate/CMakeFiles/fvn_translate.dir/ndlog_to_logic.cpp.o.d"
+  "/root/repo/src/translate/softstate.cpp" "src/translate/CMakeFiles/fvn_translate.dir/softstate.cpp.o" "gcc" "src/translate/CMakeFiles/fvn_translate.dir/softstate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/fvn_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/fvn_ndlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

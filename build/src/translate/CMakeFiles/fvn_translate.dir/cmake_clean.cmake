@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvn_translate.dir/components.cpp.o"
+  "CMakeFiles/fvn_translate.dir/components.cpp.o.d"
+  "CMakeFiles/fvn_translate.dir/linear_view.cpp.o"
+  "CMakeFiles/fvn_translate.dir/linear_view.cpp.o.d"
+  "CMakeFiles/fvn_translate.dir/ndlog_to_logic.cpp.o"
+  "CMakeFiles/fvn_translate.dir/ndlog_to_logic.cpp.o.d"
+  "CMakeFiles/fvn_translate.dir/softstate.cpp.o"
+  "CMakeFiles/fvn_translate.dir/softstate.cpp.o.d"
+  "libfvn_translate.a"
+  "libfvn_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvn_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

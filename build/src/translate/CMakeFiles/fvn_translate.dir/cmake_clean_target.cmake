@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfvn_translate.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fvn.dir/test_fvn.cpp.o"
+  "CMakeFiles/test_fvn.dir/test_fvn.cpp.o.d"
+  "test_fvn"
+  "test_fvn.pdb"
+  "test_fvn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fvn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndlog_analysis.dir/test_ndlog_analysis.cpp.o"
+  "CMakeFiles/test_ndlog_analysis.dir/test_ndlog_analysis.cpp.o.d"
+  "test_ndlog_analysis"
+  "test_ndlog_analysis.pdb"
+  "test_ndlog_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndlog_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndlog_eval.dir/test_ndlog_eval.cpp.o"
+  "CMakeFiles/test_ndlog_eval.dir/test_ndlog_eval.cpp.o.d"
+  "test_ndlog_eval"
+  "test_ndlog_eval.pdb"
+  "test_ndlog_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndlog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndlog_parser.dir/test_ndlog_parser.cpp.o"
+  "CMakeFiles/test_ndlog_parser.dir/test_ndlog_parser.cpp.o.d"
+  "test_ndlog_parser"
+  "test_ndlog_parser.pdb"
+  "test_ndlog_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndlog_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_provenance.cpp" "tests/CMakeFiles/test_provenance.dir/test_provenance.cpp.o" "gcc" "tests/CMakeFiles/test_provenance.dir/test_provenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fvn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/fvn_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/fvn_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fvn_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/fvn_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/fvn_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fvn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/fvn_ndlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

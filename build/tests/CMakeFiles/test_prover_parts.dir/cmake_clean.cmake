@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prover_parts.dir/test_prover_parts.cpp.o"
+  "CMakeFiles/test_prover_parts.dir/test_prover_parts.cpp.o.d"
+  "test_prover_parts"
+  "test_prover_parts.pdb"
+  "test_prover_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prover_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

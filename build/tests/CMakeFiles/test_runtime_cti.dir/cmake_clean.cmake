@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_cti.dir/test_runtime_cti.cpp.o"
+  "CMakeFiles/test_runtime_cti.dir/test_runtime_cti.cpp.o.d"
+  "test_runtime_cti"
+  "test_runtime_cti.pdb"
+  "test_runtime_cti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_cti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_ndlog_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_prover[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_translate[1]_include.cmake")
+include("/root/repo/build/tests/test_fvn[1]_include.cmake")
+include("/root/repo/build/tests/test_ndlog_value[1]_include.cmake")
+include("/root/repo/build/tests/test_ndlog_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_ndlog_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_prover_parts[1]_include.cmake")
+include("/root/repo/build/tests/test_provenance[1]_include.cmake")
+include("/root/repo/build/tests/test_dispute_wheel[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_cti[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
