@@ -3,6 +3,7 @@
 //
 // Usage:
 //   fvn_cli check     <prog.ndlog>                  static analysis report
+//   fvn_cli lint      [--json] <prog.ndlog>...      all diagnostics (ND0001..)
 //   fvn_cli translate <prog.ndlog>                  PVS-style theory (arc 4)
 //   fvn_cli linear    <prog.ndlog>                  linear-logic view (§4.2)
 //   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
@@ -19,6 +20,7 @@
 #include "logic/pvs_emit.hpp"
 #include "ndlog/analysis.hpp"
 #include "ndlog/eval.hpp"
+#include "ndlog/lint.hpp"
 #include "ndlog/parser.hpp"
 #include "ndlog/provenance.hpp"
 #include "ndlog/query.hpp"
@@ -50,9 +52,61 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|translate|linear|run|query|simulate|explain> "
-               "<prog.ndlog> [facts.txt] [goal|fact]\n";
+  std::cerr << "usage: fvn_cli <check|lint|translate|linear|run|query|simulate|explain> "
+               "<prog.ndlog> [facts.txt] [goal|fact]\n"
+               "       fvn_cli lint [--json] <prog.ndlog>...   "
+               "(exit 0 clean, 1 warnings, 2 errors)\n";
   return 2;
+}
+
+/// `fvn_cli lint [--json] <file>...` — run every diagnostic pass over each
+/// file, printing human-readable or JSON output. Parse failures become
+/// ND0001 diagnostics instead of aborting the run.
+int cmd_lint(const std::vector<std::string>& args) {
+  bool json = false;
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) return usage();
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::ostringstream json_out;
+  json_out << "{\"files\":[";
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string& file = files[f];
+    fvn::ndlog::DiagnosticSink sink;
+    try {
+      auto program = fvn::ndlog::parse_program(slurp(file), file);
+      fvn::ndlog::lint_program(program, sink);
+    } catch (const fvn::ndlog::ParseError& e) {
+      sink.error("ND0001", e.what(),
+                 fvn::ndlog::SourceSpan::at({e.line(), e.column()}));
+    } catch (const std::exception& e) {
+      sink.error("ND0001", e.what());
+    }
+    errors += sink.count(fvn::ndlog::Severity::Error);
+    warnings += sink.count(fvn::ndlog::Severity::Warning);
+    if (json) {
+      json_out << (f != 0 ? "," : "") << "{\"file\":\"" << fvn::ndlog::json_escape(file)
+               << "\",\"diagnostics\":" << fvn::ndlog::render_json(sink.diagnostics())
+               << "}";
+    } else {
+      std::cout << fvn::ndlog::render_human(sink.diagnostics(), file);
+    }
+  }
+  if (json) {
+    json_out << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
+    std::cout << json_out.str() << "\n";
+  } else {
+    std::cout << "lint: " << errors << " errors, " << warnings << " warnings\n";
+  }
+  return errors != 0 ? 2 : warnings != 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -61,6 +115,9 @@ int main(int argc, char** argv) {
   using namespace fvn;
   if (argc < 3) return usage();
   const std::string command = argv[1];
+  if (command == "lint") {
+    return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
+  }
   try {
     auto program = ndlog::parse_program(slurp(argv[2]), "cli_program");
 

@@ -33,33 +33,74 @@ std::set<std::string> base_predicates(const Program& program) {
 
 std::vector<DependencyEdge> dependency_edges(const Program& program) {
   std::vector<DependencyEdge> out;
-  for (const auto& rule : program.rules) {
+  for (std::size_t r = 0; r < program.rules.size(); ++r) {
+    const auto& rule = program.rules[r];
     const bool agg = rule.head.has_aggregate();
     for (const auto& elem : rule.body) {
       if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
         out.push_back(DependencyEdge{rule.head.predicate, ba->atom.predicate,
-                                     ba->negated, agg});
+                                     ba->negated, agg, r});
       }
     }
   }
   return out;
 }
 
-void check_arities(const Program& program) {
-  std::map<std::string, std::size_t> arity;
-  auto note = [&](const std::string& pred, std::size_t n, const std::string& where) {
-    auto [it, inserted] = arity.emplace(pred, n);
-    if (!inserted && it->second != n) {
-      throw AnalysisError("predicate '" + pred + "' used with arity " +
-                          std::to_string(n) + " in " + where + " but previously with " +
-                          std::to_string(it->second));
+std::string location_var_of(const Atom& atom) {
+  if (atom.loc_index < 0 ||
+      static_cast<std::size_t>(atom.loc_index) >= atom.args.size()) {
+    return {};
+  }
+  const auto& t = atom.args[static_cast<std::size_t>(atom.loc_index)];
+  return t->kind == Term::Kind::Var ? t->name : std::string{};
+}
+
+std::set<std::string> body_location_vars(const Rule& rule) {
+  std::set<std::string> locs;
+  for (const auto& elem : rule.body) {
+    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+      std::string v = location_var_of(ba->atom);
+      if (!v.empty()) locs.insert(std::move(v));
+    }
+  }
+  return locs;
+}
+
+namespace {
+
+/// "rule r2" / "rule path" — how messages name a rule.
+std::string rule_label(const Rule& rule) { return "rule " + rule.display_name(); }
+
+}  // namespace
+
+void check_arities(const Program& program, DiagnosticSink& sink) {
+  struct FirstUse {
+    std::size_t arity;
+    std::string where;
+    SourceSpan span;
+  };
+  std::map<std::string, FirstUse> seen;
+  auto note = [&](const std::string& pred, std::size_t n, const std::string& where,
+                  SourceSpan span) {
+    auto [it, inserted] = seen.emplace(pred, FirstUse{n, where, span});
+    if (!inserted && it->second.arity != n) {
+      auto& d = sink.error("ND0002",
+                           "predicate '" + pred + "' used with arity " + std::to_string(n) +
+                               " in " + where + " but with arity " +
+                               std::to_string(it->second.arity) + " in " + it->second.where,
+                           span);
+      d.hint = "use " + std::to_string(it->second.arity) + " argument(s) for '" +
+               pred + "' everywhere";
+      if (it->second.span.valid()) {
+        sink.note("ND0002", "first use of '" + pred + "' is here", it->second.span);
+      }
     }
   };
   for (const auto& rule : program.rules) {
-    note(rule.head.predicate, rule.head.args.size(), "rule " + rule.name);
+    note(rule.head.predicate, rule.head.args.size(), rule_label(rule), rule.head.span());
     for (const auto& elem : rule.body) {
       if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
-        note(ba->atom.predicate, ba->atom.args.size(), "rule " + rule.name);
+        note(ba->atom.predicate, ba->atom.args.size(), rule_label(rule), ba->atom.span());
       }
     }
   }
@@ -76,25 +117,32 @@ bool term_vars_bound(const Term& term, const std::set<std::string>& bound) {
 
 }  // namespace
 
-void check_safety(const Program& program, const BuiltinRegistry& builtins) {
+void check_safety(const Program& program, const BuiltinRegistry& builtins,
+                  DiagnosticSink& sink) {
   for (const auto& rule : program.rules) {
-    // Unknown built-in functions anywhere in the rule are errors.
-    std::function<void(const Term&)> check_fns = [&](const Term& t) {
-      if (t.kind == Term::Kind::Func && !builtins.contains(t.name)) {
-        throw AnalysisError("rule " + rule.name + ": unknown function '" + t.name + "'");
+    // Unknown built-in functions anywhere in the rule (ND0004), reported once
+    // per function name per rule.
+    std::set<std::string> unknown_reported;
+    std::function<void(const Term&, SourceSpan)> check_fns = [&](const Term& t,
+                                                                 SourceSpan span) {
+      if (t.kind == Term::Kind::Func && !builtins.contains(t.name) &&
+          unknown_reported.insert(t.name).second) {
+        sink.error("ND0004",
+                   rule_label(rule) + ": unknown function '" + t.name + "'", span)
+            .hint = "register it on the BuiltinRegistry or use a standard f_* builtin";
       }
-      for (const auto& a : t.args) check_fns(*a);
+      for (const auto& a : t.args) check_fns(*a, span);
     };
     for (const auto& elem : rule.body) {
       if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
-        for (const auto& a : ba->atom.args) check_fns(*a);
+        for (const auto& a : ba->atom.args) check_fns(*a, ba->atom.span());
       } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
-        check_fns(*cmp->lhs);
-        check_fns(*cmp->rhs);
+        check_fns(*cmp->lhs, SourceSpan::at(cmp->loc));
+        check_fns(*cmp->rhs, SourceSpan::at(cmp->loc));
       }
     }
     for (const auto& arg : rule.head.args) {
-      if (!arg.is_agg()) check_fns(*arg.term);
+      if (!arg.is_agg()) check_fns(*arg.term, rule.head.span());
     }
 
     std::set<std::string> bound;
@@ -125,31 +173,27 @@ void check_safety(const Program& program, const BuiltinRegistry& builtins) {
         try_bind(cmp->rhs, cmp->lhs);
       }
     }
-    auto require_bound = [&](const std::vector<std::string>& vars, const std::string& what) {
+    auto require_bound = [&](const std::vector<std::string>& vars, const std::string& what,
+                             SourceSpan span) {
       for (const auto& v : vars) {
         if (!bound.count(v)) {
-          throw AnalysisError("rule " + (rule.name.empty() ? rule.head.predicate : rule.name) +
-                              ": variable '" + v + "' in " + what + " is not bound");
+          sink.error("ND0003",
+                     rule_label(rule) + ": variable '" + v + "' in " + what +
+                         " is not bound",
+                     span)
+              .hint = "bind '" + v + "' in a positive body atom or an `=` assignment";
         }
       }
     };
     // Head variables.
     for (const auto& arg : rule.head.args) {
       if (arg.is_agg()) {
-        if (!rule.is_fact()) require_bound({arg.agg_var}, "head aggregate");
+        if (!rule.is_fact()) require_bound({arg.agg_var}, "head aggregate", rule.head.span());
         continue;
       }
       std::vector<std::string> vars;
       arg.term->collect_vars(vars);
-      require_bound(vars, "head");
-      // Unknown function names are caught here as well.
-      std::function<void(const Term&)> check_fns = [&](const Term& t) {
-        if (t.kind == Term::Kind::Func && !builtins.contains(t.name)) {
-          throw AnalysisError("rule " + rule.name + ": unknown function '" + t.name + "'");
-        }
-        for (const auto& a : t.args) check_fns(*a);
-      };
-      check_fns(*arg.term);
+      require_bound(vars, "head", rule.head.span());
     }
     // Negated atoms and non-Eq comparisons.
     for (const auto& elem : rule.body) {
@@ -157,19 +201,19 @@ void check_safety(const Program& program, const BuiltinRegistry& builtins) {
         if (!ba->negated) continue;
         std::vector<std::string> vars;
         ba->atom.collect_vars(vars);
-        require_bound(vars, "negated atom " + ba->atom.predicate);
+        require_bound(vars, "negated atom " + ba->atom.predicate, ba->atom.span());
       } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
         if (cmp->op == CmpOp::Eq) continue;  // Eq may bind
         std::vector<std::string> vars;
         cmp->lhs->collect_vars(vars);
         cmp->rhs->collect_vars(vars);
-        require_bound(vars, "comparison");
+        require_bound(vars, "comparison", SourceSpan::at(cmp->loc));
       }
     }
   }
 }
 
-Stratification stratify(const Program& program) {
+std::optional<Stratification> stratify(const Program& program, DiagnosticSink& sink) {
   const auto preds_set = predicates_of(program);
   std::vector<std::string> preds(preds_set.begin(), preds_set.end());
   std::map<std::string, int> index;
@@ -212,13 +256,22 @@ Stratification stratify(const Program& program) {
   }
 
   // Negation/aggregation edges may not stay within one SCC.
+  bool ok = true;
   for (const auto& e : edges) {
     if ((e.negated || e.through_aggregate) && comp[index[e.body]] == comp[index[e.head]]) {
-      throw AnalysisError("program is not stratifiable: predicate '" + e.head +
-                          "' depends " + (e.negated ? "negatively" : "through an aggregate") +
-                          " on '" + e.body + "' inside a recursive cycle");
+      ok = false;
+      const Rule& rule = program.rules[e.rule_index];
+      sink.error("ND0005",
+                 "program is not stratifiable: predicate '" + e.head + "' depends " +
+                     (e.negated ? "negatively" : "through an aggregate") + " on '" +
+                     e.body + "' inside a recursive cycle (" + rule_label(rule) + ")",
+                 rule.span())
+          .hint = "break the cycle so the " +
+                  std::string(e.negated ? "negation" : "aggregation") +
+                  " reads a lower stratum";
     }
   }
+  if (!ok) return std::nullopt;
 
   // Longest-path layering over the SCC condensation: stratum(head) >=
   // stratum(body), strictly greater across negation/aggregation edges.
@@ -253,6 +306,41 @@ Stratification stratify(const Program& program) {
     out.rules_by_stratum[static_cast<std::size_t>(s)].push_back(r);
   }
   return out;
+}
+
+namespace {
+
+/// Throw the sink's first error as an AnalysisError, with the source
+/// position (when known) appended the way ParseError renders it.
+[[noreturn]] void throw_first(const DiagnosticSink& sink) {
+  const Diagnostic* d = sink.first_error();
+  std::string what = d != nullptr ? d->message : "analysis failed";
+  if (d != nullptr && d->span.valid()) {
+    what += " (line " + std::to_string(d->span.begin.line) + ", col " +
+            std::to_string(d->span.begin.column) + ")";
+  }
+  throw AnalysisError(what);
+}
+
+}  // namespace
+
+void check_arities(const Program& program) {
+  DiagnosticSink sink;
+  check_arities(program, sink);
+  if (sink.has_errors()) throw_first(sink);
+}
+
+void check_safety(const Program& program, const BuiltinRegistry& builtins) {
+  DiagnosticSink sink;
+  check_safety(program, builtins, sink);
+  if (sink.has_errors()) throw_first(sink);
+}
+
+Stratification stratify(const Program& program) {
+  DiagnosticSink sink;
+  auto strat = stratify(program, sink);
+  if (!strat) throw_first(sink);
+  return *std::move(strat);
 }
 
 Stratification analyze(const Program& program, const BuiltinRegistry& builtins) {

@@ -2,9 +2,15 @@
 // graph, and stratification (negation and aggregation must not occur inside a
 // recursive cycle). The evaluator and the NDlog→logic translator both consume
 // the Stratification result.
+//
+// Every check exists in two forms: a DiagnosticSink-based variant that
+// collects *all* located findings (used by the lint engine, see lint.hpp),
+// and a thin throwing wrapper that aborts on the first error with the
+// historical AnalysisError API.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -12,6 +18,7 @@
 
 #include "ndlog/ast.hpp"
 #include "ndlog/builtins.hpp"
+#include "ndlog/diagnostics.hpp"
 
 namespace fvn::ndlog {
 
@@ -26,8 +33,9 @@ class AnalysisError : public std::runtime_error {
 struct DependencyEdge {
   std::string head;
   std::string body;
-  bool negated = false;         // body atom appears under '!'
+  bool negated = false;            // body atom appears under '!'
   bool through_aggregate = false;  // head computes an aggregate
+  std::size_t rule_index = 0;      // index into Program::rules
 };
 
 /// Result of stratification: a stratum index per predicate, strata listed
@@ -54,14 +62,43 @@ std::set<std::string> derived_predicates(const Program& program);
 /// The dependency edges of the program.
 std::vector<DependencyEdge> dependency_edges(const Program& program);
 
-/// Check rule safety: every head variable is bound by a positive body atom or
-/// by a chain of `=` bindings over bound terms; every variable of a negated
-/// atom or comparison is bound. Throws AnalysisError naming the offending
-/// rule and variable.
+/// Location-specifier variable of an atom, or "" when the location argument
+/// is not a plain variable (or the atom carries no '@').
+std::string location_var_of(const Atom& atom);
+
+/// Distinct location-specifier variables over the body atoms of `rule`.
+/// Shared by the runtime localizer (runtime/localize) and the ND0012
+/// localizability lint pass: a body spanning more than two location
+/// variables cannot be rewritten into link-restricted ship/join pairs.
+std::set<std::string> body_location_vars(const Rule& rule);
+
+// ---------------------------------------------------------------------------
+// Sink-based checks (collect every finding; never throw).
+// ---------------------------------------------------------------------------
+
+/// Arity consistency (code ND0002): each predicate used with one arity.
+void check_arities(const Program& program, DiagnosticSink& sink);
+
+/// Rule safety: every head variable bound by a positive body atom or a chain
+/// of `=` bindings (ND0003); every variable of a negated atom or comparison
+/// bound (ND0003); all function names known built-ins (ND0004).
+void check_safety(const Program& program, const BuiltinRegistry& builtins,
+                  DiagnosticSink& sink);
+
+/// Stratify the program, reporting every negation/aggregation edge inside a
+/// recursive component as ND0005. Returns nullopt iff any ND0005 was
+/// emitted.
+std::optional<Stratification> stratify(const Program& program, DiagnosticSink& sink);
+
+// ---------------------------------------------------------------------------
+// Throwing wrappers (historical API: abort on the first error).
+// ---------------------------------------------------------------------------
+
+/// Check rule safety; throws AnalysisError (with source position when the
+/// program was parsed from text) naming the offending rule and variable.
 void check_safety(const Program& program, const BuiltinRegistry& builtins);
 
-/// Check arity consistency: each predicate is used with a single arity
-/// everywhere. Throws AnalysisError on conflict.
+/// Check arity consistency. Throws AnalysisError on conflict.
 void check_arities(const Program& program);
 
 /// Stratify the program. Throws AnalysisError if a negation or aggregation

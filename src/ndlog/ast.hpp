@@ -15,6 +15,7 @@
 #include <variant>
 #include <vector>
 
+#include "ndlog/diagnostics.hpp"
 #include "ndlog/value.hpp"
 
 namespace fvn::ndlog {
@@ -83,9 +84,12 @@ struct Atom {
   std::string predicate;
   std::vector<TermPtr> args;
   int loc_index = -1;
+  SourceLoc loc;  // position of the predicate name (line 0 when synthetic)
 
   std::string to_string() const;
   void collect_vars(std::vector<std::string>& out) const;
+  /// Span covering the predicate name (invalid when the atom is synthetic).
+  SourceSpan span() const noexcept { return SourceSpan::token(loc, predicate.size()); }
 };
 
 /// Rule-head atom: like Atom but each argument may be an aggregate.
@@ -93,9 +97,11 @@ struct HeadAtom {
   std::string predicate;
   std::vector<HeadArg> args;
   int loc_index = -1;
+  SourceLoc loc;  // position of the predicate name (line 0 when synthetic)
 
   bool has_aggregate() const noexcept;
   std::string to_string() const;
+  SourceSpan span() const noexcept { return SourceSpan::token(loc, predicate.size()); }
 };
 
 /// Body element: a (possibly negated) relational atom.
@@ -114,6 +120,7 @@ struct Comparison {
   CmpOp op = CmpOp::Eq;
   TermPtr lhs;
   TermPtr rhs;
+  SourceLoc loc;  // position of the first token of the comparison
   std::string to_string() const;
 };
 
@@ -127,9 +134,18 @@ struct Rule {
   std::string name;  // "r1", "r2", ... (optional label in source)
   HeadAtom head;
   std::vector<BodyElem> body;
+  SourceLoc loc;  // position of the rule's first token (label or head)
 
   bool is_fact() const noexcept { return body.empty(); }
   std::string to_string() const;
+  /// Span anchored at the rule's first token (invalid when synthetic).
+  SourceSpan span() const noexcept {
+    return SourceSpan::token(loc, name.empty() ? head.predicate.size() : name.size());
+  }
+  /// "r2" when labelled, otherwise the head predicate — for messages.
+  const std::string& display_name() const noexcept {
+    return name.empty() ? head.predicate : name;
+  }
 };
 
 /// P2-style materialization declaration:
@@ -140,6 +156,7 @@ struct Materialize {
   std::optional<double> lifetime_seconds;  // nullopt = infinity (hard state)
   std::optional<std::size_t> max_size;     // nullopt = unbounded
   std::vector<std::size_t> key_fields;     // 1-based, as in P2
+  SourceLoc loc;  // position of the `materialize` keyword
 
   std::string to_string() const;
 };

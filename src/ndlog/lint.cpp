@@ -1,0 +1,291 @@
+#include "ndlog/lint.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <variant>
+
+namespace fvn::ndlog {
+
+namespace {
+
+/// Predicates with runtime-injected semantics: never "underivable".
+bool is_special_predicate(const std::string& pred) { return pred == "periodic"; }
+
+std::string rule_label(const Rule& rule) { return "rule " + rule.display_name(); }
+
+std::set<std::string> materialized_predicates(const Program& program) {
+  std::set<std::string> out;
+  for (const auto& m : program.materializations) out.insert(m.predicate);
+  return out;
+}
+
+/// Count every occurrence of each variable in a rule (head, atoms,
+/// comparisons), remembering the first positive body atom that mentions it.
+struct VarUse {
+  std::size_t count = 0;
+  bool in_head = false;
+  const Atom* first_positive_atom = nullptr;
+};
+
+std::map<std::string, VarUse> variable_uses(const Rule& rule) {
+  std::map<std::string, VarUse> uses;
+  auto add = [&](const std::vector<std::string>& vars, bool head, const Atom* atom) {
+    for (const auto& v : vars) {
+      auto& u = uses[v];
+      u.count += 1;
+      u.in_head = u.in_head || head;
+      if (atom != nullptr && u.first_positive_atom == nullptr) u.first_positive_atom = atom;
+    }
+  };
+  for (const auto& arg : rule.head.args) {
+    std::vector<std::string> vars;
+    if (arg.is_agg()) {
+      vars.push_back(arg.agg_var);
+    } else {
+      arg.term->collect_vars(vars);
+    }
+    add(vars, /*head=*/true, nullptr);
+  }
+  for (const auto& elem : rule.body) {
+    std::vector<std::string> vars;
+    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+      ba->atom.collect_vars(vars);
+      add(vars, false, ba->negated ? nullptr : &ba->atom);
+    } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
+      cmp->lhs->collect_vars(vars);
+      cmp->rhs->collect_vars(vars);
+      add(vars, false, nullptr);
+    }
+  }
+  return uses;
+}
+
+}  // namespace
+
+const std::vector<DiagnosticCodeInfo>& diagnostic_catalog() {
+  static const std::vector<DiagnosticCodeInfo> catalog = {
+      {"ND0001", Severity::Error, "syntax error (parse failure)"},
+      {"ND0002", Severity::Error, "predicate used with inconsistent arity"},
+      {"ND0003", Severity::Error, "unsafe rule: variable is not bound"},
+      {"ND0004", Severity::Error, "unknown built-in function"},
+      {"ND0005", Severity::Error, "program is not stratifiable"},
+      {"ND0006", Severity::Warning, "predicate derived but never read (and not materialized)"},
+      {"ND0007", Severity::Warning, "predicate read but never derived or declared"},
+      {"ND0008", Severity::Warning, "rule duplicates an earlier rule"},
+      {"ND0009", Severity::Warning, "variable used only once (possible typo)"},
+      {"ND0010", Severity::Warning, "cartesian-product body: atoms share no join variable"},
+      {"ND0011", Severity::Warning, "aggregate over possibly-empty group"},
+      {"ND0012", Severity::Warning, "rule body spans >2 locations: not localizable"},
+  };
+  return catalog;
+}
+
+void lint_unused_predicates(const Program& program, DiagnosticSink& sink) {
+  const auto materialized = materialized_predicates(program);
+  std::set<std::string> read;
+  for (const auto& rule : program.rules) {
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) read.insert(ba->atom.predicate);
+    }
+  }
+  std::set<std::string> reported;
+  for (const auto& rule : program.rules) {
+    const std::string& pred = rule.head.predicate;
+    if (read.count(pred) != 0 || materialized.count(pred) != 0) continue;
+    if (!reported.insert(pred).second) continue;
+    sink.warning("ND0006",
+                 "predicate '" + pred + "' is derived but never read by any rule",
+                 rule.head.span())
+        .hint = "materialize '" + pred +
+                "' if it is a program output, or remove the rules deriving it";
+  }
+}
+
+void lint_underivable_predicates(const Program& program, DiagnosticSink& sink) {
+  const auto materialized = materialized_predicates(program);
+  std::set<std::string> derived;
+  for (const auto& rule : program.rules) derived.insert(rule.head.predicate);
+  std::set<std::string> reported;
+  for (const auto& rule : program.rules) {
+    for (const auto& elem : rule.body) {
+      const auto* ba = std::get_if<BodyAtom>(&elem);
+      if (ba == nullptr) continue;
+      const std::string& pred = ba->atom.predicate;
+      if (derived.count(pred) != 0 || materialized.count(pred) != 0 ||
+          is_special_predicate(pred)) {
+        continue;
+      }
+      if (!reported.insert(pred).second) continue;
+      sink.warning("ND0007",
+                   "predicate '" + pred + "' is read in " + rule_label(rule) +
+                       " but no rule derives it and no materialize declares it",
+                   ba->atom.span())
+          .hint = "add a materialize declaration for '" + pred +
+                  "' (base relation) or a rule deriving it — this is often a typo";
+    }
+  }
+}
+
+void lint_duplicate_rules(const Program& program, DiagnosticSink& sink) {
+  // Textual subsumption: same head and same multiset of body elements.
+  struct FirstSeen {
+    const Rule* rule;
+  };
+  std::map<std::string, FirstSeen> seen;
+  for (const auto& rule : program.rules) {
+    std::vector<std::string> body;
+    body.reserve(rule.body.size());
+    for (const auto& elem : rule.body) body.push_back(to_string(elem));
+    std::sort(body.begin(), body.end());
+    std::string key = rule.head.to_string() + " :- ";
+    for (const auto& b : body) key += b + ", ";
+    auto [it, inserted] = seen.emplace(std::move(key), FirstSeen{&rule});
+    if (inserted) continue;
+    const Rule& first = *it->second.rule;
+    auto& d = sink.warning("ND0008",
+                           rule_label(rule) + " duplicates " + rule_label(first) +
+                               (first.loc.valid()
+                                    ? " (line " + std::to_string(first.loc.line) + ")"
+                                    : ""),
+                           rule.span());
+    d.hint = "delete one of the two rules; they derive identical tuples";
+  }
+}
+
+void lint_singleton_variables(const Program& program, DiagnosticSink& sink) {
+  for (const auto& rule : program.rules) {
+    for (const auto& [var, use] : variable_uses(rule)) {
+      // A '_'-prefixed name marks an intentionally-unused variable; a
+      // head-only singleton is already an ND0003 safety error.
+      if (use.count != 1 || use.in_head || var[0] == '_') continue;
+      if (use.first_positive_atom == nullptr) continue;  // ND0003 covers it
+      sink.warning("ND0009",
+                   rule_label(rule) + ": variable '" + var +
+                       "' is used only once (in atom '" +
+                       use.first_positive_atom->predicate + "')",
+                   use.first_positive_atom->span())
+          .hint = "rename it to '_" + var + "' if the value is intentionally unused";
+    }
+  }
+}
+
+void lint_cartesian_products(const Program& program, DiagnosticSink& sink) {
+  for (const auto& rule : program.rules) {
+    // Union-find over variables; every body element merges the variables it
+    // mentions (comparisons correlate atoms into theta-joins, so they count).
+    std::map<std::string, std::string> parent;
+    std::function<std::string(const std::string&)> find = [&](const std::string& v) {
+      auto it = parent.find(v);
+      if (it == parent.end()) {
+        parent[v] = v;
+        return v;
+      }
+      if (it->second == v) return v;
+      return it->second = find(it->second);
+    };
+    auto unite = [&](const std::vector<std::string>& vars) {
+      for (std::size_t i = 1; i < vars.size(); ++i) {
+        parent[find(vars[0])] = find(vars[i]);
+      }
+    };
+    std::vector<std::pair<const Atom*, std::vector<std::string>>> atoms;
+    for (const auto& elem : rule.body) {
+      std::vector<std::string> vars;
+      if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
+        if (ba->negated) continue;  // negated atoms filter, they don't join
+        ba->atom.collect_vars(vars);
+        unite(vars);
+        if (!vars.empty()) atoms.emplace_back(&ba->atom, std::move(vars));
+      } else if (const auto* cmp = std::get_if<Comparison>(&elem)) {
+        cmp->lhs->collect_vars(vars);
+        cmp->rhs->collect_vars(vars);
+        unite(vars);
+      }
+    }
+    if (atoms.size() < 2) continue;
+    std::map<std::string, std::vector<const Atom*>> components;
+    for (const auto& [atom, vars] : atoms) components[find(vars[0])].push_back(atom);
+    if (components.size() < 2) continue;
+    std::ostringstream groups;
+    for (auto it = components.begin(); it != components.end(); ++it) {
+      if (it != components.begin()) groups << " x ";
+      groups << "{";
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        groups << (i != 0 ? ", " : "") << it->second[i]->predicate;
+      }
+      groups << "}";
+    }
+    sink.warning("ND0010",
+                 rule_label(rule) +
+                     ": body atoms share no join variable — the evaluator "
+                     "computes a cartesian product " +
+                     groups.str(),
+                 rule.span())
+        .hint = "add a shared variable between the groups or split the rule";
+  }
+}
+
+void lint_aggregate_empty_groups(const Program& program, DiagnosticSink& sink) {
+  for (const auto& rule : program.rules) {
+    if (!rule.head.has_aggregate() || rule.is_fact()) continue;
+    const bool guarded = std::any_of(
+        rule.body.begin(), rule.body.end(), [](const BodyElem& elem) {
+          if (const auto* ba = std::get_if<BodyAtom>(&elem)) return ba->negated;
+          return std::get<Comparison>(elem).op != CmpOp::Eq;
+        });
+    if (!guarded) continue;
+    std::string agg;
+    for (const auto& arg : rule.head.args) {
+      if (arg.is_agg()) {
+        agg = std::string(to_string(*arg.agg)) + "<" + arg.agg_var + ">";
+        break;
+      }
+    }
+    sink.warning("ND0011",
+                 rule_label(rule) + ": aggregate " + agg +
+                     " over a guarded body derives no tuple for groups whose "
+                     "candidates are all filtered out (count never yields 0)",
+                 rule.head.span())
+        .hint = "derive the group keys unconditionally in a separate rule if "
+                "an empty group must still produce a row";
+  }
+}
+
+void lint_localizability(const Program& program, DiagnosticSink& sink) {
+  for (const auto& rule : program.rules) {
+    const auto locs = body_location_vars(rule);
+    if (locs.size() <= 2) continue;
+    std::string list;
+    for (const auto& l : locs) list += (list.empty() ? "@" : ", @") + l;
+    sink.warning("ND0012",
+                 rule_label(rule) + ": body spans " + std::to_string(locs.size()) +
+                     " location specifiers (" + list +
+                     ") and cannot be localized into link-restricted "
+                     "ship/join pairs for distributed execution",
+                 rule.span())
+        .hint = "split the rule so each body joins at most two locations";
+  }
+}
+
+void lint_program(const Program& program, DiagnosticSink& sink,
+                  const BuiltinRegistry& builtins, const LintOptions& options) {
+  check_arities(program, sink);
+  check_safety(program, builtins, sink);
+  (void)stratify(program, sink);
+  if (options.style_passes) {
+    lint_unused_predicates(program, sink);
+    lint_underivable_predicates(program, sink);
+    lint_duplicate_rules(program, sink);
+    lint_singleton_variables(program, sink);
+    lint_cartesian_products(program, sink);
+    lint_aggregate_empty_groups(program, sink);
+  }
+  if (options.localization_pass) lint_localizability(program, sink);
+  sink.sort_by_location();
+}
+
+}  // namespace fvn::ndlog

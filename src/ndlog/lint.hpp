@@ -1,0 +1,57 @@
+// Multi-pass NDlog diagnostics engine. On top of the core well-formedness
+// checks (arity ND0002, safety ND0003/ND0004, stratification ND0005, see
+// analysis.hpp) this runs lint passes for hazards the evaluator, translator
+// and codegen have no defense against:
+//
+//   ND0006  unused predicate      derived but never read and not materialized
+//   ND0007  underivable predicate read in a body but never derived/declared
+//   ND0008  duplicate rule        rule subsumed by an identical earlier rule
+//   ND0009  singleton variable    body variable used exactly once (typo risk)
+//   ND0010  cartesian product     body atoms share no join variable
+//   ND0011  aggregate over empty  guarded aggregate body: empty groups vanish
+//   ND0012  non-localizable rule  body spans > 2 location specifiers (arc 7)
+//
+// All passes report through a DiagnosticSink, so one run surfaces every
+// finding with its source position. `fvn_cli lint` is the CLI surface.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ndlog/analysis.hpp"
+#include "ndlog/builtins.hpp"
+#include "ndlog/diagnostics.hpp"
+
+namespace fvn::ndlog {
+
+/// Catalogue entry for one diagnostic code (used by docs and `--codes`).
+struct DiagnosticCodeInfo {
+  std::string_view code;
+  Severity severity;
+  std::string_view summary;
+};
+
+/// Every code the engine can emit (ND0001 is the CLI's parse-error wrapper).
+const std::vector<DiagnosticCodeInfo>& diagnostic_catalog();
+
+struct LintOptions {
+  bool style_passes = true;         // ND0006..ND0011
+  bool localization_pass = true;    // ND0012
+};
+
+// Individual lint passes (each appends to the sink; never throws).
+void lint_unused_predicates(const Program& program, DiagnosticSink& sink);       // ND0006
+void lint_underivable_predicates(const Program& program, DiagnosticSink& sink);  // ND0007
+void lint_duplicate_rules(const Program& program, DiagnosticSink& sink);         // ND0008
+void lint_singleton_variables(const Program& program, DiagnosticSink& sink);     // ND0009
+void lint_cartesian_products(const Program& program, DiagnosticSink& sink);      // ND0010
+void lint_aggregate_empty_groups(const Program& program, DiagnosticSink& sink);  // ND0011
+void lint_localizability(const Program& program, DiagnosticSink& sink);          // ND0012
+
+/// Run the core checks plus every enabled lint pass, collecting all findings
+/// into `sink` (sorted by source location on return).
+void lint_program(const Program& program, DiagnosticSink& sink,
+                  const BuiltinRegistry& builtins = BuiltinRegistry::standard(),
+                  const LintOptions& options = {});
+
+}  // namespace fvn::ndlog

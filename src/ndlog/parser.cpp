@@ -39,12 +39,16 @@ std::vector<Token> tokenize(std::string_view src) {
       ++i;
     }
   };
+  // Start position of the token currently being lexed (multi-character
+  // tokens advance line/col past their end before the Token is built).
+  int tok_line = 1;
+  int tok_col = 1;
   auto make = [&](TokenKind kind, std::string text) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line;
-    t.column = col;
+    t.line = tok_line;
+    t.column = tok_col;
     return t;
   };
 
@@ -65,6 +69,8 @@ std::vector<Token> tokenize(std::string_view src) {
       advance(2);
       continue;
     }
+    tok_line = line;
+    tok_col = col;
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < src.size() &&
          std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
@@ -205,9 +211,10 @@ class Parser {
   }
 
   Materialize parse_materialize() {
-    next();  // 'materialize'
+    const Token kw = next();  // 'materialize'
     expect(TokenKind::LParen, "'('");
     Materialize m;
+    m.loc = SourceLoc{kw.line, kw.column};
     m.predicate = expect(TokenKind::Ident, "predicate name").text;
     expect(TokenKind::Comma, "','");
     m.lifetime_seconds = parse_inf_or_number();
@@ -242,6 +249,7 @@ class Parser {
 
   Rule parse_rule() {
     Rule rule;
+    rule.loc = SourceLoc{peek().line, peek().column};
     // Optional rule label: an identifier immediately followed by another
     // identifier that begins the head atom ("r1 path(...) :- ...").
     if (at(TokenKind::Ident) && peek(1).kind == TokenKind::Ident) {
@@ -265,7 +273,9 @@ class Parser {
 
   HeadAtom parse_head_atom() {
     HeadAtom head;
-    head.predicate = expect(TokenKind::Ident, "predicate name").text;
+    const Token name = expect(TokenKind::Ident, "predicate name");
+    head.predicate = name.text;
+    head.loc = SourceLoc{name.line, name.column};
     expect(TokenKind::LParen, "'('");
     std::size_t index = 0;
     if (!at(TokenKind::RParen)) {
@@ -307,7 +317,9 @@ class Parser {
 
   Atom parse_atom() {
     Atom atom;
-    atom.predicate = expect(TokenKind::Ident, "predicate name").text;
+    const Token name = expect(TokenKind::Ident, "predicate name");
+    atom.predicate = name.text;
+    atom.loc = SourceLoc{name.line, name.column};
     expect(TokenKind::LParen, "'('");
     std::size_t index = 0;
     if (!at(TokenKind::RParen)) {
@@ -327,6 +339,7 @@ class Parser {
   }
 
   BodyElem parse_body_elem() {
+    const SourceLoc elem_loc{peek().line, peek().column};
     if (at(TokenKind::Bang)) {
       next();
       BodyAtom ba;
@@ -354,6 +367,7 @@ class Parser {
       cmp.op = CmpOp::Eq;
       cmp.lhs = std::move(lhs);
       cmp.rhs = parse_expr();
+      cmp.loc = elem_loc;
       return cmp;
     }
     if (!is_cmp(peek().kind)) {
@@ -364,6 +378,7 @@ class Parser {
     cmp.op = cmp_op(next().kind);
     cmp.lhs = std::move(lhs);
     cmp.rhs = parse_expr();
+    cmp.loc = elem_loc;
     return cmp;
   }
 

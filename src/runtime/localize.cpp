@@ -16,33 +16,11 @@ using ndlog::Program;
 using ndlog::Rule;
 using ndlog::Term;
 
-namespace {
+// Location extraction is shared with the ND0012 localizability lint pass.
+using ndlog::body_location_vars;
+using ndlog::location_var_of;
 
-/// Location variable name of an atom (empty if the location arg is not a
-/// plain variable or the atom has no '@').
-std::string loc_var(const Atom& atom) {
-  if (atom.loc_index < 0 ||
-      static_cast<std::size_t>(atom.loc_index) >= atom.args.size()) {
-    return {};
-  }
-  const auto& t = atom.args[static_cast<std::size_t>(atom.loc_index)];
-  return t->kind == Term::Kind::Var ? t->name : std::string{};
-}
-
-std::set<std::string> body_locations(const Rule& rule) {
-  std::set<std::string> locs;
-  for (const auto& elem : rule.body) {
-    if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
-      const std::string v = loc_var(ba->atom);
-      if (!v.empty()) locs.insert(v);
-    }
-  }
-  return locs;
-}
-
-}  // namespace
-
-bool is_local_rule(const Rule& rule) { return body_locations(rule).size() <= 1; }
+bool is_local_rule(const Rule& rule) { return body_location_vars(rule).size() <= 1; }
 
 Program localize(const Program& program) {
   Program out;
@@ -54,7 +32,7 @@ Program localize(const Program& program) {
       out.rules.push_back(rule);
       continue;
     }
-    const auto locs = body_locations(rule);
+    const auto locs = body_location_vars(rule);
     if (locs.size() != 2) {
       throw AnalysisError("rule " + rule.name + ": cannot localize a body spanning " +
                           std::to_string(locs.size()) + " locations");
@@ -69,7 +47,7 @@ Program localize(const Program& program) {
       std::size_t shipped = 0;
       for (const auto& elem : rule.body) {
         const auto* ba = std::get_if<BodyAtom>(&elem);
-        if (ba == nullptr || loc_var(ba->atom) != ship) continue;
+        if (ba == nullptr || location_var_of(ba->atom) != ship) continue;
         ++shipped;
         bool carries = false;
         for (const auto& t : ba->atom.args) {
@@ -98,7 +76,7 @@ Program localize(const Program& program) {
     for (auto& elem : rewritten.body) {
       auto* ba = std::get_if<BodyAtom>(&elem);
       if (ba == nullptr) continue;
-      if (loc_var(ba->atom) != ship_site) continue;
+      if (location_var_of(ba->atom) != ship_site) continue;
       if (ba->negated) {
         throw AnalysisError("rule " + rule.name +
                             ": cannot localize a negated remote atom");

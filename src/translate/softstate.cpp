@@ -92,9 +92,11 @@ SoftStateRewrite soft_to_hard(const Program& original) {
         ++out.extra_body_elements;
       }
       // Every soft body tuple must still be alive at the derivation instant:
-      // Ts_i + Lt_i >= Ts_head.
-      for (auto& elem : r.body) {
-        auto* ba = std::get_if<BodyAtom>(&elem);
+      // Ts_i + Lt_i >= Ts_head. Index (not iterate) the body: the push_back
+      // below may reallocate it.
+      const std::size_t body_size = r.body.size();
+      for (std::size_t i = 0; i < body_size; ++i) {
+        auto* ba = std::get_if<BodyAtom>(&r.body[i]);
         if (ba == nullptr || ba->negated || !is_soft(original, ba->atom.predicate)) continue;
         const auto n = ba->atom.args.size();
         Comparison alive;
