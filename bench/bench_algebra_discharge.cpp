@@ -12,6 +12,7 @@
 
 #include "algebra/routing_algebra.hpp"
 #include "algebra/solver.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -90,15 +91,29 @@ BENCHMARK(SolverConvergenceRounds)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "algebra_discharge");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E6: metarouting obligation discharge (paper section 3.3.2) ===\n"
-            << "paper:    obligations automatically discharged for all base algebras\n"
-            << "          and compositions; monotonicity+isotonicity => convergence\n"
-            << "measured:\n";
-  for (int i = 0; i <= 6; ++i) {
-    std::cout << "  " << discharge(algebra_by_index(i)).to_string() << "\n";
+  if (!harness.smoke()) {
+    std::cout << "\n=== E6: metarouting obligation discharge (paper section 3.3.2) ===\n"
+              << "paper:    obligations automatically discharged for all base algebras\n"
+              << "          and compositions; monotonicity+isotonicity => convergence\n"
+              << "measured:\n";
+    for (int i = 0; i <= 6; ++i) {
+      std::cout << "  " << discharge(algebra_by_index(i)).to_string() << "\n";
+    }
   }
-  return 0;
+
+  // Metrics JSON: per-algebra obligation-check totals and the convergence
+  // verdict count across all seven algebras.
+  {
+    auto& registry = harness.metrics();
+    for (int i = 0; i <= 6; ++i) {
+      auto report = discharge(algebra_by_index(i));
+      registry.counter("algebra/" + report.algebra + "/checks").add(report.total_checks);
+      registry.counter("algebra/convergent").add(report.convergent() ? 1 : 0);
+    }
+  }
+  return harness.finish();
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "bgp/spp.hpp"
 #include "bgp/spp_mc.hpp"
 
@@ -103,21 +104,36 @@ BENCHMARK(RingScaling)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "bgp_disagree");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E3: Disagree / policy conflicts (paper section 3.2.1) ===\n"
-            << "paper:    Disagree diverges under policy conflicts; BGP may have\n"
-            << "          multiple or no stable states\n"
-            << "measured:\n";
-  for (int i = 0; i < 3; ++i) {
-    const auto& spp = instance(i);
+  if (!harness.smoke()) {
+    std::cout << "\n=== E3: Disagree / policy conflicts (paper section 3.2.1) ===\n"
+              << "paper:    Disagree diverges under policy conflicts; BGP may have\n"
+              << "          multiple or no stable states\n"
+              << "measured:\n";
+    for (int i = 0; i < 3; ++i) {
+      const auto& spp = instance(i);
+      auto states = stable_states(spp);
+      auto osc = check_oscillation(spp);
+      std::cout << "  " << spp.name << ": " << states.size() << " stable state(s), "
+                << (osc.has_cycle
+                        ? "oscillation cycle length " + std::to_string(osc.cycle_length)
+                        : "no oscillation")
+              << "\n";
+    }
+  }
+
+  // Metrics JSON: the Disagree gadget's stable-state/oscillation signature.
+  {
+    const auto& spp = instance(0);
     auto states = stable_states(spp);
     auto osc = check_oscillation(spp);
-    std::cout << "  " << spp.name << ": " << states.size() << " stable state(s), "
-              << (osc.has_cycle ? "oscillation cycle length " + std::to_string(osc.cycle_length)
-                                : "no oscillation")
-              << "\n";
+    auto& registry = harness.metrics();
+    registry.counter("bgp/disagree/stable_states").add(states.size());
+    registry.counter("bgp/disagree/oscillates").add(osc.has_cycle ? 1 : 0);
+    registry.counter("bgp/disagree/cycle_length").add(osc.cycle_length);
   }
-  return 0;
+  return harness.finish();
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "bgp/component_model.hpp"
 #include "logic/finite_model.hpp"
 #include "ndlog/eval.hpp"
@@ -140,14 +141,21 @@ BENCHMARK(PropertyPreservationCheck);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "codegen");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E4: component -> NDlog generation (paper section 3.2.2) ===\n"
-            << "paper:    tc = {t1,t2,t3} generates three NDlog rules; translation\n"
-            << "          is property-preserving\n"
-            << "measured: generated rules for tc:\n";
   auto program = translate::generate_ndlog(translate::example_tc());
-  for (const auto& rule : program.rules) std::cout << "  " << rule.to_string() << "\n";
-  return 0;
+  if (!harness.smoke()) {
+    std::cout << "\n=== E4: component -> NDlog generation (paper section 3.2.2) ===\n"
+              << "paper:    tc = {t1,t2,t3} generates three NDlog rules; translation\n"
+              << "          is property-preserving\n"
+              << "measured: generated rules for tc:\n";
+    for (const auto& rule : program.rules) std::cout << "  " << rule.to_string() << "\n";
+  }
+
+  // Metrics JSON: size of the generated program (trajectory of the tc
+  // example's codegen output).
+  harness.metrics().counter("codegen/tc/rules").add(program.rules.size());
+  return harness.finish();
 }

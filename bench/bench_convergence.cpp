@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/protocols.hpp"
 #include "runtime/simulator.hpp"
 
@@ -130,21 +131,35 @@ BENCHMARK(LossyConvergence)->Arg(0)->Arg(10)->Arg(30);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "convergence");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E5: distributed policy path-vector (paper [23] validation) ===\n"
-            << "paper:    translated programs run distributed; policy conflicts\n"
-            << "          delay convergence\n"
-            << "measured (ring topologies):\n"
-            << "  nodes | prefs        | bestRoute settle(ms) | messages | route flaps\n";
-  for (std::size_t n : {4u, 8u, 12u, 16u}) {
-    for (bool conflicts : {false, true}) {
-      auto r = run_policy(n, conflicts, 17);
-      std::printf("  %5zu | %-12s | %20.1f | %8zu | %zu\n", n,
-                  conflicts ? "conflicting" : "uniform", r.best_route_settled_at * 1000,
-                  r.messages, r.flaps);
+  if (!harness.smoke()) {
+    std::cout << "\n=== E5: distributed policy path-vector (paper [23] validation) ===\n"
+              << "paper:    translated programs run distributed; policy conflicts\n"
+              << "          delay convergence\n"
+              << "measured (ring topologies):\n"
+              << "  nodes | prefs        | bestRoute settle(ms) | messages | route flaps\n";
+    for (std::size_t n : {4u, 8u, 12u, 16u}) {
+      for (bool conflicts : {false, true}) {
+        auto r = run_policy(n, conflicts, 17);
+        std::printf("  %5zu | %-12s | %20.1f | %8zu | %zu\n", n,
+                    conflicts ? "conflicting" : "uniform", r.best_route_settled_at * 1000,
+                    r.messages, r.flaps);
+      }
     }
   }
-  return 0;
+
+  // Metrics JSON: one instrumented distributed run, so BENCH_*.json carries
+  // the per-node message/queue-depth series across commits.
+  {
+    runtime::SimOptions options;
+    options.seed = 17;
+    options.metrics = &harness.metrics();
+    runtime::Simulator sim(core::path_vector_program(), options);
+    sim.inject_all(core::link_facts(core::line_topology(6)));
+    sim.run();
+  }
+  return harness.finish();
 }

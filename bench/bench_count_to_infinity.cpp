@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/protocols.hpp"
 #include "mc/dv_model.hpp"
 #include "ndlog/eval.hpp"
@@ -108,21 +109,28 @@ BENCHMARK(BoundedDvConverges);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "count_to_infinity");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E2: count-to-infinity (paper section 3.1 / [22]) ===\n"
-            << "paper:    distance-vector HAS count-to-infinity loops; FVN detects them\n"
-            << "measured:\n";
-  for (std::int64_t threshold : {8, 16, 32}) {
-    auto result = mc::check_count_to_infinity(line_config(threshold, false));
-    std::cout << "  plain DV, bound " << threshold << ": "
-              << (result.property_holds ? "no CTI (unexpected)" : "CTI trace found")
-              << ", trace length " << result.counterexample.size() << "\n";
+  if (!harness.smoke()) {
+    std::cout << "\n=== E2: count-to-infinity (paper section 3.1 / [22]) ===\n"
+              << "paper:    distance-vector HAS count-to-infinity loops; FVN detects them\n"
+              << "measured:\n";
+    for (std::int64_t threshold : {8, 16, 32}) {
+      auto result = mc::check_count_to_infinity(line_config(threshold, false));
+      std::cout << "  plain DV, bound " << threshold << ": "
+                << (result.property_holds ? "no CTI (unexpected)" : "CTI trace found")
+                << ", trace length " << result.counterexample.size() << "\n";
+    }
+    auto fixed = mc::check_count_to_infinity(line_config(16, true));
+    std::cout << "  split horizon, bound 16: "
+              << (fixed.property_holds ? "invariant holds (exhausted)" : "CTI (unexpected)")
+              << ", " << fixed.states_explored << " states\n";
   }
-  auto fixed = mc::check_count_to_infinity(line_config(16, true));
-  std::cout << "  split horizon, bound 16: "
-            << (fixed.property_holds ? "invariant holds (exhausted)" : "CTI (unexpected)")
-            << ", " << fixed.states_explored << " states\n";
-  return 0;
+
+  // Metrics JSON: one instrumented exploration (mc/states_expanded,
+  // mc/transitions) per trajectory point.
+  mc::check_count_to_infinity(line_config(8, false), 200000, &harness.metrics());
+  return harness.finish();
 }

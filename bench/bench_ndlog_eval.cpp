@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/protocols.hpp"
 #include "ndlog/query.hpp"
 #include "ndlog/eval.hpp"
@@ -163,33 +164,46 @@ BENCHMARK(SoftStateNativeRuntime)->Arg(6)->Arg(10)->Arg(14);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "ndlog_eval");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  std::cout << "\n=== E8: evaluation engine + soft-state ablation ===\n"
-            << "paper:    declarative networks 'perform efficiently'; the section-4.2\n"
-            << "          soft-state rewrite is heavy-weight\n";
+  if (!harness.smoke()) {
+    std::cout << "\n=== E8: evaluation engine + soft-state ablation ===\n"
+              << "paper:    declarative networks 'perform efficiently'; the section-4.2\n"
+              << "          soft-state rewrite is heavy-weight\n";
+    {
+      auto links = core::link_facts(core::random_topology(10, 5, 3));
+      ndlog::Evaluator eval;
+      ndlog::EvalOptions semi, naive;
+      naive.semi_naive = false;
+      auto a = eval.run(core::path_vector_program(), links, semi);
+      auto b = eval.run(core::path_vector_program(), links, naive);
+      std::printf("  semi-naive: %zu rule firings; naive: %zu (x%.1f work)\n",
+                  a.stats.rule_firings, b.stats.rule_firings,
+                  static_cast<double>(b.stats.rule_firings) /
+                      static_cast<double>(a.stats.rule_firings));
+    }
+    {
+      auto program = ndlog::parse_program(kSoftReach, "soft_reach");
+      auto rewrite = translate::soft_to_hard(program);
+      std::size_t before = 0, after = 0;
+      for (const auto& r : program.rules) before += r.body.size();
+      for (const auto& r : rewrite.program.rules) after += r.body.size();
+      std::printf(
+          "  soft-state rewrite: body elements %zu -> %zu (+%zu), attributes +%zu\n",
+          before, after, rewrite.extra_body_elements, rewrite.extra_attributes);
+    }
+  }
+
+  // Metrics JSON: one instrumented path-vector evaluation, so BENCH_*.json
+  // carries the per-rule firing/probe series across commits.
   {
-    auto links = core::link_facts(core::random_topology(10, 5, 3));
     ndlog::Evaluator eval;
-    ndlog::EvalOptions semi, naive;
-    naive.semi_naive = false;
-    auto a = eval.run(core::path_vector_program(), links, semi);
-    auto b = eval.run(core::path_vector_program(), links, naive);
-    std::printf("  semi-naive: %zu rule firings; naive: %zu (x%.1f work)\n",
-                a.stats.rule_firings, b.stats.rule_firings,
-                static_cast<double>(b.stats.rule_firings) /
-                    static_cast<double>(a.stats.rule_firings));
+    ndlog::EvalOptions options;
+    options.metrics = &harness.metrics();
+    auto links = core::link_facts(core::random_topology(8, 4, 3));
+    eval.run(core::path_vector_program(), links, options);
   }
-  {
-    auto program = ndlog::parse_program(kSoftReach, "soft_reach");
-    auto rewrite = translate::soft_to_hard(program);
-    std::size_t before = 0, after = 0;
-    for (const auto& r : program.rules) before += r.body.size();
-    for (const auto& r : rewrite.program.rules) after += r.body.size();
-    std::printf(
-        "  soft-state rewrite: body elements %zu -> %zu (+%zu), attributes +%zu\n",
-        before, after, rewrite.extra_body_elements, rewrite.extra_attributes);
-  }
-  return 0;
+  return harness.finish();
 }

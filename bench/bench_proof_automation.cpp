@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/protocols.hpp"
 #include "prover/prover.hpp"
 #include "translate/ndlog_to_logic.hpp"
@@ -173,30 +174,45 @@ BENCHMARK(GrindOnlyCoverage);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "proof_automation");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
   std::size_t manual = 0, automated = 0;
-  std::cout << "\n=== E7: proof automation (paper section 4.3) ===\n"
-            << "paper:    'typically two-thirds of the proof steps can be automated'\n"
-            << "measured per theorem (manual scripted steps vs automated micro-steps):\n";
+  const bool verbose = !harness.smoke();
+  if (verbose) {
+    std::cout << "\n=== E7: proof automation (paper section 4.3) ===\n"
+              << "paper:    'typically two-thirds of the proof steps can be automated'\n"
+              << "measured per theorem (manual scripted steps vs automated micro-steps):\n";
+  }
+  // Every corpus proof reports into the shared registry: the per-tactic and
+  // per-grind-micro-step counters are the automation trajectory in
+  // BENCH_*.json.
   auto run_corpus = [&](const logic::Theory& theory,
                         const std::vector<CorpusEntry>& entries) {
     for (const auto& entry : entries) {
       prover::Prover prover(theory);
+      prover.set_metrics(&harness.metrics());
       auto result = prover.prove(entry.theorem, entry.script);
       manual += result.manual_steps();
       automated += result.automated_steps();
-      std::printf("  %-22s %s manual=%zu automated=%zu\n", entry.theorem.name.c_str(),
-                  result.proved ? "proved" : "OPEN  ", result.manual_steps(),
-                  result.automated_steps());
+      if (verbose) {
+        std::printf("  %-22s %s manual=%zu automated=%zu\n", entry.theorem.name.c_str(),
+                    result.proved ? "proved" : "OPEN  ", result.manual_steps(),
+                    result.automated_steps());
+      }
     }
   };
   run_corpus(translate::to_logic(core::path_vector_program()), corpus());
   run_corpus(translate::to_logic(core::reachable_program()), reachable_corpus());
-  const double fraction =
-      static_cast<double>(automated) / static_cast<double>(automated + manual);
-  std::printf("  TOTAL: manual=%zu automated=%zu -> automated fraction %.2f (paper ~0.67)\n",
-              manual, automated, fraction);
-  return 0;
+  harness.metrics().counter("prover/steps/manual").add(manual);
+  harness.metrics().counter("prover/steps/automated").add(automated);
+  if (verbose) {
+    const double fraction =
+        static_cast<double>(automated) / static_cast<double>(automated + manual);
+    std::printf(
+        "  TOTAL: manual=%zu automated=%zu -> automated fraction %.2f (paper ~0.67)\n",
+        manual, automated, fraction);
+  }
+  return harness.finish();
 }

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/protocols.hpp"
 #include "prover/prover.hpp"
 #include "translate/ndlog_to_logic.hpp"
@@ -106,18 +107,23 @@ BENCHMARK(EndToEnd_ParseTranslateProve);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "prover_optimality");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  // Paper-comparison row.
+  // Paper-comparison row, instrumented: the per-tactic invocation counters
+  // and timers land in the BENCH_*.json metrics document.
   auto theory = translate::to_logic(core::path_vector_program());
   prover::Prover prover(theory);
+  prover.set_metrics(&harness.metrics());
   auto result = prover.prove(best_path_strong(), seven_step_script());
-  std::cout << "\n=== E1: route-optimality proof (paper section 3.1) ===\n"
-            << "paper:    7 proof steps, 'a fraction of a second'\n"
-            << "measured: " << result.scripted_steps << " scripted steps ("
-            << result.automated_steps() << " additional automated micro-steps), "
-            << result.elapsed_seconds * 1000 << " ms, proved="
-            << (result.proved ? "yes" : "NO") << "\n";
-  return 0;
+  if (!harness.smoke()) {
+    std::cout << "\n=== E1: route-optimality proof (paper section 3.1) ===\n"
+              << "paper:    7 proof steps, 'a fraction of a second'\n"
+              << "measured: " << result.scripted_steps << " scripted steps ("
+              << result.automated_steps() << " additional automated micro-steps), "
+              << result.elapsed_seconds * 1000 << " ms, proved="
+              << (result.proved ? "yes" : "NO") << "\n";
+  }
+  return harness.finish();
 }

@@ -11,6 +11,13 @@
 //   fvn_cli simulate  <prog.ndlog> <facts.txt>      distributed execution
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
 //
+// `eval` is an alias for `run`, `sim` for `simulate`. Both accept the
+// observability flags:
+//   --metrics            print a metrics summary (fvn::obs Registry) to stderr
+//   --trace <out.json>   write a Chrome trace_event file (open in
+//                        chrome://tracing or Perfetto); the simulator stamps
+//                        events in virtual (protocol) time
+//
 // facts.txt: one ground fact per line, e.g. `link(@n0,n1,1)`; blank lines
 // and lines starting with `#` are ignored.
 #include <fstream>
@@ -24,6 +31,8 @@
 #include "ndlog/parser.hpp"
 #include "ndlog/provenance.hpp"
 #include "ndlog/query.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/simulator.hpp"
 #include "translate/linear_view.hpp"
 #include "translate/ndlog_to_logic.hpp"
@@ -55,7 +64,9 @@ int usage() {
   std::cerr << "usage: fvn_cli <check|lint|translate|linear|run|query|simulate|explain> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
-               "(exit 0 clean, 1 warnings, 2 errors)\n";
+               "(exit 0 clean, 1 warnings, 2 errors)\n"
+               "       eval = run, sim = simulate; both take --metrics and "
+               "--trace <out.json>\n";
   return 2;
 }
 
@@ -118,8 +129,29 @@ int main(int argc, char** argv) {
   if (command == "lint") {
     return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
   }
+
+  // Observability flags (run/eval and simulate/sim); everything else is
+  // positional: <prog.ndlog> [facts.txt] [goal|fact].
+  bool want_metrics = false;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics") {
+      want_metrics = true;
+    } else if (a == "--trace") {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+
   try {
-    auto program = ndlog::parse_program(slurp(argv[2]), "cli_program");
+    auto program = ndlog::parse_program(slurp(args[0]), "cli_program");
 
     if (command == "check") {
       auto strat = ndlog::analyze(program);
@@ -140,28 +172,42 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    if (argc < 4) return usage();
-    auto facts = load_facts(argv[3]);
+    if (args.size() < 2) return usage();
+    auto facts = load_facts(args[1]);
 
-    if (command == "run") {
+    obs::Registry registry;
+    obs::Trace obs_trace;
+    auto flush_obs = [&]() {
+      if (!trace_path.empty()) obs_trace.write(trace_path);
+      if (want_metrics) std::cerr << registry.render_summary();
+    };
+
+    if (command == "run" || command == "eval") {
       ndlog::Evaluator eval;
-      auto result = eval.run(program, facts);
+      ndlog::EvalOptions opts;
+      if (want_metrics) opts.metrics = &registry;
+      if (!trace_path.empty()) opts.trace = &obs_trace;
+      auto result = eval.run(program, facts, opts);
       for (const auto& row : result.database.dump()) std::cout << row << "\n";
       std::cerr << "derived " << result.stats.tuples_derived << " tuples in "
                 << result.stats.iterations << " rounds\n";
+      flush_obs();
       return 0;
     }
     if (command == "query") {
-      if (argc < 5) return usage();
-      auto result = ndlog::query(program, argv[4], facts);
+      if (args.size() < 3) return usage();
+      auto result = ndlog::query(program, args[2], facts);
       for (const auto& t : ndlog::sorted_strings(result.answers)) std::cout << t << "\n";
       std::cerr << result.answers.size() << " answers; evaluated "
                 << result.rules_relevant << "/" << result.rules_total
                 << " relevant rules\n";
       return 0;
     }
-    if (command == "simulate") {
-      runtime::Simulator sim(program, {});
+    if (command == "simulate" || command == "sim") {
+      runtime::SimOptions sim_options;
+      if (want_metrics) sim_options.metrics = &registry;
+      if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
+      runtime::Simulator sim(program, sim_options);
       sim.inject_all(facts);
       auto stats = sim.run();
       for (const auto& node : sim.nodes()) {
@@ -172,12 +218,13 @@ int main(int argc, char** argv) {
                 << " messages=" << stats.messages_sent
                 << " converged_at=" << stats.last_change_time << "s"
                 << (stats.quiesced ? "" : " (budget exhausted)") << "\n";
+      flush_obs();
       return 0;
     }
     if (command == "explain") {
-      if (argc < 5) return usage();
+      if (args.size() < 3) return usage();
       auto result = ndlog::eval_with_provenance(program, facts);
-      auto target = ndlog::parse_fact(argv[4]);
+      auto target = ndlog::parse_fact(args[2]);
       auto derivation = result.derivation_of(target);
       if (!derivation) {
         std::cerr << target.to_string() << " is not derivable\n";

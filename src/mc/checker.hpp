@@ -14,7 +14,26 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace fvn::mc {
+
+namespace detail {
+
+/// Flushes an exploration's totals into the registry on every exit path
+/// (found-violation, budget-exhausted, fixpoint). Null registry: no-op.
+template <typename Result>
+struct MetricsFlush {
+  obs::Registry* metrics;
+  const Result& result;
+  ~MetricsFlush() {
+    if (metrics == nullptr) return;
+    metrics->counter("mc/states_expanded").add(result.states_explored);
+    metrics->counter("mc/transitions").add(result.transitions);
+  }
+};
+
+}  // namespace detail
 
 template <typename State>
 struct ExplorationResult {
@@ -31,8 +50,10 @@ template <typename State, typename Hash = std::hash<State>>
 ExplorationResult<State> check_invariant(
     const std::vector<State>& initial,
     const std::function<std::vector<State>(const State&)>& successors,
-    const std::function<bool(const State&)>& invariant, std::size_t max_states = 100000) {
+    const std::function<bool(const State&)>& invariant, std::size_t max_states = 100000,
+    obs::Registry* metrics = nullptr) {
   ExplorationResult<State> result;
+  detail::MetricsFlush<ExplorationResult<State>> flush{metrics, result};
   std::unordered_map<State, State, Hash> parent;  // child -> parent (BFS tree)
   std::unordered_set<State, Hash> visited;
   std::deque<State> frontier;
@@ -82,8 +103,9 @@ ExplorationResult<State> find_cycle(
     const std::vector<State>& initial,
     const std::function<std::vector<State>(const State&)>& successors,
     const std::function<bool(const State&)>& on_cycle_candidate,
-    std::size_t max_states = 100000) {
+    std::size_t max_states = 100000, obs::Registry* metrics = nullptr) {
   ExplorationResult<State> result;
+  detail::MetricsFlush<ExplorationResult<State>> flush{metrics, result};
   enum class Color : std::uint8_t { Gray, Black };
   std::unordered_map<State, Color, Hash> color;
   std::vector<State> stack;  // current DFS path

@@ -124,7 +124,8 @@ std::vector<DvState> dv_successors(const DvConfig& config, const DvState& state)
 }
 
 ExplorationResult<std::string> check_count_to_infinity(const DvConfig& config,
-                                                       std::size_t max_states) {
+                                                       std::size_t max_states,
+                                                       obs::Registry* metrics) {
   const DvState start = converged_state(config);
   auto successors = [config](const std::string& s) {
     std::vector<std::string> out;
@@ -140,7 +141,8 @@ ExplorationResult<std::string> check_count_to_infinity(const DvConfig& config,
     }
     return true;
   };
-  return check_invariant<std::string>({encode(start)}, successors, invariant, max_states);
+  return check_invariant<std::string>({encode(start)}, successors, invariant, max_states,
+                                      metrics);
 }
 
 }  // namespace fvn::mc

@@ -52,9 +52,11 @@ std::vector<DvState> dv_successors(const DvConfig& config, const DvState& state)
 
 /// Run the count-to-infinity check: explores from the converged pre-failure
 /// state and checks the invariant "every route cost < infinity_threshold".
-/// A false result carries the climbing-cost trace.
+/// A false result carries the climbing-cost trace. With `metrics`, the
+/// exploration totals land in mc/states_expanded and mc/transitions.
 ExplorationResult<std::string> check_count_to_infinity(const DvConfig& config,
-                                                       std::size_t max_states = 200000);
+                                                       std::size_t max_states = 200000,
+                                                       obs::Registry* metrics = nullptr);
 
 /// Serialize/deserialize states for the generic checker.
 std::string encode(const DvState& state);

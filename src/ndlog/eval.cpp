@@ -6,6 +6,18 @@
 
 namespace fvn::ndlog {
 
+DivergenceError::DivergenceError(const std::string& context, std::size_t budget,
+                                 std::size_t last_delta, const EvalStats& stats)
+    : std::runtime_error(context + " (iteration budget=" + std::to_string(budget) +
+                         ", last round delta=" + std::to_string(last_delta) +
+                         " tuples; stats: iterations=" + std::to_string(stats.iterations) +
+                         ", rule_firings=" + std::to_string(stats.rule_firings) +
+                         ", tuples_derived=" + std::to_string(stats.tuples_derived) +
+                         ", join_probes=" + std::to_string(stats.join_probes) + ")"),
+      budget_(budget),
+      last_delta_(last_delta),
+      stats_(stats) {}
+
 std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
                                const BuiltinRegistry& builtins) {
   switch (term.kind) {
@@ -44,19 +56,37 @@ std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
 }
 
 bool match_atom(const Atom& atom, const Tuple& tuple, Bindings& bindings,
-                const BuiltinRegistry& builtins) {
+                const BuiltinRegistry& builtins, std::vector<std::string>* added_keys) {
   if (atom.predicate != tuple.predicate() || atom.args.size() != tuple.arity()) {
     return false;
   }
+  // Record-and-rollback: on mismatch, every binding added by *this call* is
+  // erased again, so `bindings` is exactly as the caller passed it. A caller
+  // that wants to roll back a *successful* match (the join does, between
+  // probed tuples) supplies `added_keys` and erases them itself.
+  std::vector<std::string> local_added;
+  std::vector<std::string>& added = added_keys != nullptr ? *added_keys : local_added;
+  const std::size_t added_base = added.size();
+  auto fail = [&]() {
+    while (added.size() > added_base) {
+      bindings.erase(added.back());
+      added.pop_back();
+    }
+    return false;
+  };
   for (std::size_t i = 0; i < atom.args.size(); ++i) {
     const Term& arg = *atom.args[i];
     if (arg.kind == Term::Kind::Var) {
       auto [it, inserted] = bindings.emplace(arg.name, tuple.at(i));
-      if (!inserted && !(it->second == tuple.at(i))) return false;
+      if (inserted) {
+        added.push_back(arg.name);
+      } else if (!(it->second == tuple.at(i))) {
+        return fail();
+      }
       continue;
     }
     auto v = eval_term(arg, bindings, builtins);
-    if (!v || !(*v == tuple.at(i))) return false;
+    if (!v || !(*v == tuple.at(i))) return fail();
   }
   return true;
 }
@@ -194,10 +224,15 @@ void RuleEngine::join(
     const Atom& atom = atoms[atom_index]->atom;
     auto try_tuple = [&](const Tuple& tuple) {
       if (stats) ++stats->join_probes;
+      // match_atom restores `env` on mismatch, so the common non-matching
+      // probe costs no environment copy; only a successful match pays for
+      // the child environment that deeper levels are free to mutate.
+      std::vector<std::string> added;
+      if (!match_atom(atom, tuple, env, *builtins_, &added)) return;
       Bindings child = env;
       std::vector<bool> child_flags = flags;
-      if (!match_atom(atom, tuple, child, *builtins_)) return;
       run(atom_index + 1, child, child_flags);
+      for (const auto& key : added) env.erase(key);
     };
     if (delta && delta->first == atom_index) {
       for (const auto& tuple : *delta->second) try_tuple(tuple);
@@ -386,10 +421,62 @@ EvalResult Evaluator::run(const Program& program, const std::vector<Tuple>& base
   return result;
 }
 
+namespace {
+
+std::size_t delta_total(const std::map<std::string, TupleSet>& delta) {
+  std::size_t total = 0;
+  for (const auto& [pred, tuples] : delta) total += tuples.size();
+  return total;
+}
+
+std::string rule_label(const Rule& rule) {
+  return rule.name.empty() ? rule.head.predicate : rule.name;
+}
+
+}  // namespace
+
 void Evaluator::fixpoint(const Program& program, const Stratification& strat,
                          Database& db, const EvalOptions& options,
                          EvalStats& stats) const {
   RuleEngine engine(*builtins_, options.use_index);
+  obs::Registry* metrics = options.metrics;
+  obs::Trace* trace = options.trace;
+  const bool observed = metrics != nullptr || trace != nullptr;
+
+  // Wrap one rule evaluation: snapshot the shared stats around `body`, then
+  // attribute the diffs to the rule's and the stratum's series. When nothing
+  // observes the run, this is a branch and a direct call.
+  auto observe_rule = [&](const Rule& rule, int stratum, const auto& body) {
+    if (!observed) {
+      body();
+      return;
+    }
+    const EvalStats before = stats;
+    obs::Span span(trace, rule_label(rule), "eval/rule");
+    body();
+    const std::uint64_t firings = stats.rule_firings - before.rule_firings;
+    const std::uint64_t derived = stats.tuples_derived - before.tuples_derived;
+    span.end("{\"firings\":" + std::to_string(firings) +
+             ",\"derived\":" + std::to_string(derived) + "}");
+    if (metrics != nullptr) {
+      const std::string rule_base = "eval/rule/" + rule_label(rule) + "/";
+      metrics->counter(rule_base + "firings").add(firings);
+      metrics->counter(rule_base + "derived").add(derived);
+      metrics->counter(rule_base + "probes").add(stats.join_probes - before.join_probes);
+      const std::string stratum_base = "eval/stratum/" + std::to_string(stratum) + "/";
+      metrics->counter(stratum_base + "firings").add(firings);
+      metrics->counter(stratum_base + "derived").add(derived);
+    }
+  };
+  auto note_round = [&](std::size_t round_delta) {
+    if (metrics != nullptr) {
+      metrics->counter("eval/rounds").add(1);
+      metrics->histogram("eval/round_delta").observe(round_delta);
+    }
+    if (trace != nullptr) {
+      trace->counter("eval/round_delta", "eval", static_cast<double>(round_delta));
+    }
+  };
 
   for (int s = 0; s < strat.stratum_count; ++s) {
     std::vector<const Rule*> normal_rules;
@@ -400,12 +487,17 @@ void Evaluator::fixpoint(const Program& program, const Stratification& strat,
       (rule.head.has_aggregate() ? agg_rules : normal_rules).push_back(&rule);
     }
 
+    obs::Span stratum_span(trace, "stratum " + std::to_string(s), "eval/stratum");
+
     // Aggregate rules read only strictly-lower strata (enforced by
     // stratification), so a single pass suffices and must come first: their
     // outputs may feed the stratum's recursive rules.
     for (const Rule* rule : agg_rules) {
-      engine.eval_agg_rule(*rule, db, [&](Tuple t) {
-        if (db.insert(std::move(t))) ++stats.tuples_derived;
+      observe_rule(*rule, s, [&] {
+        engine.eval_agg_rule(*rule, db, [&](Tuple t) {
+          if (db.insert(std::move(t))) ++stats.tuples_derived;
+        },
+        &stats);
       });
     }
 
@@ -413,22 +505,34 @@ void Evaluator::fixpoint(const Program& program, const Stratification& strat,
 
     if (!options.semi_naive) {
       // Naive mode: repeat full evaluation of every rule until no change.
+      std::size_t last_round_new = 0;
       bool changed = true;
       while (changed) {
         if (++stats.iterations > options.max_iterations) {
           throw DivergenceError("naive evaluation exceeded iteration budget in stratum " +
-                                std::to_string(s));
+                                    std::to_string(s),
+                                options.max_iterations, last_round_new, stats);
         }
         changed = false;
+        std::size_t round_new = 0;
+        obs::Span round_span(trace, "round", "eval/round");
         for (const Rule* rule : normal_rules) {
-          engine.eval_rule(*rule, db, [&](Tuple t) {
-            if (db.insert(std::move(t))) {
-              ++stats.tuples_derived;
-              changed = true;
-            }
-          },
-          &stats);
+          observe_rule(*rule, s, [&] {
+            engine.eval_rule(*rule, db, [&](Tuple t) {
+              if (db.insert(std::move(t))) {
+                ++stats.tuples_derived;
+                ++round_new;
+                changed = true;
+              }
+            },
+            &stats);
+          });
         }
+        if (observed) {
+          round_span.end("{\"delta\":" + std::to_string(round_new) + "}");
+          note_round(round_new);
+        }
+        last_round_new = round_new;
       }
       continue;
     }
@@ -438,34 +542,51 @@ void Evaluator::fixpoint(const Program& program, const Stratification& strat,
     // position.
     std::map<std::string, TupleSet> delta;
     ++stats.iterations;
-    for (const Rule* rule : normal_rules) {
-      engine.eval_rule(*rule, db, [&](Tuple t) {
-        if (db.insert(t)) {
-          ++stats.tuples_derived;
-          delta[t.predicate()].insert(std::move(t));
-        }
-      },
-      &stats);
+    {
+      obs::Span round_span(trace, "round 0", "eval/round");
+      for (const Rule* rule : normal_rules) {
+        observe_rule(*rule, s, [&] {
+          engine.eval_rule(*rule, db, [&](Tuple t) {
+            if (db.insert(t)) {
+              ++stats.tuples_derived;
+              delta[t.predicate()].insert(std::move(t));
+            }
+          },
+          &stats);
+        });
+      }
+      if (observed) {
+        round_span.end("{\"delta\":" + std::to_string(delta_total(delta)) + "}");
+        note_round(delta_total(delta));
+      }
     }
     while (!delta.empty()) {
       if (++stats.iterations > options.max_iterations) {
         throw DivergenceError("semi-naive evaluation exceeded iteration budget in stratum " +
-                              std::to_string(s));
+                                  std::to_string(s),
+                              options.max_iterations, delta_total(delta), stats);
       }
       std::map<std::string, TupleSet> next_delta;
+      obs::Span round_span(trace, "round", "eval/round");
       for (const Rule* rule : normal_rules) {
         const auto atoms = RuleEngine::positive_atoms(*rule);
         for (std::size_t i = 0; i < atoms.size(); ++i) {
           auto it = delta.find(atoms[i]->atom.predicate);
           if (it == delta.end() || it->second.empty()) continue;
-          engine.eval_rule_delta(*rule, db, i, it->second, [&](Tuple t) {
-            if (db.insert(t)) {
-              ++stats.tuples_derived;
-              next_delta[t.predicate()].insert(std::move(t));
-            }
-          },
-          &stats);
+          observe_rule(*rule, s, [&] {
+            engine.eval_rule_delta(*rule, db, i, it->second, [&](Tuple t) {
+              if (db.insert(t)) {
+                ++stats.tuples_derived;
+                next_delta[t.predicate()].insert(std::move(t));
+              }
+            },
+            &stats);
+          });
         }
+      }
+      if (observed) {
+        round_span.end("{\"delta\":" + std::to_string(delta_total(next_delta)) + "}");
+        note_round(delta_total(next_delta));
       }
       delta = std::move(next_delta);
     }
@@ -489,7 +610,10 @@ Evaluator::RetractStats Evaluator::retract(const Program& program, Database& db,
   TupleSet delta{fact};
   std::size_t guard = options.max_iterations;
   while (!delta.empty()) {
-    if (guard-- == 0) throw DivergenceError("overdeletion exceeded iteration budget");
+    if (guard-- == 0) {
+      throw DivergenceError("overdeletion exceeded iteration budget",
+                            options.max_iterations, delta.size(), stats.eval);
+    }
     TupleSet next;
     auto note = [&](Tuple t) {
       if (!db.contains(t)) return;
@@ -519,10 +643,11 @@ Evaluator::RetractStats Evaluator::retract(const Program& program, Database& db,
               }
               if (same_group) note(row);
             }
-          });
+          },
+          &stats.eval);
         } else {
           engine.eval_rule_delta(rule, db, i, delta,
-                                 [&](Tuple t) { note(std::move(t)); });
+                                 [&](Tuple t) { note(std::move(t)); }, &stats.eval);
         }
       }
     }

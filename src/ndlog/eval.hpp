@@ -20,35 +20,13 @@
 #include "ndlog/ast.hpp"
 #include "ndlog/builtins.hpp"
 #include "ndlog/database.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fvn::ndlog {
 
 /// A variable-binding environment.
 using Bindings = std::unordered_map<std::string, Value>;
-
-/// Thrown when the fixpoint exceeds the configured iteration budget — the
-/// evaluator-level symptom of a divergent program (e.g. count-to-infinity
-/// without a hop bound).
-class DivergenceError : public std::runtime_error {
- public:
-  explicit DivergenceError(const std::string& what) : std::runtime_error(what) {}
-};
-
-/// Evaluate `term` under `bindings`; nullopt if it mentions an unbound
-/// variable. Throws TypeError on ill-typed operations.
-std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
-                               const BuiltinRegistry& builtins);
-
-/// Unify `atom`'s arguments against `tuple`'s values, extending `bindings`.
-/// Returns false (leaving `bindings` in an undefined extended state — callers
-/// copy) on mismatch.
-bool match_atom(const Atom& atom, const Tuple& tuple, Bindings& bindings,
-                const BuiltinRegistry& builtins);
-
-/// Instantiate a (non-aggregate) rule head under a binding environment.
-/// Throws AnalysisError on unbound head variables.
-Tuple instantiate_head_atom(const HeadAtom& head, const Bindings& bindings,
-                            const BuiltinRegistry& builtins);
 
 /// Statistics accumulated by an evaluation run.
 struct EvalStats {
@@ -57,6 +35,47 @@ struct EvalStats {
   std::size_t tuples_derived = 0; // inserts that were new
   std::size_t join_probes = 0;    // tuples scanned during joins
 };
+
+/// Thrown when the fixpoint exceeds the configured iteration budget — the
+/// evaluator-level symptom of a divergent program (e.g. count-to-infinity
+/// without a hop bound). Carries the budget, the last round's delta size and
+/// an EvalStats snapshot so divergence is diagnosable from the exception.
+class DivergenceError : public std::runtime_error {
+ public:
+  explicit DivergenceError(const std::string& what) : std::runtime_error(what) {}
+  DivergenceError(const std::string& context, std::size_t budget,
+                  std::size_t last_delta, const EvalStats& stats);
+
+  std::size_t budget() const noexcept { return budget_; }
+  /// New tuples produced by the last completed round before the guard fired.
+  std::size_t last_delta_size() const noexcept { return last_delta_; }
+  const EvalStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t budget_ = 0;
+  std::size_t last_delta_ = 0;
+  EvalStats stats_{};
+};
+
+/// Evaluate `term` under `bindings`; nullopt if it mentions an unbound
+/// variable. Throws TypeError on ill-typed operations.
+std::optional<Value> eval_term(const Term& term, const Bindings& bindings,
+                               const BuiltinRegistry& builtins);
+
+/// Unify `atom`'s arguments against `tuple`'s values, extending `bindings`.
+/// Restore-on-failure: on mismatch, every binding this call added is rolled
+/// back before returning false, so callers can probe many tuples against one
+/// environment without copying it. On success, the names of the added
+/// bindings are appended to `*added_keys` (when non-null) so the caller can
+/// roll them back itself after exploring the match.
+bool match_atom(const Atom& atom, const Tuple& tuple, Bindings& bindings,
+                const BuiltinRegistry& builtins,
+                std::vector<std::string>* added_keys = nullptr);
+
+/// Instantiate a (non-aggregate) rule head under a binding environment.
+/// Throws AnalysisError on unbound head variables.
+Tuple instantiate_head_atom(const HeadAtom& head, const Bindings& bindings,
+                            const BuiltinRegistry& builtins);
 
 /// Evaluates individual rules against a database.
 class RuleEngine {
@@ -113,6 +132,13 @@ struct EvalOptions {
   bool semi_naive = true;          // false = naive re-derivation (E8 ablation)
   bool use_index = true;           // false = full-scan joins (E8 ablation)
   std::size_t max_iterations = 100000;  // fixpoint-round budget before DivergenceError
+  /// Observability sinks (may be null — the default — for zero overhead).
+  /// With `metrics`, the evaluator records per-rule and per-stratum series
+  /// (eval/rule/<name>/{firings,derived,probes}, eval/stratum/<s>/...,
+  /// eval/rounds, eval/round_delta). With `trace`, it emits nested
+  /// stratum/round/rule spans in Chrome trace_event form.
+  obs::Registry* metrics = nullptr;
+  obs::Trace* trace = nullptr;
 };
 
 /// Result of a centralized evaluation.

@@ -1,0 +1,50 @@
+// Minimal strict JSON reader for the observability layer: enough of a DOM to
+// let tests and the bench self-check validate the documents the exporters in
+// metrics.{hpp,cpp} / trace.{hpp,cpp} emit. Zero dependencies by design — the
+// whole point of fvn::obs is that it can be linked everywhere.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fvn::obs {
+
+/// Parsed JSON value. Objects preserve no duplicate keys (last wins, as in
+/// most permissive readers); numbers are held as doubles, which is exact for
+/// the counter magnitudes the exporters produce (< 2^53).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return kind == Kind::Object; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Well-formedness check without building the DOM result.
+bool json_valid(std::string_view text);
+
+/// Escape a string for embedding inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace fvn::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace fvn::obs {
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const Timer* Registry::find_timer(const std::string& name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Registry::sum_counters_with_prefix(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  // std::map: the matching range is contiguous; lower_bound gets us there.
+  for (auto it = counters_.lower_bound(std::string(prefix)); it != counters_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second.value();
+  }
+  return total;
+}
+
+namespace {
+
+/// Format a double without trailing-zero noise (mean fields).
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << c.value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << h.sum() << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+       << ",\"mean\":" << format_double(h.mean()) << "}";
+    first = false;
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    os << (first ? "" : ",") << "\"" << json_escape(name) << "\":{\"count\":" << t.count()
+       << ",\"total_ns\":" << t.total_ns() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::render_summary() const {
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_) width = std::max(width, name.size());
+  for (const auto& [name, t] : timers_) width = std::max(width, name.size());
+
+  auto pad = [&](const std::string& name) {
+    return name + std::string(width - name.size() + 2, ' ');
+  };
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << pad(name) << c.value() << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << pad(name) << "count=" << h.count() << " sum=" << h.sum()
+         << " min=" << h.min() << " max=" << h.max() << " mean=" << format_double(h.mean());
+      // Sparkline over the occupied power-of-two buckets.
+      std::size_t lo = Histogram::kBuckets, hi = 0;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (h.buckets()[b] != 0) {
+          lo = std::min(lo, b);
+          hi = std::max(hi, b);
+        }
+      }
+      if (lo <= hi) {
+        std::uint64_t peak = 0;
+        for (std::size_t b = lo; b <= hi; ++b) peak = std::max(peak, h.buckets()[b]);
+        static const char* kLevels = " .:-=+*#";
+        os << "  [";
+        for (std::size_t b = lo; b <= hi; ++b) {
+          const std::size_t level =
+              h.buckets()[b] == 0 ? 0 : 1 + (h.buckets()[b] * 6) / peak;
+          os << kLevels[std::min<std::size_t>(level, 7)];
+        }
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  if (!timers_.empty()) {
+    os << "timers:\n";
+    for (const auto& [name, t] : timers_) {
+      os << "  " << pad(name) << "count=" << t.count() << " total="
+         << format_double(t.total_ms()) << "ms\n";
+    }
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+  if (!out.good()) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace fvn::obs

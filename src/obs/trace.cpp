@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"  // write_file
+
+namespace fvn::obs {
+
+Trace::Trace(Clock clock) : clock_(std::move(clock)) {
+  if (!clock_) {
+    const auto epoch = std::chrono::steady_clock::now();
+    clock_ = [epoch]() {
+      return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                            std::chrono::steady_clock::now() - epoch)
+                                            .count());
+    };
+  }
+}
+
+void Trace::begin_span(std::string_view name, std::string_view cat,
+                       std::string args_json) {
+  events_.push_back(TraceEvent{'B', now_us(), std::string(name), std::string(cat),
+                               std::move(args_json), 0.0});
+  ++depth_;
+}
+
+void Trace::end_span(std::string args_json) {
+  if (depth_ == 0) return;  // unbalanced end: ignore
+  --depth_;
+  events_.push_back(TraceEvent{'E', now_us(), {}, {}, std::move(args_json), 0.0});
+}
+
+void Trace::instant(std::string_view name, std::string_view cat, std::string args_json) {
+  instant_at(now_us(), name, cat, std::move(args_json));
+}
+
+void Trace::counter(std::string_view name, std::string_view cat, double value) {
+  counter_at(now_us(), name, cat, value);
+}
+
+void Trace::instant_at(std::uint64_t ts_us, std::string_view name, std::string_view cat,
+                       std::string args_json) {
+  events_.push_back(TraceEvent{'i', ts_us, std::string(name), std::string(cat),
+                               std::move(args_json), 0.0});
+}
+
+void Trace::counter_at(std::uint64_t ts_us, std::string_view name, std::string_view cat,
+                       double value) {
+  events_.push_back(
+      TraceEvent{'C', ts_us, std::string(name), std::string(cat), {}, value});
+}
+
+std::string Trace::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    os << (first ? "" : ",") << "{\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
+       << ",\"pid\":1,\"tid\":1";
+    if (!e.name.empty()) os << ",\"name\":\"" << json_escape(e.name) << "\"";
+    if (!e.cat.empty()) os << ",\"cat\":\"" << json_escape(e.cat) << "\"";
+    if (e.phase == 'C') {
+      // Counter events carry their series value in args.
+      os << ",\"args\":{\"value\":" << e.counter_value << "}";
+    } else if (!e.args_json.empty()) {
+      os << ",\"args\":" << e.args_json;
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    os << "}";
+    first = false;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Trace::write(const std::string& path) const { write_file(path, to_json()); }
+
+}  // namespace fvn::obs

@@ -1,0 +1,104 @@
+// fvn::obs structured tracing — span-based event recording with a Chrome
+// `trace_event` JSON exporter (load the output in chrome://tracing or
+// https://ui.perfetto.dev) and a human summary renderer.
+//
+// Two time bases coexist:
+//   * the wall clock (default, or an injected clock for deterministic tests):
+//     span()/instant()/counter() stamp events as they happen — the evaluator
+//     and prover use this;
+//   * explicit timestamps: the *_at() variants let the discrete-event
+//     simulator stamp events in *virtual* seconds, so the exported trace
+//     shows protocol time rather than host time.
+//
+// All instrumentation points take a `Trace*` and do nothing when it is null;
+// `Span` itself tolerates a null trace, so call sites need no branching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fvn::obs {
+
+/// One recorded trace event (Chrome trace_event phases B/E/i/C).
+struct TraceEvent {
+  char phase = 'i';       // 'B' begin span, 'E' end span, 'i' instant, 'C' counter
+  std::uint64_t ts_us = 0;
+  std::string name;
+  std::string cat;
+  std::string args_json;  // pre-rendered JSON object ("{...}") or empty
+  double counter_value = 0.0;  // 'C' only
+};
+
+class Trace {
+ public:
+  using Clock = std::function<std::uint64_t()>;  // microseconds, monotonic
+
+  /// Default clock: steady_clock microseconds since Trace construction.
+  /// Tests inject a fake clock for byte-stable golden output.
+  explicit Trace(Clock clock = {});
+
+  std::uint64_t now_us() const { return clock_(); }
+
+  /// Span lifecycle (B/E events at the current clock). Unbalanced end_span()
+  /// calls are ignored; depth() reports the current nesting.
+  void begin_span(std::string_view name, std::string_view cat,
+                  std::string args_json = {});
+  void end_span(std::string args_json = {});
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Point event / numeric series sample at the current clock.
+  void instant(std::string_view name, std::string_view cat, std::string args_json = {});
+  void counter(std::string_view name, std::string_view cat, double value);
+
+  /// Explicit-timestamp variants (virtual time; microseconds).
+  void instant_at(std::uint64_t ts_us, std::string_view name, std::string_view cat,
+                  std::string args_json = {});
+  void counter_at(std::uint64_t ts_us, std::string_view name, std::string_view cat,
+                  double value);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Chrome trace_event JSON:
+  ///   {"traceEvents":[{"name":...,"cat":...,"ph":"B","ts":...,"pid":1,"tid":1,
+  ///                    "args":{...}},...],"displayTimeUnit":"ms"}
+  std::string to_json() const;
+
+  /// Write to_json() to `path` (throws std::runtime_error on I/O failure).
+  void write(const std::string& path) const;
+
+ private:
+  Clock clock_;
+  std::vector<TraceEvent> events_;
+  std::size_t depth_ = 0;
+};
+
+/// RAII span. `Span(nullptr, ...)` is a no-op, which is how disabled
+/// instrumentation costs nothing but a branch.
+class Span {
+ public:
+  Span(Trace* trace, std::string_view name, std::string_view cat,
+       std::string args_json = {})
+      : trace_(trace) {
+    if (trace_ != nullptr) trace_->begin_span(name, cat, std::move(args_json));
+  }
+  ~Span() { end(); }
+
+  /// Close early, optionally attaching result args to the end event.
+  void end(std::string args_json = {}) {
+    if (trace_ == nullptr) return;
+    trace_->end_span(std::move(args_json));
+    trace_ = nullptr;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_;
+};
+
+}  // namespace fvn::obs

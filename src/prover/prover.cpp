@@ -695,9 +695,35 @@ bool Prover::tac_auto_inst(State& state) const {
 // Driver
 // ---------------------------------------------------------------------------
 
+namespace {
+
+const char* kind_name(Command::Kind kind) {
+  switch (kind) {
+    case Command::Kind::Skolem: return "skolem";
+    case Command::Kind::Flatten: return "flatten";
+    case Command::Kind::Split: return "split";
+    case Command::Kind::Expand: return "expand";
+    case Command::Kind::Inst: return "inst";
+    case Command::Kind::Assert: return "assert";
+    case Command::Kind::Induct: return "induct";
+    case Command::Kind::Case: return "case";
+    case Command::Kind::Grind: return "grind";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 bool Prover::run_command(const Command& cmd, State& state, bool automated,
                          ProofResult& result) {
   if (state.goals.empty()) return false;
+  const std::string kind = kind_name(cmd.kind);
+  if (metrics_ != nullptr) {
+    metrics_->counter("prover/tactic/" + kind + "/invocations").add(1);
+  }
+  obs::Timer::Scope timing(metrics_ != nullptr ? &metrics_->timer("prover/tactic/" + kind)
+                                               : nullptr);
+  obs::Span span(trace_, cmd.to_string(), "prover/tactic");
   ProofStep step;
   step.command = cmd.to_string();
   step.automated = automated;
@@ -725,6 +751,7 @@ bool Prover::run_command(const Command& cmd, State& state, bool automated,
 
 void Prover::grind(State& state, ProofResult& result) {
   auto log = [&](const char* name) {
+    if (metrics_ != nullptr) metrics_->counter(std::string("prover/grind/") + name).add(1);
     ProofStep step;
     step.command = std::string("(") + name + ")";
     step.automated = true;

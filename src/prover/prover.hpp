@@ -18,6 +18,8 @@
 
 #include "logic/finite_model.hpp"
 #include "logic/formula.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prover/sequent.hpp"
 
 namespace fvn::prover {
@@ -50,6 +52,14 @@ class Prover {
                                                  const logic::FiniteModel& model) const;
 
   const logic::Theory& theory() const noexcept { return theory_; }
+
+  /// Observability sinks (may be null — the default — for zero overhead).
+  /// With `metrics`, every script command records
+  /// prover/tactic/<kind>/invocations and a prover/tactic/<kind> timer, and
+  /// grind's micro-steps count under prover/grind/<step>. With `trace`, each
+  /// command becomes a span named by its script text.
+  void set_metrics(obs::Registry* metrics) noexcept { metrics_ = metrics; }
+  void set_trace(obs::Trace* trace) noexcept { trace_ = trace; }
 
  private:
   struct State {
@@ -93,6 +103,8 @@ class Prover {
 
   logic::Theory theory_;
   std::vector<logic::Theorem> axioms_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Trace* trace_ = nullptr;
 };
 
 }  // namespace fvn::prover

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/json.hpp"
 #include "runtime/localize.hpp"
 
 namespace fvn::runtime {
@@ -12,6 +13,16 @@ using ndlog::Rule;
 using ndlog::Tuple;
 using ndlog::TupleSet;
 using ndlog::Value;
+
+namespace {
+
+/// Simulated seconds -> trace microseconds (the virtual time base of the
+/// exported Chrome trace).
+std::uint64_t sim_ts(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+}  // namespace
 
 Simulator::Simulator(ndlog::Program program, SimOptions options,
                      const ndlog::BuiltinRegistry& builtins)
@@ -122,6 +133,9 @@ bool Simulator::install(NodeState& state, const std::string& node, const Tuple& 
     it->second = tuple;
     state.db.insert(tuple);
     ++stats_.overwrites;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("sim/node/" + node + "/overwrites").add(1);
+    }
     changed = true;
   }
   if (lifetime) {
@@ -141,6 +155,15 @@ bool Simulator::install(NodeState& state, const std::string& node, const Tuple& 
     if (options_.record_trace) {
       trace_.push_back(TraceEntry{now, TraceEntry::Kind::Install, node, tuple.to_string()});
     }
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("sim/node/" + node + "/installed").add(1);
+    }
+    if (options_.obs_trace != nullptr) {
+      options_.obs_trace->instant_at(sim_ts(now), "install " + tuple.predicate(), "sim",
+                                     "{\"node\":\"" + obs::json_escape(node) + "\"}");
+      options_.obs_trace->counter_at(sim_ts(now), "sim/installs", "sim",
+                                     static_cast<double>(stats_.tuples_derived));
+    }
     for (const auto& m : monitors_) {
       if (!m(node, tuple, now)) ++stats_.monitor_violations;
     }
@@ -155,10 +178,21 @@ void Simulator::send(const std::string& from, const Tuple& tuple, double now) {
     trace_.push_back(
         TraceEntry{now, TraceEntry::Kind::Send, from, tuple.to_string() + " -> " + to});
   }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("sim/node/" + from + "/sent").add(1);
+  }
+  if (options_.obs_trace != nullptr) {
+    options_.obs_trace->instant_at(sim_ts(now), "send " + tuple.predicate(), "sim",
+                                   "{\"from\":\"" + obs::json_escape(from) +
+                                       "\",\"to\":\"" + obs::json_escape(to) + "\"}");
+  }
   if (options_.loss_rate > 0.0) {
     std::uniform_real_distribution<double> u(0.0, 1.0);
     if (u(rng_) < options_.loss_rate) {
       ++stats_.messages_dropped;
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("sim/node/" + from + "/dropped").add(1);
+      }
       return;
     }
   }
@@ -274,9 +308,20 @@ SimStats Simulator::run() {
     }
     ++stats_.events_processed;
     stats_.end_time = e.time;
+    if (options_.metrics != nullptr) {
+      // +1: the event just popped is still in flight conceptually.
+      options_.metrics->histogram("sim/queue_depth").observe(queue_.size() + 1);
+    }
+    if (options_.obs_trace != nullptr) {
+      options_.obs_trace->counter_at(sim_ts(e.time), "sim/queue_depth", "sim",
+                                     static_cast<double>(queue_.size() + 1));
+    }
     NodeState& state = node_states_[e.node];
     switch (e.kind) {
       case Event::Kind::Deliver: {
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("sim/node/" + e.node + "/received").add(1);
+        }
         const bool transient =
             e.tuple.predicate() == "periodic" ||
             (catalog_.contains(e.tuple.predicate()) &&
@@ -300,6 +345,13 @@ SimStats Simulator::run() {
           if (options_.record_trace) {
             trace_.push_back(TraceEntry{e.time, TraceEntry::Kind::Expire, e.node,
                                         e.tuple.to_string()});
+          }
+          if (options_.metrics != nullptr) {
+            options_.metrics->counter("sim/node/" + e.node + "/expired").add(1);
+          }
+          if (options_.obs_trace != nullptr) {
+            options_.obs_trace->instant_at(sim_ts(e.time), "expire " + e.tuple.predicate(),
+                                           "sim");
           }
         }
         break;

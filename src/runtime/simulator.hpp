@@ -25,6 +25,8 @@
 
 #include "ndlog/catalog.hpp"
 #include "ndlog/eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fvn::runtime {
 
@@ -47,6 +49,15 @@ struct SimOptions {
   /// Record an event trace (see Simulator::trace()); off by default — traces
   /// grow linearly with event count.
   bool record_trace = false;
+  /// Observability sinks (may be null — the default — for zero overhead).
+  /// With `metrics`, the simulator records per-node message counters
+  /// (sim/node/<n>/{sent,received,dropped,installed}), overwrite/expiry
+  /// counters, and a sim/queue_depth histogram sampled at every event.
+  /// With `obs_trace`, it emits instants and counter samples stamped in
+  /// *virtual* time (simulated seconds as trace microseconds), so the
+  /// exported Chrome trace shows protocol time, not host time.
+  obs::Registry* metrics = nullptr;
+  obs::Trace* obs_trace = nullptr;
 };
 
 /// One recorded simulation event (Pip-style trace entry for offline checks).

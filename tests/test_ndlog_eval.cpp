@@ -5,6 +5,7 @@
 
 #include "core/protocols.hpp"
 #include "ndlog/eval.hpp"
+#include "ndlog/parser.hpp"
 
 namespace fvn {
 namespace {
@@ -232,6 +233,123 @@ TEST(SemiNaive, DoesLessJoinWorkThanNaive) {
   auto a = eval.run(core::path_vector_program(), link_facts(links), semi);
   auto b = eval.run(core::path_vector_program(), link_facts(links), naive);
   EXPECT_LT(a.stats.rule_firings, b.stats.rule_firings);
+}
+
+// ---------------------------------------------------------------------------
+// match_atom restore-on-failure semantics
+// ---------------------------------------------------------------------------
+
+TEST(MatchAtom, RollsBackAddedBindingsOnFailure) {
+  const auto& builtins = ndlog::BuiltinRegistry::standard();
+  ndlog::Atom atom;
+  atom.predicate = "p";
+  atom.args = {ndlog::Term::var("X"), ndlog::Term::constant_of(Value::integer(1))};
+  ndlog::Bindings env;
+  env.emplace("Z", Value::integer(9));
+  // p(7, 2): X binds to 7, then 1 != 2 fails — X must be gone afterwards.
+  EXPECT_FALSE(ndlog::match_atom(atom, Tuple("p", {Value::integer(7), Value::integer(2)}),
+                                 env, builtins));
+  EXPECT_EQ(env.size(), 1u);
+  EXPECT_EQ(env.count("X"), 0u);
+  EXPECT_EQ(env.at("Z").as_int(), 9);
+}
+
+TEST(MatchAtom, ReportsAddedKeysOnSuccess) {
+  const auto& builtins = ndlog::BuiltinRegistry::standard();
+  ndlog::Atom atom;
+  atom.predicate = "p";
+  atom.args = {ndlog::Term::var("X"), ndlog::Term::var("Y")};
+  ndlog::Bindings env;
+  env.emplace("X", Value::integer(7));  // pre-bound: must NOT be reported
+  std::vector<std::string> added;
+  EXPECT_TRUE(ndlog::match_atom(atom, Tuple("p", {Value::integer(7), Value::integer(3)}),
+                                env, builtins, &added));
+  ASSERT_EQ(added.size(), 1u);
+  EXPECT_EQ(added[0], "Y");
+  EXPECT_EQ(env.at("Y").as_int(), 3);
+  // Rolling back what was reported restores the original environment.
+  for (const auto& key : added) env.erase(key);
+  EXPECT_EQ(env.size(), 1u);
+  EXPECT_EQ(env.at("X").as_int(), 7);
+}
+
+TEST(MatchAtom, PreexistingBindingSurvivesConflict) {
+  const auto& builtins = ndlog::BuiltinRegistry::standard();
+  ndlog::Atom atom;
+  atom.predicate = "p";
+  atom.args = {ndlog::Term::var("X")};
+  ndlog::Bindings env;
+  env.emplace("X", Value::integer(7));
+  // X=7 conflicts with p(8): failure must leave the caller's binding intact.
+  EXPECT_FALSE(ndlog::match_atom(atom, Tuple("p", {Value::integer(8)}), env, builtins));
+  EXPECT_EQ(env.at("X").as_int(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// DivergenceError diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Divergence, ErrorCarriesBudgetDeltaAndStats) {
+  auto program = ndlog::parse_program(R"(
+    materialize(n, infinity, infinity, keys(1,2)).
+    c1 n(@X,Y+1) :- n(@X,Y).
+  )");
+  Evaluator eval;
+  EvalOptions options;
+  options.max_iterations = 5;
+  const std::vector<Tuple> facts = {ndlog::parse_fact("n(@a,0)")};
+  try {
+    eval.run(program, facts, options);
+    FAIL() << "expected DivergenceError";
+  } catch (const ndlog::DivergenceError& e) {
+    EXPECT_EQ(e.budget(), 5u);
+    EXPECT_GE(e.last_delta_size(), 1u);
+    EXPECT_GE(e.stats().iterations, 5u);
+    EXPECT_GT(e.stats().rule_firings, 0u);
+    EXPECT_GT(e.stats().tuples_derived, 0u);
+    const std::string message = e.what();
+    EXPECT_NE(message.find("iteration budget=5"), std::string::npos) << message;
+    EXPECT_NE(message.find("last round delta="), std::string::npos) << message;
+    EXPECT_NE(message.find("rule_firings="), std::string::npos) << message;
+  }
+  // Naive mode diverges through the same diagnostic path.
+  options.semi_naive = false;
+  EXPECT_THROW(eval.run(program, facts, options), ndlog::DivergenceError);
+}
+
+// ---------------------------------------------------------------------------
+// EvalStats consistency across evaluation modes
+// ---------------------------------------------------------------------------
+
+TEST(EvalModes, DerivationsAndCountersAgreeAcrossModes) {
+  auto program = core::path_vector_program();
+  auto facts = link_facts(core::ring_topology(5));
+  auto run_mode = [&](bool semi, bool index) {
+    Evaluator eval;
+    EvalOptions options;
+    options.semi_naive = semi;
+    options.use_index = index;
+    return eval.run(program, facts, options);
+  };
+  auto indexed = run_mode(true, true);
+  auto scan = run_mode(true, false);
+  auto naive = run_mode(false, true);
+  auto naive_scan = run_mode(false, false);
+
+  // Every mode derives the same database.
+  EXPECT_EQ(indexed.database.dump(), scan.database.dump());
+  EXPECT_EQ(indexed.database.dump(), naive.database.dump());
+  EXPECT_EQ(indexed.database.dump(), naive_scan.database.dump());
+  EXPECT_EQ(indexed.stats.tuples_derived, scan.stats.tuples_derived);
+  EXPECT_EQ(indexed.stats.tuples_derived, naive.stats.tuples_derived);
+
+  // Index probing is an access-path choice: it must find exactly the body
+  // solutions a full scan finds, never more or fewer.
+  EXPECT_EQ(indexed.stats.rule_firings, scan.stats.rule_firings);
+  EXPECT_EQ(naive.stats.rule_firings, naive_scan.stats.rule_firings);
+  // ...while scanning at least as many tuples.
+  EXPECT_LE(indexed.stats.join_probes, scan.stats.join_probes);
+  EXPECT_GT(indexed.stats.join_probes, 0u);
 }
 
 }  // namespace
