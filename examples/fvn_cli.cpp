@@ -9,6 +9,7 @@
 //   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
 //   fvn_cli query     <prog.ndlog> <facts.txt> <goal>
 //   fvn_cli simulate  <prog.ndlog> <facts.txt>      distributed execution
+//   fvn_cli plan      <prog.ndlog> [--dot|--json]   compiled dataflow graph
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
 //
 // `eval` is an alias for `run`, `sim` for `simulate`. Both accept the
@@ -17,6 +18,10 @@
 //   --trace <out.json>   write a Chrome trace_event file (open in
 //                        chrome://tracing or Perfetto); the simulator stamps
 //                        events in virtual (protocol) time
+// simulate/sim additionally takes
+//   --engine=<interpreter|dataflow>  rule executor (default interpreter);
+//                        dataflow runs the compiled element strands and
+//                        exposes per-element counters under --metrics
 //
 // facts.txt: one ground fact per line, e.g. `link(@n0,n1,1)`; blank lines
 // and lines starting with `#` are ignored.
@@ -33,6 +38,7 @@
 #include "ndlog/query.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/localize.hpp"
 #include "runtime/simulator.hpp"
 #include "translate/linear_view.hpp"
 #include "translate/ndlog_to_logic.hpp"
@@ -61,13 +67,44 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|lint|translate|linear|run|query|simulate|explain> "
+  std::cerr << "usage: fvn_cli <check|lint|translate|linear|run|query|simulate|plan|explain> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
+               "       fvn_cli plan <prog.ndlog> [--dot|--json]   "
+               "(localize + compile to dataflow strands)\n"
                "       eval = run, sim = simulate; both take --metrics and "
-               "--trace <out.json>\n";
+               "--trace <out.json>; sim takes --engine=<interpreter|dataflow>\n";
   return 2;
+}
+
+/// `fvn_cli plan <prog.ndlog> [--dot|--json]` — localize the program and
+/// compile it to the fvn::dataflow element graph, printing a human summary
+/// (default), Graphviz DOT, or JSON.
+int cmd_plan(const std::vector<std::string>& args) {
+  bool dot = false;
+  bool json = false;
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    if (a == "--dot") {
+      dot = true;
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 1 || (dot && json)) return usage();
+  auto program = fvn::ndlog::parse_program(slurp(files[0]), files[0]);
+  auto plan = fvn::dataflow::compile(fvn::runtime::localize(program));
+  if (dot) {
+    std::cout << plan.to_dot();
+  } else if (json) {
+    std::cout << plan.to_json() << "\n";
+  } else {
+    std::cout << plan.summary();
+  }
+  return 0;
 }
 
 /// `fvn_cli lint [--json] <file>...` — run every diagnostic pass over each
@@ -129,11 +166,20 @@ int main(int argc, char** argv) {
   if (command == "lint") {
     return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
   }
+  if (command == "plan") {
+    try {
+      return cmd_plan(std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   // Observability flags (run/eval and simulate/sim); everything else is
   // positional: <prog.ndlog> [facts.txt] [goal|fact].
   bool want_metrics = false;
   std::string trace_path;
+  std::string engine_name;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -144,11 +190,21 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
+    } else if (a == "--engine") {
+      if (i + 1 >= argc) return usage();
+      engine_name = argv[++i];
+    } else if (a.rfind("--engine=", 0) == 0) {
+      engine_name = a.substr(9);
     } else {
       args.push_back(a);
     }
   }
   if (args.empty()) return usage();
+  if (!engine_name.empty() && engine_name != "interpreter" && engine_name != "dataflow") {
+    std::cerr << "error: unknown engine '" << engine_name
+              << "' (expected interpreter or dataflow)\n";
+    return 2;
+  }
 
   try {
     auto program = ndlog::parse_program(slurp(args[0]), "cli_program");
@@ -207,6 +263,7 @@ int main(int argc, char** argv) {
       runtime::SimOptions sim_options;
       if (want_metrics) sim_options.metrics = &registry;
       if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
+      if (engine_name == "dataflow") sim_options.engine = runtime::EngineKind::Dataflow;
       runtime::Simulator sim(program, sim_options);
       sim.inject_all(facts);
       auto stats = sim.run();

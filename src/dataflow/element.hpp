@@ -1,0 +1,78 @@
+// The element vocabulary of the compiled dataflow (P2/Click-style). A rule
+// strand is a straight-line sequence of elements; relational elements
+// (Delta / IndexJoin / Scan) enumerate candidate tuples, the rest filter,
+// bind, or emit. See DESIGN.md §10 for the planning rules and the
+// interpreter-equivalence argument.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataflow/expr.hpp"
+#include "ndlog/ast.hpp"
+
+namespace fvn::dataflow {
+
+/// Handling of one argument position while matching a tuple against an atom:
+/// bind a fresh register, test against an already-bound register, or test
+/// against a compiled expression (constants and f_* terms).
+struct ArgStep {
+  enum class Kind : std::uint8_t { Bind, TestSlot, TestExpr };
+  Kind kind = Kind::Bind;
+  std::size_t pos = 0;  // argument position in the atom/tuple
+  int slot = -1;        // Bind / TestSlot register
+  CompiledExpr expr;    // TestExpr operand
+};
+
+/// One element of a strand.
+struct Element {
+  enum class Kind : std::uint8_t {
+    Delta,      ///< match the incoming delta tuple against the rule's delta atom
+    IndexJoin,  ///< probe the (predicate, probe_pos) hash index with `probe`
+    Scan,       ///< full-relation scan (no argument determined yet)
+    Bind,       ///< `V = expr` assignment discharged from the rule body
+    Select,     ///< comparison filter (including `expr = expr` equality tests)
+    NegProbe,   ///< negated atom: drop the env if the ground tuple exists
+    Project,    ///< instantiate the rule head
+    Aggregate,  ///< fold the solution into per-group aggregate state
+    Demux,      ///< route on the head's location specifier (executive-side)
+  };
+
+  Kind kind = Kind::Scan;
+  std::string id;  // unique within the strand ("delta", "join1", "sel0", ...)
+
+  // Delta / IndexJoin / Scan / NegProbe
+  std::string predicate;
+  std::size_t arity = 0;
+  std::vector<ArgStep> steps;  // argument handling, in position order
+
+  // IndexJoin
+  int probe_pos = -1;
+  CompiledExpr probe;  // Slot or Const — the probed column's value
+
+  // Bind
+  int slot = -1;
+
+  // Select (lhs `cmp` rhs) / Bind (slot = rhs)
+  ndlog::CmpOp cmp = ndlog::CmpOp::Eq;
+  CompiledExpr lhs;
+  CompiledExpr rhs;
+
+  // NegProbe: ground argument expressions
+  std::vector<CompiledExpr> args;
+
+  // Project / Aggregate / Demux
+  std::string head_predicate;
+  std::vector<CompiledExpr> head_args;  // Aggregate: placeholder at agg_pos
+  std::size_t agg_pos = 0;
+  int agg_slot = -1;
+  ndlog::AggKind agg = ndlog::AggKind::Min;
+
+  /// One-line human-readable description ("join path probe@1=$0", ...).
+  std::string label() const;
+};
+
+std::string_view kind_name(Element::Kind kind) noexcept;
+
+}  // namespace fvn::dataflow

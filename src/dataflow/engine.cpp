@@ -1,0 +1,260 @@
+#include "dataflow/engine.hpp"
+
+namespace fvn::dataflow {
+
+using ndlog::CmpOp;
+using ndlog::Database;
+using ndlog::Tuple;
+using ndlog::TupleSet;
+using ndlog::Value;
+
+namespace {
+
+bool compare(CmpOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return !(lhs == rhs);
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs < rhs || lhs == rhs;
+    case CmpOp::Gt: return rhs < lhs;
+    case CmpOp::Ge: return rhs < lhs || rhs == lhs;
+  }
+  return false;
+}
+
+void bump(obs::Counter* c) {
+  if (c != nullptr) c->add(1);
+}
+
+}  // namespace
+
+Engine::Engine(const Plan& plan, const ndlog::BuiltinRegistry& builtins,
+               obs::Registry* metrics)
+    : plan_(&plan), builtins_(&builtins), metrics_(metrics), fallback_(builtins) {
+  strand_obs_.reserve(plan.strands.size());
+  for (const auto& s : plan.strands) strand_obs_.push_back(make_obs(s));
+  agg_.resize(plan.aggregates.size());
+  agg_obs_.resize(plan.aggregates.size());
+  for (std::size_t i = 0; i < plan.aggregates.size(); ++i) {
+    for (const auto& s : plan.aggregates[i].strands) {
+      agg_obs_[i].push_back(make_obs(s));
+    }
+  }
+}
+
+Engine::StrandObs Engine::make_obs(const Strand& strand) const {
+  StrandObs obs(strand.elements.size());
+  if (metrics_ == nullptr) return obs;
+  const std::string base = "dataflow/elem/" + strand.rule_label + "[d" +
+                           std::to_string(strand.delta_position) + "]/";
+  for (std::size_t i = 0; i < strand.elements.size(); ++i) {
+    obs[i].in = &metrics_->counter(base + strand.elements[i].id + "/in");
+    obs[i].out = &metrics_->counter(base + strand.elements[i].id + "/out");
+  }
+  return obs;
+}
+
+bool Engine::match(const Element& element, const Tuple& tuple) {
+  if (tuple.arity() != element.arity) return false;
+  for (const auto& step : element.steps) {
+    const Value& v = tuple.at(step.pos);
+    switch (step.kind) {
+      case ArgStep::Kind::Bind:
+        regs_[static_cast<std::size_t>(step.slot)] = v;
+        break;
+      case ArgStep::Kind::TestSlot:
+        if (!(regs_[static_cast<std::size_t>(step.slot)] == v)) return false;
+        break;
+      case ArgStep::Kind::TestExpr:
+        if (!(step.expr.eval(regs_, *builtins_) == v)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void Engine::exec(RunCtx& ctx, std::size_t ei) {
+  const Element& e = ctx.strand->elements[ei];
+  const ElemObs& obs = (*ctx.obs)[ei];
+  bump(obs.in);
+  switch (e.kind) {
+    case Element::Kind::Delta: {
+      ++stats_.probes;
+      if (!match(e, *ctx.delta)) return;
+      bump(obs.out);
+      exec(ctx, ei + 1);
+      return;
+    }
+    case Element::Kind::IndexJoin: {
+      const Value key = e.probe.eval(regs_, *builtins_);
+      // The lookup reference is stable here: strand execution never mutates
+      // the database (produced tuples are buffered by the executive).
+      const auto& bucket =
+          ctx.db->lookup(e.predicate, static_cast<std::size_t>(e.probe_pos), key);
+      for (const Tuple* tuple : bucket) {
+        ++stats_.probes;
+        if (!match(e, *tuple)) continue;
+        bump(obs.out);
+        exec(ctx, ei + 1);
+      }
+      return;
+    }
+    case Element::Kind::Scan: {
+      for (const Tuple& tuple : ctx.db->relation(e.predicate)) {
+        ++stats_.probes;
+        if (!match(e, tuple)) continue;
+        bump(obs.out);
+        exec(ctx, ei + 1);
+      }
+      return;
+    }
+    case Element::Kind::Bind: {
+      regs_[static_cast<std::size_t>(e.slot)] = e.rhs.eval(regs_, *builtins_);
+      bump(obs.out);
+      exec(ctx, ei + 1);
+      return;
+    }
+    case Element::Kind::Select: {
+      if (!compare(e.cmp, e.lhs.eval(regs_, *builtins_), e.rhs.eval(regs_, *builtins_))) {
+        return;
+      }
+      bump(obs.out);
+      exec(ctx, ei + 1);
+      return;
+    }
+    case Element::Kind::NegProbe: {
+      std::vector<Value> values;
+      values.reserve(e.args.size());
+      for (const auto& a : e.args) values.push_back(a.eval(regs_, *builtins_));
+      if (ctx.db->contains(Tuple(e.predicate, std::move(values)))) return;
+      bump(obs.out);
+      exec(ctx, ei + 1);
+      return;
+    }
+    case Element::Kind::Project: {
+      std::vector<Value> values;
+      values.reserve(e.head_args.size());
+      for (const auto& a : e.head_args) values.push_back(a.eval(regs_, *builtins_));
+      bump(obs.out);
+      // The Demux element is the strand terminal: count the routed tuple and
+      // hand it to the executive (which resolves the location specifier).
+      const ElemObs& demux = (*ctx.obs)[ei + 1];
+      bump(demux.in);
+      bump(demux.out);
+      ctx.out->push_back(Tuple(e.head_predicate, std::move(values)));
+      ++stats_.tuples_emitted;
+      return;
+    }
+    case Element::Kind::Aggregate: {
+      std::vector<Value> key;
+      key.reserve(e.head_args.size());
+      for (std::size_t i = 0; i < e.head_args.size(); ++i) {
+        if (i == e.agg_pos) {
+          key.push_back(Value::nil());
+        } else {
+          key.push_back(e.head_args[i].eval(regs_, *builtins_));
+        }
+      }
+      const Value& v = regs_[static_cast<std::size_t>(e.agg_slot)];
+      auto& group = (*ctx.groups)[key];
+      auto it = group.emplace(v, 0).first;
+      it->second += ctx.sign;
+      if (it->second <= 0) group.erase(it);
+      if (group.empty()) ctx.groups->erase(key);
+      ++stats_.agg_updates;
+      bump(obs.out);
+      return;
+    }
+    case Element::Kind::Demux:
+      // Reached only via Project (handled there); nothing to do.
+      return;
+  }
+}
+
+void Engine::run_strand(const Strand& strand, const StrandObs& obs, const Tuple& delta,
+                        const Database& db, std::vector<Tuple>* out, GroupState* groups,
+                        int sign) {
+  if (strand.dead || strand.elements.empty()) return;
+  if (regs_.size() < strand.nslots) regs_.resize(strand.nslots);
+  RunCtx ctx;
+  ctx.strand = &strand;
+  ctx.obs = &obs;
+  ctx.delta = &delta;
+  ctx.db = &db;
+  ctx.out = out;
+  ctx.groups = groups;
+  ctx.sign = sign;
+  exec(ctx, 0);
+}
+
+void Engine::process(const Tuple& delta, const Database& db, std::vector<Tuple>& out) {
+  ++stats_.deltas_processed;
+  auto it = plan_->strands_by_predicate.find(delta.predicate());
+  if (it == plan_->strands_by_predicate.end()) return;
+  for (std::size_t si : it->second) {
+    run_strand(plan_->strands[si], strand_obs_[si], delta, db, &out, nullptr, +1);
+  }
+}
+
+void Engine::touch(const Tuple& tuple, int sign, const Database& db) {
+  for (std::size_t ai = 0; ai < plan_->aggregates.size(); ++ai) {
+    const AggregateRulePlan& ap = plan_->aggregates[ai];
+    if (ap.body_predicates.count(tuple.predicate()) == 0) continue;
+    agg_[ai].dirty = true;
+    if (!ap.incremental) continue;
+    for (std::size_t si = 0; si < ap.strands.size(); ++si) {
+      const Strand& strand = ap.strands[si];
+      if (strand.delta_predicate != tuple.predicate()) continue;
+      run_strand(strand, agg_obs_[ai][si], tuple, db, nullptr, &agg_[ai].groups, sign);
+    }
+  }
+}
+
+void Engine::on_insert(const Tuple& tuple, const Database& db) { touch(tuple, +1, db); }
+
+void Engine::on_erase(const Tuple& tuple, const Database& db) { touch(tuple, -1, db); }
+
+std::optional<TupleSet> Engine::flush_aggregate(std::size_t index, const Database& db) {
+  const AggregateRulePlan& ap = plan_->aggregates[index];
+  AggState& state = agg_[index];
+  if (!state.dirty) return std::nullopt;
+  // Clear *before* building: mutations the executive performs while routing
+  // this flush's diff (aggregate-row erasures, recursive installs) re-dirty
+  // the rule and are picked up by the next flush, exactly like the
+  // interpreter's per-delivery recompute.
+  state.dirty = false;
+  const ndlog::Rule& rule = plan_->program.rules[ap.rule_index];
+  TupleSet outputs;
+  if (ap.incremental) {
+    // Iterate groups in sorted key order — the same order the interpreter's
+    // eval_agg_rule sinks rows in — so the output set is built by an
+    // identical insertion sequence (identical iteration order downstream).
+    for (const auto& [key, multiset] : state.groups) {
+      std::vector<Value> values = key;
+      switch (ap.kind) {
+        case ndlog::AggKind::Min:
+          values[ap.agg_pos] = multiset.begin()->first;
+          break;
+        case ndlog::AggKind::Max:
+          values[ap.agg_pos] = multiset.rbegin()->first;
+          break;
+        case ndlog::AggKind::Count:
+          values[ap.agg_pos] =
+              Value::integer(static_cast<std::int64_t>(multiset.size()));
+          break;
+        case ndlog::AggKind::Sum: {
+          Value total = Value::integer(0);
+          for (const auto& [v, n] : multiset) total = total.add(v);
+          values[ap.agg_pos] = total;
+          break;
+        }
+      }
+      outputs.insert(Tuple(rule.head.predicate, std::move(values)));
+    }
+  } else {
+    fallback_.eval_agg_rule(rule, db, [&](Tuple t) { outputs.insert(std::move(t)); });
+  }
+  return outputs;
+}
+
+}  // namespace fvn::dataflow

@@ -66,6 +66,58 @@ std::set<std::string> body_location_vars(const Rule& rule) {
   return locs;
 }
 
+LocalizationCheck check_localizable(const Rule& rule) {
+  LocalizationCheck out;
+  const auto locs = body_location_vars(rule);
+  if (rule.is_fact() || locs.size() <= 1) {
+    out.status = LocalizationCheck::Status::Local;
+    return out;
+  }
+  if (locs.size() != 2) {
+    out.status = LocalizationCheck::Status::TooManyLocations;
+    out.detail = "rule " + rule.display_name() + ": cannot localize a body spanning " +
+                 std::to_string(locs.size()) + " locations";
+    return out;
+  }
+  // Orientation choice: the join happens at the site for which every atom on
+  // the *other* side positively carries the join-site location variable (the
+  // link-restriction of §2.2); when both orientations work, ship the fewer
+  // atoms. Returns nullopt when the orientation is infeasible.
+  auto it = locs.begin();
+  const std::string a = *it++;
+  const std::string b = *it;
+  auto feasible = [&](const std::string& join,
+                      const std::string& ship) -> std::optional<std::size_t> {
+    std::size_t shipped = 0;
+    for (const auto& elem : rule.body) {
+      const auto* ba = std::get_if<BodyAtom>(&elem);
+      if (ba == nullptr || location_var_of(ba->atom) != ship) continue;
+      ++shipped;
+      bool carries = false;
+      for (const auto& t : ba->atom.args) {
+        if (t->kind == Term::Kind::Var && t->name == join) carries = true;
+      }
+      if (!carries || ba->negated) return std::nullopt;
+    }
+    return shipped;
+  };
+  const auto ship_b = feasible(a, b);  // join at a, ship b's atoms
+  const auto ship_a = feasible(b, a);  // join at b, ship a's atoms
+  if (ship_b && (!ship_a || *ship_b <= *ship_a)) {
+    out.status = LocalizationCheck::Status::Rewritable;
+    out.join_site = a;
+    out.ship_site = b;
+  } else if (ship_a) {
+    out.status = LocalizationCheck::Status::Rewritable;
+    out.join_site = b;
+    out.ship_site = a;
+  } else {
+    out.status = LocalizationCheck::Status::NotLinkRestricted;
+    out.detail = "rule " + rule.display_name() + ": not link-restricted in either orientation";
+  }
+  return out;
+}
+
 namespace {
 
 /// "rule r2" / "rule path" — how messages name a rule.

@@ -72,6 +72,34 @@ std::string location_var_of(const Atom& atom);
 /// variables cannot be rewritten into link-restricted ship/join pairs.
 std::set<std::string> body_location_vars(const Rule& rule);
 
+/// Result of the link-restriction analysis (localizability of one rule).
+struct LocalizationCheck {
+  enum class Status : std::uint8_t {
+    Local,              ///< body names at most one location — nothing to rewrite
+    Rewritable,         ///< two locations, at least one feasible orientation
+    TooManyLocations,   ///< body spans more than two location specifiers
+    NotLinkRestricted,  ///< two locations but neither orientation ships atoms
+                        ///< that positively carry the join-site variable
+  };
+  Status status = Status::Local;
+  /// Engaged for Rewritable: the chosen join/ship orientation (the feasible
+  /// one shipping fewer atoms, ties broken toward the first location).
+  std::string join_site;
+  std::string ship_site;
+  /// Human-readable reason for the two failure statuses.
+  std::string detail;
+
+  bool localizable() const noexcept {
+    return status == Status::Local || status == Status::Rewritable;
+  }
+};
+
+/// Decide whether `rule` can be executed distributedly: local as-is, or
+/// rewritable into link-restricted ship/join pairs (the §2.2 localization
+/// rewrite). Shared by runtime::localize (which throws on failure at
+/// rewrite time) and the ND0013 lint pass (which reports it statically).
+LocalizationCheck check_localizable(const Rule& rule);
+
 // ---------------------------------------------------------------------------
 // Sink-based checks (collect every finding; never throw).
 // ---------------------------------------------------------------------------

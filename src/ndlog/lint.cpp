@@ -80,6 +80,7 @@ const std::vector<DiagnosticCodeInfo>& diagnostic_catalog() {
       {"ND0010", Severity::Warning, "cartesian-product body: atoms share no join variable"},
       {"ND0011", Severity::Warning, "aggregate over possibly-empty group"},
       {"ND0012", Severity::Warning, "rule body spans >2 locations: not localizable"},
+      {"ND0013", Severity::Warning, "two-location rule body is not link-restricted"},
   };
   return catalog;
 }
@@ -271,6 +272,27 @@ void lint_localizability(const Program& program, DiagnosticSink& sink) {
   }
 }
 
+void lint_link_restriction(const Program& program, DiagnosticSink& sink) {
+  for (const auto& rule : program.rules) {
+    const LocalizationCheck check = check_localizable(rule);
+    if (check.status != LocalizationCheck::Status::NotLinkRestricted) {
+      continue;  // >2 locations is ND0012's finding
+    }
+    const auto locs = body_location_vars(rule);
+    auto it = locs.begin();
+    const std::string a = *it++;
+    const std::string b = *it;
+    sink.warning("ND0013",
+                 rule_label(rule) + ": body joins @" + a + " and @" + b +
+                     " but is not link-restricted in either orientation — "
+                     "runtime::localize would reject this rule at execution time",
+                 rule.span())
+        .hint = "make every atom at one location also carry the other "
+                "location's variable (positively), so its tuples can be "
+                "shipped to the join site";
+  }
+}
+
 void lint_program(const Program& program, DiagnosticSink& sink,
                   const BuiltinRegistry& builtins, const LintOptions& options) {
   check_arities(program, sink);
@@ -284,7 +306,10 @@ void lint_program(const Program& program, DiagnosticSink& sink,
     lint_cartesian_products(program, sink);
     lint_aggregate_empty_groups(program, sink);
   }
-  if (options.localization_pass) lint_localizability(program, sink);
+  if (options.localization_pass) {
+    lint_localizability(program, sink);
+    lint_link_restriction(program, sink);
+  }
   sink.sort_by_location();
 }
 

@@ -10,6 +10,10 @@
 //   ND0010  cartesian product     body atoms share no join variable
 //   ND0011  aggregate over empty  guarded aggregate body: empty groups vanish
 //   ND0012  non-localizable rule  body spans > 2 location specifiers (arc 7)
+//   ND0013  not link-restricted   two-location body where neither orientation
+//                                 ships atoms carrying the join site — the
+//                                 runtime localizer would reject it at
+//                                 execution time
 //
 // All passes report through a DiagnosticSink, so one run surfaces every
 // finding with its source position. `fvn_cli lint` is the CLI surface.
@@ -36,7 +40,7 @@ const std::vector<DiagnosticCodeInfo>& diagnostic_catalog();
 
 struct LintOptions {
   bool style_passes = true;         // ND0006..ND0011
-  bool localization_pass = true;    // ND0012
+  bool localization_pass = true;    // ND0012 / ND0013
 };
 
 // Individual lint passes (each appends to the sink; never throws).
@@ -47,6 +51,7 @@ void lint_singleton_variables(const Program& program, DiagnosticSink& sink);    
 void lint_cartesian_products(const Program& program, DiagnosticSink& sink);      // ND0010
 void lint_aggregate_empty_groups(const Program& program, DiagnosticSink& sink);  // ND0011
 void lint_localizability(const Program& program, DiagnosticSink& sink);          // ND0012
+void lint_link_restriction(const Program& program, DiagnosticSink& sink);        // ND0013
 
 /// Run the core checks plus every enabled lint pass, collecting all findings
 /// into `sink` (sorted by source location on return).

@@ -32,44 +32,12 @@ Program localize(const Program& program) {
       out.rules.push_back(rule);
       continue;
     }
-    const auto locs = body_location_vars(rule);
-    if (locs.size() != 2) {
-      throw AnalysisError("rule " + rule.name + ": cannot localize a body spanning " +
-                          std::to_string(locs.size()) + " locations");
-    }
-    // Choose the orientation: the join happens at the site for which every
-    // atom on the *other* side carries the join-site location variable (the
-    // link-restriction); when both orientations work, ship the fewer atoms.
-    auto it = locs.begin();
-    const std::string a = *it++;
-    const std::string b = *it;
-    auto feasible = [&](const std::string& join, const std::string& ship) {
-      std::size_t shipped = 0;
-      for (const auto& elem : rule.body) {
-        const auto* ba = std::get_if<BodyAtom>(&elem);
-        if (ba == nullptr || location_var_of(ba->atom) != ship) continue;
-        ++shipped;
-        bool carries = false;
-        for (const auto& t : ba->atom.args) {
-          if (t->kind == Term::Kind::Var && t->name == join) carries = true;
-        }
-        if (!carries || ba->negated) return std::optional<std::size_t>{};
-      }
-      return std::optional<std::size_t>{shipped};
-    };
-    const auto ship_b = feasible(a, b);  // join at a, ship b's atoms
-    const auto ship_a = feasible(b, a);  // join at b, ship a's atoms
-    std::string join_site, ship_site;
-    if (ship_b && (!ship_a || *ship_b <= *ship_a)) {
-      join_site = a;
-      ship_site = b;
-    } else if (ship_a) {
-      join_site = b;
-      ship_site = a;
-    } else {
-      throw AnalysisError("rule " + rule.name +
-                          ": not link-restricted in either orientation");
-    }
+    // Orientation analysis is shared with the ND0013 link-restriction lint
+    // pass, which reports the same failures statically.
+    const ndlog::LocalizationCheck check = ndlog::check_localizable(rule);
+    if (!check.localizable()) throw AnalysisError(check.detail);
+    const std::string& join_site = check.join_site;
+    const std::string& ship_site = check.ship_site;
 
     Rule rewritten = rule;
     std::size_t ship_index = 0;
@@ -104,10 +72,15 @@ Program localize(const Program& program) {
                                     "_" + std::to_string(++ship_index);
       Rule ship;
       ship.name = ship_pred;
+      // Stamp the synthesized rule with the source span of the originating
+      // rule (and its head with the shipped atom's span) so diagnostics and
+      // traces about *_sh_* rules point at user code, not at line 0.
+      ship.loc = rule.loc;
       HeadAtom head;
       head.predicate = ship_pred;
       for (const auto& arg : ba->atom.args) head.args.push_back(HeadArg::plain(arg));
       head.loc_index = dest_pos;
+      head.loc = ba->atom.loc;
       ship.head = std::move(head);
       BodyAtom source;
       source.atom = ba->atom;

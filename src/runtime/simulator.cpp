@@ -35,6 +35,11 @@ Simulator::Simulator(ndlog::Program program, SimOptions options,
   ndlog::check_arities(program_);
   ndlog::check_safety(program_, builtins);
   if (options_.require_stratified) ndlog::stratify(program_);
+  if (options_.engine == EngineKind::Dataflow) {
+    dataflow::PlanOptions plan_options;
+    plan_options.incremental_aggregates = options_.incremental_aggregates;
+    plan_.emplace(dataflow::compile(program_, plan_options));
+  }
   for (const auto& rule : program_.rules) {
     if (rule.is_fact()) {
       // Program-embedded ground facts are injected at t=0.
@@ -113,6 +118,22 @@ std::string Simulator::key_of(const Tuple& tuple) const {
   return key;
 }
 
+dataflow::Engine& Simulator::flow(NodeState& state) {
+  if (!state.flow) {
+    state.flow =
+        std::make_unique<dataflow::Engine>(*plan_, *builtins_, options_.metrics);
+  }
+  return *state.flow;
+}
+
+void Simulator::note_insert(NodeState& state, const Tuple& tuple) {
+  if (plan_) flow(state).on_insert(tuple, state.db);
+}
+
+void Simulator::note_erase(NodeState& state, const Tuple& tuple) {
+  if (plan_) flow(state).on_erase(tuple, state.db);
+}
+
 bool Simulator::install(NodeState& state, const std::string& node, const Tuple& tuple,
                         double now) {
   std::optional<double> lifetime;
@@ -125,13 +146,16 @@ bool Simulator::install(NodeState& state, const std::string& node, const Tuple& 
   if (it == state.by_key.end()) {
     state.by_key.emplace(key, tuple);
     state.db.insert(tuple);
+    note_insert(state, tuple);
     changed = true;
   } else if (!(it->second == tuple)) {
     // Key overwrite (P2 materialize semantics).
     state.db.erase(it->second);
+    note_erase(state, it->second);
     state.expires_at.erase(it->second);
     it->second = tuple;
     state.db.insert(tuple);
+    note_insert(state, tuple);
     ++stats_.overwrites;
     if (options_.metrics != nullptr) {
       options_.metrics->counter("sim/node/" + node + "/overwrites").add(1);
@@ -209,14 +233,18 @@ void Simulator::send(const std::string& from, const Tuple& tuple, double now) {
 
 void Simulator::run_rules(const std::string& node, const Tuple& delta, double now) {
   NodeState& state = node_states_[node];
-  TupleSet delta_set{delta};
   std::vector<Tuple> produced;
-  for (const Rule* rule : normal_rules_) {
-    const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
-    for (std::size_t i = 0; i < atoms.size(); ++i) {
-      if (atoms[i]->atom.predicate != delta.predicate()) continue;
-      engine_.eval_rule_delta(*rule, state.db, i, delta_set,
-                              [&](Tuple t) { produced.push_back(std::move(t)); });
+  if (plan_) {
+    flow(state).process(delta, state.db, produced);
+  } else {
+    TupleSet delta_set{delta};
+    for (const Rule* rule : normal_rules_) {
+      const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (atoms[i]->atom.predicate != delta.predicate()) continue;
+        engine_.eval_rule_delta(*rule, state.db, i, delta_set,
+                                [&](Tuple t) { produced.push_back(std::move(t)); });
+      }
     }
   }
   for (auto& t : produced) {
@@ -231,6 +259,10 @@ void Simulator::run_rules(const std::string& node, const Tuple& delta, double no
 
 void Simulator::run_agg_rules(const std::string& node, double now) {
   if (agg_rules_.empty()) return;
+  if (plan_) {
+    run_agg_rules_dataflow(node, now);
+    return;
+  }
   NodeState& state = node_states_[node];
   for (const Rule* rule : agg_rules_) {
     TupleSet outputs;
@@ -243,6 +275,47 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
       if (outputs.count(old_row)) continue;
       if (location_of(old_row) != node) continue;  // remote copies age out
       if (state.db.erase(old_row)) {
+        state.by_key.erase(key_of(old_row));
+        state.expires_at.erase(old_row);
+        stats_.last_change_time = now;
+      }
+    }
+    std::vector<Tuple> added;
+    for (const auto& row : outputs) {
+      if (!prev.count(row)) added.push_back(row);
+    }
+    prev = outputs;
+    for (const auto& t : added) {
+      const std::string dest = location_of(t);
+      if (dest == node) {
+        if (install(state, node, t, now)) run_rules(node, t, now);
+      } else {
+        send(node, t, now);
+      }
+    }
+  }
+}
+
+void Simulator::run_agg_rules_dataflow(const std::string& node, double now) {
+  // Mirrors the interpreter's run_agg_rules exactly — same rule order, same
+  // diff-against-cache flow, same emission order (the engine builds the
+  // output set by the same sorted-group insertion sequence eval_agg_rule
+  // uses) — except the output view comes from incrementally maintained
+  // group state instead of a full recompute.
+  NodeState& state = node_states_[node];
+  dataflow::Engine& engine = flow(state);
+  for (std::size_t i = 0; i < plan_->aggregates.size(); ++i) {
+    const Rule* rule = &program_.rules[plan_->aggregates[i].rule_index];
+    auto maybe_outputs = engine.flush_aggregate(i, state.db);
+    if (!maybe_outputs) continue;  // provably unchanged since the last flush
+    TupleSet outputs = std::move(*maybe_outputs);
+    TupleSet& prev = state.agg_cache[rule];
+    if (outputs == prev) continue;
+    for (const auto& old_row : prev) {
+      if (outputs.count(old_row)) continue;
+      if (location_of(old_row) != node) continue;  // remote copies age out
+      if (state.db.erase(old_row)) {
+        note_erase(state, old_row);
         state.by_key.erase(key_of(old_row));
         state.expires_at.erase(old_row);
         stats_.last_change_time = now;
@@ -338,7 +411,7 @@ SimStats Simulator::run() {
         // Only expire if this event corresponds to the latest refresh.
         if (it != state.expires_at.end() && it->second <= e.time + 1e-12) {
           state.expires_at.erase(it);
-          state.db.erase(e.tuple);
+          if (state.db.erase(e.tuple)) note_erase(state, e.tuple);
           state.by_key.erase(key_of(e.tuple));
           ++stats_.expirations;
           stats_.last_change_time = e.time;
@@ -358,6 +431,7 @@ SimStats Simulator::run() {
       }
       case Event::Kind::Retract: {
         if (state.db.erase(e.tuple)) {
+          note_erase(state, e.tuple);
           state.by_key.erase(key_of(e.tuple));
           state.expires_at.erase(e.tuple);
           stats_.last_change_time = e.time;

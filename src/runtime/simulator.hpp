@@ -18,17 +18,26 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <random>
 #include <set>
 
+#include "dataflow/engine.hpp"
+#include "dataflow/plan.hpp"
 #include "ndlog/catalog.hpp"
 #include "ndlog/eval.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace fvn::runtime {
+
+/// Which executor evaluates rules at each node.
+enum class EngineKind : std::uint8_t {
+  Interpreter,  ///< per-delta semi-naive re-evaluation via ndlog::RuleEngine
+  Dataflow,     ///< compiled element strands (fvn::dataflow), P2/Click-style
+};
 
 struct SimOptions {
   double default_link_delay = 0.01;  // seconds
@@ -58,6 +67,16 @@ struct SimOptions {
   /// exported Chrome trace shows protocol time, not host time.
   obs::Registry* metrics = nullptr;
   obs::Trace* obs_trace = nullptr;
+  /// Rule executor. Both engines are operationally equivalent (identical
+  /// fixpoints, message streams and convergence times — pinned by the
+  /// differential tests); Dataflow compiles each rule once and pushes one
+  /// tuple delta at a time through the element strands instead of paying a
+  /// per-message join re-evaluation.
+  EngineKind engine = EngineKind::Interpreter;
+  /// Dataflow only: maintain aggregate views via per-group ± deltas where
+  /// the planner proves it exact (false forces the recompute fallback for
+  /// every aggregate rule — the ablation knob).
+  bool incremental_aggregates = true;
 };
 
 /// One recorded simulation event (Pip-style trace entry for offline checks).
@@ -119,6 +138,8 @@ class Simulator {
 
   /// Local database of a node (valid after run()).
   const ndlog::Database& database(const std::string& node) const;
+  /// Compiled dataflow plan (null in interpreter mode).
+  const dataflow::Plan* plan() const noexcept { return plan_ ? &*plan_ : nullptr; }
   /// Recorded events (empty unless options.record_trace).
   const std::vector<TraceEntry>& trace() const noexcept { return trace_; }
   /// Union of all nodes' relations (for comparing with the centralized
@@ -147,6 +168,8 @@ class Simulator {
     std::map<ndlog::Tuple, double> expires_at;
     /// per-aggregate-rule last output (incremental view maintenance).
     std::map<const ndlog::Rule*, ndlog::TupleSet> agg_cache;
+    /// Dataflow mode: this node's compiled engine (created on first use).
+    std::unique_ptr<dataflow::Engine> flow;
   };
 
   void schedule(Event event);
@@ -159,14 +182,24 @@ class Simulator {
                double now);
   void run_rules(const std::string& node, const ndlog::Tuple& delta, double now);
   void run_agg_rules(const std::string& node, double now);
+  void run_agg_rules_dataflow(const std::string& node, double now);
   std::string key_of(const ndlog::Tuple& tuple) const;
   std::string location_of(const ndlog::Tuple& tuple) const;
+  /// Dataflow mode: the node's engine (created lazily; by construction every
+  /// database mutation flows through the mirror hooks from the first insert,
+  /// so a freshly created engine always starts from an empty database).
+  dataflow::Engine& flow(NodeState& state);
+  /// Mirror hooks — no-ops in interpreter mode.
+  void note_insert(NodeState& state, const ndlog::Tuple& tuple);
+  void note_erase(NodeState& state, const ndlog::Tuple& tuple);
 
   ndlog::Program program_;
   ndlog::Catalog catalog_;
   SimOptions options_;
   const ndlog::BuiltinRegistry* builtins_;
   ndlog::RuleEngine engine_;
+  /// Engaged iff options_.engine == EngineKind::Dataflow.
+  std::optional<dataflow::Plan> plan_;
 
   std::map<std::string, NodeState> node_states_;
   std::map<std::pair<std::string, std::string>, double> link_delays_;

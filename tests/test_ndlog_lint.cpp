@@ -216,6 +216,47 @@ TEST(Lint, ND0012NonLocalizableRule) {
   EXPECT_NE(hits[0].message.find("3 location"), std::string::npos);
 }
 
+TEST(Lint, ND0013NotLinkRestricted) {
+  // Two locations, but neither atom carries the other's location variable —
+  // the runtime localizer would reject this at execution time; the lint
+  // reports it statically, at the rule's position.
+  const auto diags = lint_source(
+      "materialize(b, infinity, infinity, keys(1,2)).\n"
+      "materialize(c, infinity, infinity, keys(1,2)).\n"
+      "materialize(a, infinity, infinity, keys(1,2)).\n"
+      "r1 a(@X,Y) :- b(@X,W), c(@Y,W).\n");
+  const auto hits = with_code(diags, "ND0013");
+  ASSERT_EQ(hits.size(), 1u) << render_human(diags);
+  EXPECT_EQ(hits[0].severity, Severity::Warning);
+  EXPECT_EQ(hits[0].span.begin.line, 4);
+  EXPECT_NE(hits[0].message.find("link-restricted"), std::string::npos);
+}
+
+TEST(Lint, ND0013SilentOnLinkRestrictedRule) {
+  // The paper's r2: link(@S,Z,...) carries Z, so shipping link to @Z is a
+  // valid orientation — localizable, no ND0013.
+  const auto diags = lint_source(core::path_vector_source());
+  EXPECT_TRUE(with_code(diags, "ND0013").empty()) << render_human(diags);
+  // And a rule the localizer handles by shipping the *other* way.
+  const auto diags2 = lint_source(
+      "materialize(b, infinity, infinity, keys(1,2)).\n"
+      "materialize(c, infinity, infinity, keys(1,2)).\n"
+      "materialize(a, infinity, infinity, keys(1,2)).\n"
+      "r1 a(@X,Y) :- b(@X,Y), c(@Y,X).\n");
+  EXPECT_TRUE(with_code(diags2, "ND0013").empty()) << render_human(diags2);
+}
+
+TEST(Lint, ND0013NotEmittedForThreeLocationRules) {
+  // > 2 locations is ND0012's finding; ND0013 must not double-report it.
+  const auto diags = lint_source(
+      "materialize(b, infinity, infinity, keys(1,2,3)).\n"
+      "materialize(c, infinity, infinity, keys(1,2)).\n"
+      "materialize(d, infinity, infinity, keys(1,2)).\n"
+      "materialize(a, infinity, infinity, keys(1)).\n"
+      "r1 a(@X) :- b(@X,Y,Z), c(@Y,X), d(@Z,X).\n");
+  EXPECT_TRUE(with_code(diags, "ND0013").empty()) << render_human(diags);
+}
+
 TEST(Lint, CollectsEveryFindingNotJustTheFirst) {
   // Two unbound variables in two different rules plus an arity clash: the
   // sink must surface all of them in one run, sorted by line.
