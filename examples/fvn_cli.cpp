@@ -4,6 +4,9 @@
 // Usage:
 //   fvn_cli check     <prog.ndlog>                  static analysis report
 //   fvn_cli lint      [--json] <prog.ndlog>...      all diagnostics (ND0001..)
+//   fvn_cli analyze   [--json|--dot] <prog.ndlog>...  semantic analysis:
+//                     divergence prediction + CALM convergence (ND0014..18);
+//                     --dot prints the dependency graph with strata/SCCs
 //   fvn_cli translate <prog.ndlog>                  PVS-style theory (arc 4)
 //   fvn_cli linear    <prog.ndlog>                  linear-logic view (§4.2)
 //   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
@@ -36,6 +39,7 @@
 #include "ndlog/parser.hpp"
 #include "ndlog/provenance.hpp"
 #include "ndlog/query.hpp"
+#include "ndlog/semantic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/localize.hpp"
@@ -67,10 +71,12 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|lint|translate|linear|run|query|simulate|plan|explain> "
+  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|plan|explain> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
+               "       fvn_cli analyze [--json|--dot|--metrics] <prog.ndlog>...   "
+               "(semantic passes ND0014..ND0018; same exit convention)\n"
                "       fvn_cli plan <prog.ndlog> [--dot|--json]   "
                "(localize + compile to dataflow strands)\n"
                "       eval = run, sim = simulate; both take --metrics and "
@@ -157,6 +163,81 @@ int cmd_lint(const std::vector<std::string>& args) {
   return errors != 0 ? 2 : warnings != 0 ? 1 : 0;
 }
 
+/// `fvn_cli analyze [--json|--dot|--metrics] <file>...` — run the core
+/// checks plus the semantic passes (ND0014–ND0018: dead rules, divergence
+/// prediction, CALM order-sensitivity). Exit convention matches lint:
+/// 0 clean, 1 warnings, 2 errors. `--dot` prints the annotated predicate
+/// dependency graph for a single file.
+int cmd_analyze(const std::vector<std::string>& args) {
+  bool json = false;
+  bool dot = false;
+  bool want_metrics = false;
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--dot") {
+      dot = true;
+    } else if (a == "--metrics") {
+      want_metrics = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty() || (dot && json) || (dot && files.size() != 1)) return usage();
+
+  fvn::obs::Registry registry;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::ostringstream json_out;
+  json_out << "{\"files\":[";
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string& file = files[f];
+    fvn::ndlog::DiagnosticSink sink;
+    std::string summary_json;
+    try {
+      auto program = fvn::ndlog::parse_program(slurp(file), file);
+      fvn::ndlog::check_arities(program, sink);
+      fvn::ndlog::check_safety(program, fvn::ndlog::BuiltinRegistry::standard(),
+                               sink);
+      fvn::ndlog::stratify(program, sink);
+      if (!sink.has_errors()) {
+        fvn::ndlog::SemanticOptions options;
+        if (want_metrics) options.metrics = &registry;
+        auto report = fvn::ndlog::analyze_semantics(program, sink, options);
+        summary_json = fvn::ndlog::semantic_json(report);
+        if (dot) {
+          std::cout << fvn::ndlog::semantic_dot(program, report);
+        }
+      }
+      sink.sort_by_location();
+    } catch (const fvn::ndlog::ParseError& e) {
+      sink.error("ND0001", e.what(),
+                 fvn::ndlog::SourceSpan::at({e.line(), e.column()}));
+    } catch (const std::exception& e) {
+      sink.error("ND0001", e.what());
+    }
+    errors += sink.count(fvn::ndlog::Severity::Error);
+    warnings += sink.count(fvn::ndlog::Severity::Warning);
+    if (json) {
+      json_out << (f != 0 ? "," : "") << "{\"file\":\"" << fvn::ndlog::json_escape(file)
+               << "\",\"diagnostics\":" << fvn::ndlog::render_json(sink.diagnostics());
+      if (!summary_json.empty()) json_out << ",\"summary\":" << summary_json;
+      json_out << "}";
+    } else if (!dot) {
+      std::cout << fvn::ndlog::render_human(sink.diagnostics(), file);
+    }
+  }
+  if (json) {
+    json_out << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
+    std::cout << json_out.str() << "\n";
+  } else if (!dot) {
+    std::cout << "analyze: " << errors << " errors, " << warnings << " warnings\n";
+  }
+  if (want_metrics) std::cerr << registry.render_summary();
+  return errors != 0 ? 2 : warnings != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +246,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "lint") {
     return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "analyze") {
+    return cmd_analyze(std::vector<std::string>(argv + 2, argv + argc));
   }
   if (command == "plan") {
     try {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Repository health gate: tier-1 build + tests, the same suite again under
+# ASan/UBSan, and (when available) clang-tidy over src/ with the checks
+# pinned in .clang-tidy.
+#
+# Usage: scripts/check.sh [--no-sanitize] [--no-tidy]
+#
+# Exit nonzero on the first failing stage. clang-tidy is optional tooling:
+# when the binary is missing the stage is skipped with a notice, because the
+# build container ships only the base C++ toolchain.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+run_sanitize=1
+run_tidy=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) run_sanitize=0 ;;
+    --no-tidy) run_tidy=0 ;;
+    *)
+      echo "usage: scripts/check.sh [--no-sanitize] [--no-tidy]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== check: tier-1 build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [ "$run_tidy" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== check: clang-tidy over src/ =="
+    # The tier-1 build above refreshed compile_commands.json.
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+  else
+    echo "== check: clang-tidy not installed, skipping lint stage =="
+  fi
+fi
+
+if [ "$run_sanitize" -eq 1 ]; then
+  echo "== check: ASan/UBSan build + ctest =="
+  cmake -B build-san -S . -DFVN_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs"
+  ctest --test-dir build-san --output-on-failure -j "$jobs"
+fi
+
+echo "== check: all stages passed =="

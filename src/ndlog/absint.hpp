@@ -1,0 +1,154 @@
+// Abstract interpretation over NDlog programs (DESIGN.md §11). The domain is
+// deliberately small: a value is abstracted as either Bottom (no concrete
+// value reaches here), a numeric interval over doubles with ±inf endpoints,
+// a boolean with may-true/may-false flags, or Any (every value of any kind).
+//
+// Two consumers sit on top (see semantic.hpp):
+//   * dead-rule detection (ND0014): a rule whose comparisons are *definitely*
+//     unsatisfiable under the per-predicate abstraction can never fire;
+//   * divergence prediction (ND0015): recursive rules that grow a value
+//     (arithmetic or path concatenation) need a finite bound or a cycle
+//     guard, otherwise the evaluator's derivation budget is the only brake.
+//
+// The analysis is conservative for the checks that gate diagnostics:
+// `satisfiable` only answers "no" when the comparison cannot hold for any
+// concrete instantiation of the abstraction. Materialized predicates start
+// at Any because external fact injection can populate them with arbitrary
+// tuples; only values derived purely inside the program are tracked
+// precisely.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"
+
+namespace fvn::ndlog::absint {
+
+// ---------------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------------
+
+/// Closed numeric interval [lo, hi] over doubles; ±inf endpoints model
+/// unbounded growth. Default-constructed = empty (lo > hi).
+struct Interval {
+  double lo;
+  double hi;
+
+  Interval();  // empty
+  static Interval empty();
+  static Interval top();
+  static Interval point(double v);
+  static Interval range(double lo, double hi);
+
+  bool is_empty() const noexcept { return lo > hi; }
+  bool is_point() const noexcept { return lo == hi && !is_empty(); }
+  bool bounded_above() const noexcept;
+  bool bounded_below() const noexcept;
+  bool contains(double v) const noexcept { return lo <= v && v <= hi; }
+
+  Interval join(const Interval& other) const;  // convex hull
+  Interval meet(const Interval& other) const;  // intersection
+  /// Standard widening: endpoints that moved outward jump to ±inf.
+  Interval widen(const Interval& newer) const;
+
+  bool operator==(const Interval& other) const noexcept;
+  std::string to_string() const;
+};
+
+Interval add(const Interval& a, const Interval& b);
+Interval sub(const Interval& a, const Interval& b);
+Interval mul(const Interval& a, const Interval& b);
+Interval div(const Interval& a, const Interval& b);  // conservative
+Interval mod(const Interval& a, const Interval& b);  // conservative
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// One abstract value. Num carries an interval; Bool carries which truth
+/// values are possible; Any covers every kind (addresses, strings, lists,
+/// and numbers we lost track of).
+struct AbstractValue {
+  enum class Kind : std::uint8_t { Bottom, Num, Bool, Any };
+
+  Kind kind = Kind::Bottom;
+  Interval num;           // engaged when kind == Num
+  bool may_true = true;   // engaged when kind == Bool
+  bool may_false = true;
+
+  static AbstractValue bottom();
+  static AbstractValue any();
+  static AbstractValue number(Interval iv);
+  static AbstractValue boolean(bool may_true, bool may_false);
+  /// Abstraction of a concrete value (addresses/strings/lists map to Any).
+  static AbstractValue of(const Value& v);
+
+  bool is_bottom() const noexcept { return kind == Kind::Bottom; }
+  bool is_num() const noexcept { return kind == Kind::Num; }
+  bool is_bool() const noexcept { return kind == Kind::Bool; }
+  bool is_any() const noexcept { return kind == Kind::Any; }
+
+  AbstractValue join(const AbstractValue& other) const;
+  AbstractValue meet(const AbstractValue& other) const;
+  AbstractValue widen(const AbstractValue& newer) const;
+
+  bool operator==(const AbstractValue& other) const noexcept;
+  std::string to_string() const;
+};
+
+/// Can `a op b` hold for *some* concrete pair drawn from the abstractions?
+/// Answers false only when the comparison is definitely unsatisfiable
+/// (disjoint intervals, distinct kinds under `=`, equal singletons under
+/// `!=`, ...). Bottom operands are never satisfiable.
+bool satisfiable(CmpOp op, const AbstractValue& a, const AbstractValue& b);
+
+/// Refine `a` under the assumption that `a op b` held. Sound: the result
+/// still covers every concrete value of `a` that can satisfy the
+/// comparison. Only numeric-vs-numeric facts refine; Any stays Any (other
+/// kinds may satisfy an order comparison under the kind-major value order).
+AbstractValue refine(CmpOp op, const AbstractValue& a, const AbstractValue& b);
+
+/// Mirror of a comparison (a < b  ⇔  b > a).
+CmpOp flip(CmpOp op) noexcept;
+
+// ---------------------------------------------------------------------------
+// Program-level analysis
+// ---------------------------------------------------------------------------
+
+/// Per-predicate abstraction: one AbstractValue per argument position.
+using PredicateMap = std::map<std::string, std::vector<AbstractValue>>;
+
+/// Result of abstractly executing one rule body against a PredicateMap.
+struct RuleAbstraction {
+  /// Final abstraction of every bound variable after comparison refinement.
+  std::map<std::string, AbstractValue> vars;
+  /// Abstraction of each head argument position.
+  std::vector<AbstractValue> head;
+  /// The rule can never fire (some atom or comparison is unsatisfiable).
+  bool unsat = false;
+  /// Engaged when `unsat` was established by a comparison (the ND0014
+  /// trigger; Bottom body atoms are the underivable-predicate lint's job).
+  bool unsat_is_comparison = false;
+  SourceLoc unsat_loc;
+  std::string unsat_detail;
+};
+
+/// Abstract one rule: bind variables from positive atoms, iterate the
+/// comparison chain (binding `V = expr` occurrences, refining and testing
+/// the rest), then evaluate the head arguments.
+RuleAbstraction abstract_rule(const Rule& rule, const PredicateMap& preds);
+
+/// Abstract evaluation of a term under a variable abstraction. Unbound
+/// variables evaluate to Any. Builtins use a transfer table (f_size ⇒
+/// [0,+inf), f_inPath ⇒ bool, f_min/f_max combine intervals, ...).
+AbstractValue eval_term(const Term& term,
+                        const std::map<std::string, AbstractValue>& vars);
+
+/// Global fixpoint: every materialized predicate starts at Any (external
+/// injection), everything else at Bottom; rule heads join in with widening
+/// after `widen_after` growing joins per position.
+PredicateMap analyze_program(const Program& program, int widen_after = 3);
+
+}  // namespace fvn::ndlog::absint

@@ -81,6 +81,11 @@ const std::vector<DiagnosticCodeInfo>& diagnostic_catalog() {
       {"ND0011", Severity::Warning, "aggregate over possibly-empty group"},
       {"ND0012", Severity::Warning, "rule body spans >2 locations: not localizable"},
       {"ND0013", Severity::Warning, "two-location rule body is not link-restricted"},
+      {"ND0014", Severity::Warning, "dead rule: a comparison is always false (interval analysis)"},
+      {"ND0015", Severity::Warning, "unbounded recursive value growth: predicted divergence"},
+      {"ND0016", Severity::Warning, "negation over asynchronously derived predicate (order-sensitive)"},
+      {"ND0017", Severity::Warning, "materialized key projection drops non-functional columns (race)"},
+      {"ND0018", Severity::Note, "aggregate over asynchronous input (non-monotone, CALM)"},
   };
   return catalog;
 }

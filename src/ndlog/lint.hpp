@@ -17,6 +17,11 @@
 //
 // All passes report through a DiagnosticSink, so one run surfaces every
 // finding with its source position. `fvn_cli lint` is the CLI surface.
+//
+// Codes ND0014–ND0018 (dead rules, divergence prediction, CALM
+// order-sensitivity) belong to the semantic analyzer — see semantic.hpp and
+// `fvn_cli analyze`. They share this catalog so `diagnostic_catalog()`
+// describes every code the toolchain can emit.
 #pragma once
 
 #include <string_view>

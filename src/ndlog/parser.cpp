@@ -63,9 +63,13 @@ std::vector<Token> tokenize(std::string_view src) {
       continue;
     }
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int open_line = line;
+      const int open_col = col;
       advance(2);
       while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) advance();
-      if (i + 1 >= src.size()) throw ParseError("unterminated block comment", line, col);
+      if (i + 1 >= src.size()) {
+        throw ParseError("unterminated block comment", open_line, open_col);
+      }
       advance(2);
       continue;
     }
@@ -86,12 +90,18 @@ std::vector<Token> tokenize(std::string_view src) {
       Token t = make(TokenKind::Number, std::string(src.substr(start, i - start)));
       t.number_is_int = !is_double;
       if (is_double) {
-        t.number = std::stod(t.text);
+        try {
+          t.number = std::stod(t.text);
+        } catch (const std::exception&) {
+          throw ParseError("bad number literal '" + t.text + "'", tok_line, tok_col);
+        }
       } else {
         std::int64_t v = 0;
         auto [ptr, ec] = std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
         (void)ptr;
-        if (ec != std::errc{}) throw ParseError("bad integer literal '" + t.text + "'", line, col);
+        if (ec != std::errc{}) {
+          throw ParseError("bad integer literal '" + t.text + "'", tok_line, tok_col);
+        }
         t.int_value = v;
         t.number = static_cast<double>(v);
       }
@@ -123,7 +133,9 @@ std::vector<Token> tokenize(std::string_view src) {
         text += src[i];
         advance();
       }
-      if (i >= src.size()) throw ParseError("unterminated string literal", line, col);
+      if (i >= src.size()) {
+        throw ParseError("unterminated string literal", tok_line, tok_col);
+      }
       advance();  // closing quote
       out.push_back(make(TokenKind::String, std::move(text)));
       continue;
@@ -188,7 +200,8 @@ class Parser {
     values.reserve(atom.args.size());
     for (const auto& t : atom.args) {
       if (t->kind != Term::Kind::Const) {
-        throw ParseError("fact arguments must be constants", peek().line, peek().column);
+        throw ParseError("fact arguments must be constants", atom.loc.line,
+                         atom.loc.column);
       }
       values.push_back(t->constant);
     }

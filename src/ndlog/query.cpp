@@ -1,5 +1,6 @@
 #include "ndlog/query.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "ndlog/analysis.hpp"
@@ -75,7 +76,12 @@ QueryResult query(const Program& program, std::string_view goal_text,
   Program parsed = parse_program(wrapped, "goal");
   const auto* ba = std::get_if<BodyAtom>(&parsed.rules.at(0).body.at(0));
   if (ba == nullptr) {
-    throw ParseError("goal must be a single atom", 1, 1);
+    // The goal parsed as a comparison, not an atom. Report its position in
+    // the caller's goal text by undoing the "q__(@X) :- " wrapper offset.
+    const auto* cmp = std::get_if<Comparison>(&parsed.rules.at(0).body.at(0));
+    const int col =
+        cmp != nullptr ? std::max(1, cmp->loc.column - 11) : 1;
+    throw ParseError("goal must be a single atom", 1, col);
   }
   return query(program, ba->atom, facts, options, builtins);
 }

@@ -1,0 +1,120 @@
+// Semantic NDlog analysis (DESIGN.md §11): divergence prediction and
+// CALM-style convergence classification on top of the fvn::ndlog::absint
+// abstract domain and the predicate dependency graph.
+//
+//   ND0014  dead rule             a comparison is unsatisfiable under the
+//                                 interval abstraction; the rule never fires
+//   ND0015  predicted divergence  a recursive cycle grows a value (arith or
+//                                 path concatenation) with neither a finite
+//                                 bound nor a cycle guard; the evaluator
+//                                 would only stop on its derivation budget
+//                                 (DivergenceError)
+//   ND0016  order-sensitive ¬     negation over an asynchronously derived
+//                                 predicate: the fixpoint can depend on
+//                                 message arrival order
+//   ND0017  key-projection race   a materialized predicate's P2 key set
+//                                 drops columns that are not functionally
+//                                 determined by the keys; last-writer-wins
+//                                 under reordering
+//   ND0018  non-monotone (CALM)   aggregate over asynchronous input: safe
+//                                 but recomputed non-monotonically (note)
+//
+// The analyzer is cross-validated against the runtime (tests/
+// test_semantic_crossval.cpp): divergence verdicts against the evaluator's
+// DivergenceError, order flags against two seeded simulator schedules.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ndlog/absint.hpp"
+#include "ndlog/ast.hpp"
+#include "ndlog/diagnostics.hpp"
+
+namespace fvn::obs {
+class Registry;
+}  // namespace fvn::obs
+
+namespace fvn::ndlog {
+
+/// One inferred functional dependency: the argument positions in
+/// `determinant` jointly determine position `dependent` (0-based) in every
+/// run regardless of message ordering.
+struct Fd {
+  std::vector<int> determinant;  // sorted, 0-based
+  int dependent = 0;
+
+  bool operator==(const Fd& other) const noexcept {
+    return determinant == other.determinant && dependent == other.dependent;
+  }
+};
+
+struct SemanticOptions {
+  /// Optional per-pass counters and timers under the `analyze/` prefix.
+  obs::Registry* metrics = nullptr;
+  /// Predicates wider than this only get key-derived FD candidates (the
+  /// subset enumeration is exponential in arity).
+  int fd_max_arity = 8;
+};
+
+/// Everything the semantic passes computed, for rendering and for tests.
+struct SemanticReport {
+  /// Strongly connected components of the dependency graph in dependency
+  /// order (callees first); members sorted.
+  std::vector<std::vector<std::string>> sccs;
+  std::set<std::string> recursive_predicates;
+  /// Predicates whose contents can depend on cross-node message timing.
+  std::set<std::string> async_predicates;
+  /// Predicates in a cycle flagged ND0015.
+  std::set<std::string> divergent_predicates;
+  /// Rule indices flagged ND0014.
+  std::vector<std::size_t> dead_rules;
+  /// Predicates flagged ND0016/ND0017 (order-sensitive fixpoint).
+  std::set<std::string> order_sensitive_predicates;
+  /// CALM: no negation, no aggregation, no key-projection — the program is
+  /// confluent under any message ordering.
+  bool monotone = false;
+  int stratum_count = 0;
+  std::map<std::string, int> stratum_of;
+  absint::PredicateMap abstraction;
+  /// Surviving order-independent FDs per derived predicate (plus the
+  /// key-functionality FDs of base materialized predicates).
+  std::map<std::string, std::vector<Fd>> fds;
+};
+
+/// Run every semantic pass, reporting ND0014–ND0018 into `sink`. Assumes the
+/// core checks (arity/safety/stratifiability) already passed.
+SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
+                                 const SemanticOptions& options = {});
+
+/// Predicates derivable through cross-node communication: a defining rule
+/// joins across two location specifiers or ships its head to another node,
+/// or any (transitive) body dependency does. Contents of such predicates at
+/// a node depend on message timing.
+std::set<std::string> async_predicates(const Program& program);
+
+/// Greatest-fixpoint inference of order-independent functional dependencies.
+/// Base materialized predicates contribute their P2 key FDs (stable external
+/// input); derived predicates start from all candidate FDs and lose every FD
+/// some rule cannot justify via a chase-style argument.
+std::map<std::string, std::vector<Fd>> infer_fds(const Program& program,
+                                                 int fd_max_arity = 8);
+
+/// Does `determinant ⊇ some surviving FD determinant` for `dependent`?
+bool fd_determines(const std::map<std::string, std::vector<Fd>>& fds,
+                   const std::string& predicate,
+                   const std::set<int>& determinant, int dependent);
+
+/// Graphviz DOT of the predicate dependency graph: strata as node labels,
+/// recursive SCCs colored, ND0015 components red, async predicates dashed,
+/// negation edges dashed, aggregation edges labelled.
+std::string semantic_dot(const Program& program, const SemanticReport& report);
+
+/// Deterministic JSON summary object (predicates, strata, sccs, recursive,
+/// async, divergent, dead_rules, order_sensitive, monotone).
+std::string semantic_json(const SemanticReport& report);
+
+}  // namespace fvn::ndlog

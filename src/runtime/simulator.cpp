@@ -223,6 +223,10 @@ void Simulator::send(const std::string& from, const Tuple& tuple, double now) {
   double delay = options_.default_link_delay;
   auto it = link_delays_.find({from, to});
   if (it != link_delays_.end()) delay = it->second;
+  if (options_.delay_jitter > 0.0) {
+    std::uniform_real_distribution<double> j(0.0, options_.delay_jitter);
+    delay *= 1.0 + j(rng_);
+  }
   Event e;
   e.time = now + delay;
   e.kind = Event::Kind::Deliver;

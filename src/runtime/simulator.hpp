@@ -43,6 +43,14 @@ struct SimOptions {
   double default_link_delay = 0.01;  // seconds
   double loss_rate = 0.0;            // per-message drop probability
   std::uint64_t seed = 1;
+  /// Seed-driven per-message delay jitter: each message's delay is
+  /// multiplied by 1 + U(0, delay_jitter) drawn from the seeded RNG, so
+  /// different seeds explore different arrival orders. 0 (the default)
+  /// keeps schedules fully deterministic — existing differential tests
+  /// rely on bit-identical runs. The semantic analyzer's order-sensitivity
+  /// cross-validation (ND0016/ND0017) uses this to witness racing
+  /// fixpoints with two seeds.
+  double delay_jitter = 0.0;
   double max_time = 1e6;
   std::size_t max_events = 5'000'000;
   /// Fire `periodic(@N,Interval)` events at every node that the program

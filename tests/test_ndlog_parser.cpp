@@ -176,5 +176,53 @@ TEST(Parser, ProgramToStringReparses) {
   EXPECT_EQ(program.to_string(), reparsed.to_string());
 }
 
+// ---------------------------------------------------------------------------
+// Every error path must carry a real source position (never line 0 / the
+// end-of-input fallback), so diagnostics built from ParseError locate.
+// ---------------------------------------------------------------------------
+
+/// Expect a ParseError from parsing `source` and return its position.
+std::pair<int, int> error_position(const std::string& source) {
+  try {
+    parse_program(source);
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.line(), 0) << e.what();
+    EXPECT_GT(e.column(), 0) << e.what();
+    return {e.line(), e.column()};
+  }
+  ADD_FAILURE() << "expected ParseError from: " << source;
+  return {0, 0};
+}
+
+TEST(ParserSpans, UnterminatedBlockCommentPointsAtOpening) {
+  const auto [line, col] = error_position("a(@X) :- b(@X).\n  /* never closed");
+  EXPECT_EQ(line, 2);
+  EXPECT_EQ(col, 3);
+}
+
+TEST(ParserSpans, UnterminatedStringPointsAtOpeningQuote) {
+  const auto [line, col] = error_position("f(@n1, \"oops).\n");
+  EXPECT_EQ(line, 1);
+  EXPECT_EQ(col, 8);
+}
+
+TEST(ParserSpans, BadIntegerLiteralPointsAtToken) {
+  // Exceeds int64: from_chars reports out-of-range.
+  const auto [line, col] =
+      error_position("f(@n1,\n   99999999999999999999999).\n");
+  EXPECT_EQ(line, 2);
+  EXPECT_EQ(col, 4);
+}
+
+TEST(ParserSpans, NonConstantFactArgumentPointsAtAtom) {
+  try {
+    parse_fact("link(@n1,X,3)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 1);  // the atom, not the end of input
+  }
+}
+
 }  // namespace
 }  // namespace fvn::ndlog

@@ -1,0 +1,493 @@
+// Tests for the semantic analyzer (absint + semantic): the abstract domain's
+// lattice algebra, dead-rule detection (ND0014), divergence prediction
+// (ND0015) including the guard/bound escape hatches, async-predicate
+// classification, the CALM order-sensitivity codes (ND0016–ND0018),
+// order-independent FD inference, the DOT/JSON renderers, per-pass metrics,
+// and golden expected-diagnostics files for every shipped example program.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "ndlog/absint.hpp"
+#include "ndlog/analysis.hpp"
+#include "ndlog/diagnostics.hpp"
+#include "ndlog/parser.hpp"
+#include "ndlog/semantic.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace fvn::ndlog {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Parse + run the semantic passes, returning all diagnostics and the report.
+std::vector<Diagnostic> analyze_source(const std::string& source,
+                                       SemanticReport* report_out = nullptr,
+                                       obs::Registry* metrics = nullptr) {
+  DiagnosticSink sink;
+  auto program = parse_program(source);
+  SemanticOptions options;
+  options.metrics = metrics;
+  auto report = analyze_semantics(program, sink, options);
+  if (report_out != nullptr) *report_out = report;
+  sink.sort_by_location();
+  return sink.diagnostics();
+}
+
+std::vector<Diagnostic> with_code(const std::vector<Diagnostic>& diags,
+                                  std::string_view code) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Interval lattice
+// ---------------------------------------------------------------------------
+
+TEST(AbsintInterval, EmptyTopPointBasics) {
+  EXPECT_TRUE(absint::Interval::empty().is_empty());
+  EXPECT_TRUE(absint::Interval().is_empty());
+  EXPECT_FALSE(absint::Interval::top().is_empty());
+  EXPECT_FALSE(absint::Interval::top().bounded_above());
+  EXPECT_FALSE(absint::Interval::top().bounded_below());
+  const auto p = absint::Interval::point(3.0);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_TRUE(p.contains(3.0));
+  EXPECT_FALSE(p.contains(2.0));
+}
+
+TEST(AbsintInterval, JoinMeetWiden) {
+  const auto a = absint::Interval::range(1, 3);
+  const auto b = absint::Interval::range(2, 5);
+  EXPECT_EQ(a.join(b), absint::Interval::range(1, 5));
+  EXPECT_EQ(a.meet(b), absint::Interval::range(2, 3));
+  EXPECT_TRUE(a.meet(absint::Interval::range(10, 20)).is_empty());
+  // Empty is the join identity and the meet absorber.
+  EXPECT_EQ(a.join(absint::Interval::empty()), a);
+  EXPECT_TRUE(a.meet(absint::Interval::empty()).is_empty());
+  // Widening jumps moved endpoints to ±inf, keeps stable ones.
+  const auto w = a.widen(absint::Interval::range(1, 4));
+  EXPECT_EQ(w.lo, 1.0);
+  EXPECT_EQ(w.hi, kInf);
+  const auto w2 = a.widen(absint::Interval::range(0, 3));
+  EXPECT_EQ(w2.lo, -kInf);
+  EXPECT_EQ(w2.hi, 3.0);
+}
+
+TEST(AbsintInterval, Arithmetic) {
+  const auto a = absint::Interval::range(1, 2);
+  const auto b = absint::Interval::range(10, 20);
+  EXPECT_EQ(absint::add(a, b), absint::Interval::range(11, 22));
+  EXPECT_EQ(absint::sub(b, a), absint::Interval::range(8, 19));
+  EXPECT_EQ(absint::mul(a, b), absint::Interval::range(10, 40));
+  // Negative operand flips the product hull.
+  EXPECT_EQ(absint::mul(absint::Interval::range(-2, 1), b),
+            absint::Interval::range(-40, 20));
+  // inf * 0 must not poison the hull with NaN.
+  const auto inf_times_zero =
+      absint::mul(absint::Interval::top(), absint::Interval::point(0));
+  EXPECT_FALSE(std::isnan(inf_times_zero.lo));
+  EXPECT_FALSE(std::isnan(inf_times_zero.hi));
+  EXPECT_TRUE(absint::add(a, absint::Interval::empty()).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values: satisfiable / refine
+// ---------------------------------------------------------------------------
+
+TEST(AbsintValue, JoinMeetAcrossKinds) {
+  const auto num = absint::AbstractValue::number(absint::Interval::range(1, 3));
+  const auto boolean = absint::AbstractValue::boolean(true, false);
+  EXPECT_TRUE(num.join(boolean).is_any());
+  EXPECT_TRUE(num.meet(boolean).is_bottom());
+  EXPECT_EQ(num.join(absint::AbstractValue::bottom()), num);
+  EXPECT_EQ(num.meet(absint::AbstractValue::any()), num);
+  const auto joined =
+      num.join(absint::AbstractValue::number(absint::Interval::range(5, 9)));
+  ASSERT_TRUE(joined.is_num());
+  EXPECT_EQ(joined.num, absint::Interval::range(1, 9));
+}
+
+TEST(AbsintValue, SatisfiableIsConservative) {
+  const auto lo = absint::AbstractValue::number(absint::Interval::range(1, 2));
+  const auto hi = absint::AbstractValue::number(absint::Interval::range(5, 9));
+  EXPECT_FALSE(absint::satisfiable(CmpOp::Eq, lo, hi));   // disjoint
+  EXPECT_FALSE(absint::satisfiable(CmpOp::Gt, lo, hi));   // 2 > 5 impossible
+  EXPECT_TRUE(absint::satisfiable(CmpOp::Lt, lo, hi));
+  EXPECT_TRUE(absint::satisfiable(CmpOp::Ne, lo, hi));
+  const auto three = absint::AbstractValue::number(absint::Interval::point(3));
+  EXPECT_FALSE(absint::satisfiable(CmpOp::Ne, three, three));  // 3 != 3
+  EXPECT_TRUE(absint::satisfiable(CmpOp::Eq, three, three));
+  // Any could be anything: order comparisons stay satisfiable.
+  EXPECT_TRUE(absint::satisfiable(CmpOp::Lt, absint::AbstractValue::any(), lo));
+  // Bottom never satisfies anything.
+  EXPECT_FALSE(
+      absint::satisfiable(CmpOp::Eq, absint::AbstractValue::bottom(), lo));
+}
+
+TEST(AbsintValue, RefineIsSound) {
+  const auto wide =
+      absint::AbstractValue::number(absint::Interval::range(0, 100));
+  const auto five = absint::AbstractValue::number(absint::Interval::point(5));
+  const auto lt = absint::refine(CmpOp::Lt, wide, five);
+  ASSERT_TRUE(lt.is_num());
+  EXPECT_EQ(lt.num.lo, 0.0);
+  EXPECT_LE(lt.num.hi, 5.0);
+  const auto ge = absint::refine(CmpOp::Ge, wide, five);
+  ASSERT_TRUE(ge.is_num());
+  EXPECT_EQ(ge.num.lo, 5.0);
+  EXPECT_EQ(ge.num.hi, 100.0);
+  // Any is not narrowed by an order comparison (strings sort above numbers
+  // in the kind-major value order, so "x" < 5 tells us nothing numeric)...
+  EXPECT_TRUE(absint::refine(CmpOp::Lt, absint::AbstractValue::any(), five)
+                  .is_any());
+  // ...but equality against a numeric interval does narrow Any.
+  const auto eq = absint::refine(CmpOp::Eq, absint::AbstractValue::any(), five);
+  ASSERT_TRUE(eq.is_num());
+  EXPECT_TRUE(eq.num.is_point());
+}
+
+TEST(AbsintValue, FlipMirrorsComparisons) {
+  EXPECT_EQ(absint::flip(CmpOp::Lt), CmpOp::Gt);
+  EXPECT_EQ(absint::flip(CmpOp::Le), CmpOp::Ge);
+  EXPECT_EQ(absint::flip(CmpOp::Eq), CmpOp::Eq);
+  EXPECT_EQ(absint::flip(CmpOp::Ne), CmpOp::Ne);
+}
+
+// ---------------------------------------------------------------------------
+// ND0014: dead rules
+// ---------------------------------------------------------------------------
+
+TEST(Semantic, ND0014DeadRuleContradictoryComparisons) {
+  SemanticReport report;
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(dead, infinity, infinity, keys(1)).\n"
+      "d dead(@S) :- link(@S,_D,C), C = 1, C > 2.\n",
+      &report);
+  const auto found = with_code(diags, "ND0014");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::Warning);
+  EXPECT_EQ(found[0].span.begin.line, 3);
+  ASSERT_EQ(report.dead_rules.size(), 1u);
+  EXPECT_EQ(report.dead_rules[0], 0u);
+}
+
+TEST(Semantic, ND0014NotFiredOnSatisfiableChain) {
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(cheap, infinity, infinity, keys(1)).\n"
+      "c cheap(@S) :- link(@S,_D,C), C < 10, C > 2.\n");
+  EXPECT_TRUE(with_code(diags, "ND0014").empty()) << render_human(diags);
+}
+
+// ---------------------------------------------------------------------------
+// ND0015: divergence prediction
+// ---------------------------------------------------------------------------
+
+// Count-to-infinity skeleton: recursive cost accumulation with no bound and
+// no cycle guard. Statically this must be flagged; the cross-validation suite
+// (test_semantic_crossval.cpp) shows the evaluator indeed raises
+// DivergenceError on a cyclic topology.
+const char* const kUnboundedGrowth =
+    "materialize(link, infinity, infinity, keys(1,2)).\n"
+    "materialize(hop, infinity, infinity, keys(1,2)).\n"
+    "h1 hop(@S,D,C) :- link(@S,D,C).\n"
+    "h2 hop(@S,D,C) :- link(@S,Z,C1), hop(@Z,D,C2), C = C1 + C2.\n";
+
+TEST(Semantic, ND0015UnboundedRecursiveGrowth) {
+  SemanticReport report;
+  const auto diags = analyze_source(kUnboundedGrowth, &report);
+  const auto found = with_code(diags, "ND0015");
+  ASSERT_EQ(found.size(), 1u) << render_human(diags);
+  EXPECT_EQ(found[0].severity, Severity::Warning);
+  EXPECT_EQ(found[0].span.begin.line, 4);  // h2, the growing rule
+  EXPECT_TRUE(report.divergent_predicates.count("hop"));
+  EXPECT_TRUE(report.recursive_predicates.count("hop"));
+}
+
+TEST(Semantic, ND0015SuppressedByComparisonBound) {
+  // Same recursion, but the accumulated cost is capped: the evaluator's
+  // fixpoint is finite, so the analyzer must stay quiet.
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(hop, infinity, infinity, keys(1,2)).\n"
+      "h1 hop(@S,D,C) :- link(@S,D,C).\n"
+      "h2 hop(@S,D,C) :- link(@S,Z,C1), hop(@Z,D,C2), C = C1 + C2, "
+      "C < 1000.\n");
+  EXPECT_TRUE(with_code(diags, "ND0015").empty()) << render_human(diags);
+}
+
+TEST(Semantic, ND0015SuppressedByCycleGuard) {
+  // Path-vector style: f_inPath(...) = false prunes revisits, so paths are
+  // simple and the recursion is depth-bounded by the node count.
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(path, infinity, infinity, keys(1,2,3)).\n"
+      "p1 path(@S,D,P,C) :- link(@S,D,C), P = f_init(S,D).\n"
+      "p2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), "
+      "C = C1 + C2, f_inPath(P2,S) = false, P = f_concatPath(S,P2).\n");
+  EXPECT_TRUE(with_code(diags, "ND0015").empty()) << render_human(diags);
+}
+
+TEST(Semantic, ND0015FlaggedWhenGuardRemoved) {
+  // The same path program without the membership guard grows P without
+  // bound (and C with it).
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(path, infinity, infinity, keys(1,2,3)).\n"
+      "p1 path(@S,D,P,C) :- link(@S,D,C), P = f_init(S,D).\n"
+      "p2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), "
+      "C = C1 + C2, P = f_concatPath(S,P2).\n");
+  EXPECT_EQ(with_code(diags, "ND0015").size(), 1u) << render_human(diags);
+}
+
+TEST(Semantic, ND0015NonGrowingRecursionIsClean) {
+  // Plain transitive closure copies values, never grows them.
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(reachable, infinity, infinity, keys(1,2)).\n"
+      "t1 reachable(@S,D) :- link(@S,D,_C).\n"
+      "t2 reachable(@S,D) :- link(@S,Z,_C), reachable(@Z,D).\n");
+  EXPECT_TRUE(with_code(diags, "ND0015").empty()) << render_human(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Async classification and ND0016/ND0017/ND0018
+// ---------------------------------------------------------------------------
+
+TEST(Semantic, AsyncPredicatesPropagateTransitively) {
+  const auto program = parse_program(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(cost, infinity, infinity, keys(1,2)).\n"
+      "materialize(echo, infinity, infinity, keys(1,2)).\n"
+      "c1 cost(@T,C) :- link(@S,T,C).\n"   // shipped head: direct async
+      "e1 echo(@T,C) :- cost(@T,C).\n");   // local rule over async input
+  const auto async = async_predicates(program);
+  EXPECT_TRUE(async.count("cost"));
+  EXPECT_TRUE(async.count("echo"));  // transitive
+  EXPECT_FALSE(async.count("link"));
+}
+
+// Two sources race a block/probe pair into the same node; the negation makes
+// the winner visible. The crossval suite witnesses this with two seeds.
+const char* const kNegationRace =
+    "materialize(link, infinity, infinity, keys(1,2)).\n"
+    "materialize(seedBlock, infinity, infinity, keys(1,2)).\n"
+    "materialize(seedProbe, infinity, infinity, keys(1,2)).\n"
+    "materialize(block, infinity, infinity, keys(1,2)).\n"
+    "materialize(probe, infinity, infinity, keys(1,2)).\n"
+    "materialize(accept, infinity, infinity, keys(1,2)).\n"
+    "b1 block(@T,X) :- link(@S,T,_C), seedBlock(@S,X).\n"
+    "b2 probe(@T,X) :- link(@S,T,_C), seedProbe(@S,X).\n"
+    "b3 accept(@T,X) :- probe(@T,X), !block(@T,X).\n";
+
+TEST(Semantic, ND0016NegationOverAsyncPredicate) {
+  SemanticReport report;
+  const auto diags = analyze_source(kNegationRace, &report);
+  const auto found = with_code(diags, "ND0016");
+  ASSERT_EQ(found.size(), 1u) << render_human(diags);
+  EXPECT_EQ(found[0].severity, Severity::Warning);
+  EXPECT_EQ(found[0].span.begin.line, 9);  // the !block atom's rule
+  EXPECT_TRUE(report.order_sensitive_predicates.count("accept"));
+  EXPECT_FALSE(report.monotone);
+}
+
+TEST(Semantic, ND0016QuietWhenNegationIsLocal) {
+  // Negation over a locally derived predicate is resolved by stratification
+  // alone — no message ordering can change it.
+  const auto diags = analyze_source(
+      "materialize(node, infinity, infinity, keys(1)).\n"
+      "materialize(flag, infinity, infinity, keys(1,2)).\n"
+      "materialize(bad, infinity, infinity, keys(1,2)).\n"
+      "materialize(ok, infinity, infinity, keys(1,2)).\n"
+      "f1 bad(@S,X) :- flag(@S,X), node(@S).\n"
+      "f2 ok(@S,X) :- flag(@S,X), !bad(@S,X).\n");
+  EXPECT_TRUE(with_code(diags, "ND0016").empty()) << render_human(diags);
+}
+
+TEST(Semantic, ND0018AggregateOverAsyncInputIsNote) {
+  SemanticReport report;
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(cost, infinity, infinity, keys(1,2)).\n"
+      "materialize(best, infinity, infinity, keys(1)).\n"
+      "c1 cost(@T,C) :- link(@S,T,C).\n"
+      "a1 best(@T, min<C>) :- cost(@T,C).\n",
+      &report);
+  const auto found = with_code(diags, "ND0018");
+  ASSERT_EQ(found.size(), 1u) << render_human(diags);
+  EXPECT_EQ(found[0].severity, Severity::Note);
+  EXPECT_EQ(found[0].span.begin.line, 5);
+  EXPECT_FALSE(report.monotone);  // aggregation breaks CALM monotonicity
+}
+
+TEST(Semantic, MonotoneProgramClassifiedConfluent) {
+  SemanticReport report;
+  const auto diags = analyze_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(reachable, infinity, infinity, keys(1,2)).\n"
+      "t1 reachable(@S,D) :- link(@S,D,_C).\n"
+      "t2 reachable(@S,D) :- link(@S,Z,_C), reachable(@Z,D).\n",
+      &report);
+  EXPECT_TRUE(report.monotone) << render_human(diags);
+  EXPECT_TRUE(report.order_sensitive_predicates.empty());
+  EXPECT_TRUE(diags.empty()) << render_human(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Functional dependency inference (the ND0017 engine)
+// ---------------------------------------------------------------------------
+
+TEST(Semantic, InferFdsBaseMaterializedKeys) {
+  const auto program = parse_program(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(reachable, infinity, infinity, keys(1,2)).\n"
+      "t1 reachable(@S,D) :- link(@S,D,_C).\n");
+  const auto fds = infer_fds(program);
+  // link's P2 keys (cols 1,2) functionally determine its cost column.
+  EXPECT_TRUE(fd_determines(fds, "link", {0, 1}, 2));
+  // A superset of a surviving determinant also determines.
+  EXPECT_TRUE(fd_determines(fds, "link", {0, 1, 2}, 2));
+  EXPECT_FALSE(fd_determines(fds, "link", {0}, 2));
+}
+
+TEST(Semantic, InferFdsInjectiveConcatSurvives) {
+  // path_vector's path column is built injectively (f_init/f_concatPath), so
+  // (S,D,P) determines C even though path tuples race across nodes.
+  const auto program = parse_program(
+      slurp(std::string(FVN_SOURCE_DIR) + "/examples/ndlog/path_vector.ndlog"));
+  const auto fds = infer_fds(program);
+  EXPECT_TRUE(fd_determines(fds, "path", {0, 1, 2}, 3));
+}
+
+TEST(Semantic, InferFdsDroppedHopColumnDoesNotSurvive) {
+  // distance_vector's hop(S,D,Z,C): keys (S,D,Z) do NOT determine C — the
+  // same (S,D,Z) triple is re-derived with updated costs as advertisements
+  // arrive, and last-writer-wins decides which C is stored.
+  const auto program = parse_program(slurp(
+      std::string(FVN_SOURCE_DIR) + "/examples/ndlog/distance_vector.ndlog"));
+  const auto fds = infer_fds(program);
+  EXPECT_FALSE(fd_determines(fds, "hop", {0, 1, 2}, 3));
+  // bestHop(S,D,Z,C): C is pinned by the bestHopCost aggregate join, but the
+  // witness column Z is whichever qualifying hop arrived — not determined.
+  EXPECT_TRUE(fd_determines(fds, "bestHop", {0, 1}, 3));
+  EXPECT_FALSE(fd_determines(fds, "bestHop", {0, 1}, 2));
+}
+
+TEST(Semantic, ND0017KeyProjectionRace) {
+  SemanticReport report;
+  const auto diags = analyze_source(
+      slurp(std::string(FVN_SOURCE_DIR) +
+            "/examples/ndlog/distance_vector.ndlog"),
+      &report);
+  const auto found = with_code(diags, "ND0017");
+  ASSERT_EQ(found.size(), 2u) << render_human(diags);
+  // hop's materialization (line 5) drops C; bestHop's (line 7) drops Z.
+  EXPECT_EQ(found[0].span.begin.line, 5);
+  EXPECT_EQ(found[1].span.begin.line, 7);
+  EXPECT_TRUE(report.order_sensitive_predicates.count("hop"));
+  EXPECT_TRUE(report.order_sensitive_predicates.count("bestHop"));
+}
+
+TEST(Semantic, ND0017QuietOnWholeTupleKeys) {
+  // link_state materializes lspath with keys(1,2,3,4) — the whole tuple —
+  // so nothing is projected away and no race is possible.
+  const auto diags = analyze_source(slurp(
+      std::string(FVN_SOURCE_DIR) + "/examples/ndlog/link_state.ndlog"));
+  EXPECT_TRUE(with_code(diags, "ND0017").empty()) << render_human(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers, metrics, determinism
+// ---------------------------------------------------------------------------
+
+TEST(Semantic, JsonSummaryIsValidAndDeterministic) {
+  DiagnosticSink sink;
+  const auto program = parse_program(kNegationRace);
+  const auto report = analyze_semantics(program, sink);
+  const auto json1 = semantic_json(report);
+  const auto json2 = semantic_json(analyze_semantics(program, sink));
+  EXPECT_EQ(json1, json2);
+  const auto parsed = obs::json_parse(json1);
+  ASSERT_TRUE(parsed.has_value()) << json1;
+  ASSERT_TRUE(parsed->is_object());
+  const auto* monotone = parsed->find("monotone");
+  ASSERT_NE(monotone, nullptr);
+  EXPECT_EQ(monotone->kind, obs::JsonValue::Kind::Bool);
+  EXPECT_FALSE(monotone->boolean);
+  const auto* order = parsed->find("order_sensitive");
+  ASSERT_NE(order, nullptr);
+  ASSERT_TRUE(order->is_array());
+  ASSERT_EQ(order->array.size(), 1u);
+  EXPECT_EQ(order->array[0].string, "accept");
+}
+
+TEST(Semantic, DotRendererMarksCyclesAndAsync) {
+  DiagnosticSink sink;
+  const auto program = parse_program(kUnboundedGrowth);
+  const auto report = analyze_semantics(program, sink);
+  const auto dot = semantic_dot(program, report);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("hop"), std::string::npos);
+  EXPECT_NE(dot.find("salmon"), std::string::npos);  // divergent coloring
+  EXPECT_EQ(dot.find("digraph"), dot.rfind("digraph"));  // one graph
+}
+
+TEST(Semantic, MetricsCountersPopulated) {
+  obs::Registry registry;
+  SemanticReport report;
+  analyze_source(kUnboundedGrowth, &report, &registry);
+  const auto* rules = registry.find_counter("analyze/rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->value(), 2u);
+  const auto* divergent = registry.find_counter("analyze/divergent_predicates");
+  ASSERT_NE(divergent, nullptr);
+  EXPECT_EQ(divergent->value(), report.divergent_predicates.size());
+  // The registry's JSON export must stay parseable with the analyzer wired.
+  EXPECT_TRUE(obs::json_parse(registry.to_json()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Golden expected-diagnostics per shipped example
+// ---------------------------------------------------------------------------
+
+/// "<code> <line>" per diagnostic, location-sorted — the golden format.
+std::string diag_signature(const std::string& example_stem) {
+  const auto source = slurp(std::string(FVN_SOURCE_DIR) + "/examples/ndlog/" +
+                            example_stem + ".ndlog");
+  const auto diags = analyze_source(source);
+  std::ostringstream os;
+  for (const auto& d : diags) {
+    os << d.code << " " << d.span.begin.line << "\n";
+  }
+  return os.str();
+}
+
+TEST(SemanticGolden, EveryExampleMatchesExpectedDiagnostics) {
+  for (const std::string stem :
+       {"distance_vector", "link_state", "path_vector", "policy_path_vector",
+        "reachable", "spanning_tree"}) {
+    const auto golden = slurp(std::string(FVN_SOURCE_DIR) +
+                              "/tests/golden/analyze/" + stem + ".txt");
+    EXPECT_EQ(diag_signature(stem), golden) << "example: " << stem;
+  }
+}
+
+}  // namespace
+}  // namespace fvn::ndlog
