@@ -1,0 +1,151 @@
+// Distributed-runtime benchmark: the same 16-node path-vector workload that
+// bench_dataflow runs in the discrete-event Simulator, executed by the
+// fvn::net Cluster — 16 real threads exchanging length-prefixed wire frames
+// through the in-process transport, ack+retransmit enabled. The fixpoints
+// are identical (pinned by test_net_cluster.cpp), so the delta against
+// bench_dataflow's numbers is the cost of actual concurrency: encode/decode,
+// mailbox synchronization, and termination detection vs a virtual clock.
+//
+// The instrumented workload records tuples/sec and bytes/sec for both
+// engines plus the simulator reference into BENCH_net.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/protocols.hpp"
+#include "net/cluster.hpp"
+#include "runtime/simulator.hpp"
+
+namespace {
+
+using namespace fvn;
+using runtime::EngineKind;
+
+struct ClusterRun {
+  net::ClusterStats stats;
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  double bytes_per_sec = 0;
+};
+
+ClusterRun run_cluster(EngineKind engine, std::size_t nodes, double loss = 0.0) {
+  net::ClusterOptions options;
+  options.engine = engine;
+  options.faults.drop_rate = loss;
+  options.faults.seed = 7;
+  const auto t0 = std::chrono::steady_clock::now();
+  net::Cluster cluster(core::path_vector_program(), options);
+  cluster.inject_all(core::link_facts(core::line_topology(nodes)));
+  ClusterRun out;
+  out.stats = cluster.run();
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (out.seconds > 0) {
+    out.tuples_per_sec = static_cast<double>(out.stats.tuples_installed) / out.seconds;
+    out.bytes_per_sec =
+        static_cast<double>(out.stats.transport.bytes_sent) / out.seconds;
+  }
+  return out;
+}
+
+double run_simulator_reference(EngineKind engine, std::size_t nodes) {
+  runtime::SimOptions options;
+  options.engine = engine;
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::Simulator sim(core::path_vector_program(), options);
+  sim.inject_all(core::link_facts(core::line_topology(nodes)));
+  const auto stats = sim.run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return seconds > 0 ? static_cast<double>(stats.tuples_derived) / seconds : 0;
+}
+
+void ClusterPathVector(benchmark::State& state) {
+  const auto engine = state.range(0) == 0 ? EngineKind::Interpreter : EngineKind::Dataflow;
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  ClusterRun last;
+  for (auto _ : state) {
+    last = run_cluster(engine, nodes);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetLabel(engine == EngineKind::Dataflow ? "dataflow" : "interpreter");
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["tuples_per_sec"] = last.tuples_per_sec;
+  state.counters["bytes_per_sec"] = last.bytes_per_sec;
+  state.counters["messages"] = static_cast<double>(last.stats.messages_sent);
+}
+BENCHMARK(ClusterPathVector)
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void ClusterRetransmitOverhead(benchmark::State& state) {
+  // Cost of masking 20% seeded loss with ack+retransmit on the 16-node run.
+  const double loss = state.range(0) == 0 ? 0.0 : 0.2;
+  ClusterRun last;
+  for (auto _ : state) {
+    last = run_cluster(EngineKind::Dataflow, 16, loss);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetLabel(loss > 0 ? "loss_0.2" : "lossless");
+  state.counters["retransmitted"] = static_cast<double>(last.stats.retransmitted);
+  state.counters["tuples_per_sec"] = last.tuples_per_sec;
+}
+BENCHMARK(ClusterRetransmitOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fvn::bench::Harness harness(argc, argv, "net");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Instrumented workload: the 16-node path-vector comparison against the
+  // simulator numbers that BENCH_dataflow.json tracks (smaller in smoke mode).
+  const std::size_t nodes = harness.smoke() ? 8 : 16;
+  const auto interp = run_cluster(EngineKind::Interpreter, nodes);
+  const auto flow = run_cluster(EngineKind::Dataflow, nodes);
+  const double sim_reference = run_simulator_reference(EngineKind::Dataflow, nodes);
+
+  auto& m = harness.metrics();
+  m.counter("net/bench/nodes").add(nodes);
+  m.counter("net/bench/quiesced").add((interp.stats.quiesced ? 1 : 0) +
+                                      (flow.stats.quiesced ? 1 : 0));
+  m.counter("net/bench/interpreter/tuples_per_sec")
+      .add(static_cast<std::uint64_t>(interp.tuples_per_sec));
+  m.counter("net/bench/interpreter/bytes_per_sec")
+      .add(static_cast<std::uint64_t>(interp.bytes_per_sec));
+  m.counter("net/bench/dataflow/tuples_per_sec")
+      .add(static_cast<std::uint64_t>(flow.tuples_per_sec));
+  m.counter("net/bench/dataflow/bytes_per_sec")
+      .add(static_cast<std::uint64_t>(flow.bytes_per_sec));
+  m.counter("net/bench/messages").add(flow.stats.messages_sent);
+  m.counter("net/bench/wire_bytes").add(flow.stats.transport.bytes_sent);
+  // Fixed-point ratio vs the virtual-clock executor: 100 = parity. The
+  // cluster pays for real synchronization, so expect well below 100.
+  m.counter("net/bench/vs_simulator_x100")
+      .add(static_cast<std::uint64_t>(
+          sim_reference > 0 ? flow.tuples_per_sec / sim_reference * 100 : 0));
+
+  if (!harness.smoke()) {
+    std::cout << "\n=== net cluster vs simulator (" << nodes
+              << "-node path-vector) ===\n"
+              << "cluster/interpreter: " << interp.stats.tuples_installed
+              << " tuples in " << interp.seconds * 1000 << " ms ("
+              << interp.tuples_per_sec << " tuples/s, " << interp.bytes_per_sec
+              << " B/s on the wire)\n"
+              << "cluster/dataflow:    " << flow.stats.tuples_installed
+              << " tuples in " << flow.seconds * 1000 << " ms ("
+              << flow.tuples_per_sec << " tuples/s, " << flow.bytes_per_sec
+              << " B/s on the wire)\n"
+              << "simulator/dataflow:  " << sim_reference
+              << " tuples/s (virtual clock reference)\n"
+              << "messages:            " << flow.stats.messages_sent << " data frames, "
+              << flow.stats.transport.bytes_sent << " wire bytes\n";
+  }
+  return harness.finish();
+}

@@ -12,8 +12,20 @@
 //   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
 //   fvn_cli query     <prog.ndlog> <facts.txt> <goal>
 //   fvn_cli simulate  <prog.ndlog> <facts.txt>      distributed execution
+//                                                   (discrete-event simulator)
+//   fvn_cli dist      <prog.ndlog> <facts.txt>      distributed execution on
+//                     real concurrent node threads (fvn::net Cluster):
+//                     --nodes=<n>            assert the fact-derived node count
+//                     --transport=<inproc|udp>  mailboxes (default) or loopback
+//                                            UDP sockets
+//                     --loss=<p> --seed=<s>  seeded per-frame drop injection
+//                     --no-retransmit        disable the ack+retransmit layer
+//                     --engine=<interpreter|dataflow>, --metrics, --trace
 //   fvn_cli plan      <prog.ndlog> [--dot|--json]   compiled dataflow graph
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
+//
+// Exit codes everywhere: 0 success, 1 runtime failure (divergence, transport
+// unavailable, non-quiescence), 2 usage / unreadable input / parse error.
 //
 // `eval` is an alias for `run`, `sim` for `simulate`. Both accept the
 // observability flags:
@@ -40,6 +52,7 @@
 #include "ndlog/provenance.hpp"
 #include "ndlog/query.hpp"
 #include "ndlog/semantic.hpp"
+#include "net/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/localize.hpp"
@@ -49,9 +62,15 @@
 
 namespace {
 
+/// Bad invocation (unreadable input, malformed flag value): exit 2, like a
+/// usage error — distinct from runtime failures (exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) throw UsageError("cannot read " + path);
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
@@ -59,7 +78,7 @@ std::string slurp(const std::string& path) {
 
 std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) throw UsageError("cannot read " + path);
   std::vector<fvn::ndlog::Tuple> facts;
   std::string line;
   while (std::getline(in, line)) {
@@ -71,8 +90,11 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|plan|explain> "
+  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|dist|plan|explain> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
+               "       fvn_cli dist <prog.ndlog> <facts.txt> [--nodes=<n>] "
+               "[--transport=<inproc|udp>] [--loss=<p>] [--seed=<s>] "
+               "[--no-retransmit] [--engine=...] [--metrics] [--trace <out.json>]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
                "       fvn_cli analyze [--json|--dot|--metrics] <prog.ndlog>...   "
@@ -238,6 +260,123 @@ int cmd_analyze(const std::vector<std::string>& args) {
   return errors != 0 ? 2 : warnings != 0 ? 1 : 0;
 }
 
+double parse_double_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("bad value for " + flag + ": '" + value + "'");
+  }
+}
+
+std::uint64_t parse_uint_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("bad value for " + flag + ": '" + value + "'");
+  }
+}
+
+/// `fvn_cli dist <prog.ndlog> <facts.txt> [flags]` — run the program on the
+/// fvn::net Cluster: one thread per node, frames on a real transport. Prints
+/// each node's database (same shape as `simulate`) and a summary line.
+int cmd_dist(const std::vector<std::string>& args) {
+  bool want_metrics = false;
+  std::string trace_path;
+  std::string engine_name = "interpreter";
+  std::string transport_name = "inproc";
+  double loss = 0.0;
+  std::uint64_t seed = 1;
+  std::int64_t expected_nodes = -1;
+  bool retransmit = true;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      if (a.size() > flag.size()) return a.substr(flag.size() + 1);  // --flag=v
+      if (i + 1 >= args.size()) throw UsageError(flag + " needs a value");
+      return args[++i];
+    };
+    if (a == "--metrics") {
+      want_metrics = true;
+    } else if (a == "--no-retransmit") {
+      retransmit = false;
+    } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
+      trace_path = value_of("--trace");
+    } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
+      engine_name = value_of("--engine");
+    } else if (a == "--transport" || a.rfind("--transport=", 0) == 0) {
+      transport_name = value_of("--transport");
+    } else if (a == "--loss" || a.rfind("--loss=", 0) == 0) {
+      loss = parse_double_flag("--loss", value_of("--loss"));
+    } else if (a == "--seed" || a.rfind("--seed=", 0) == 0) {
+      seed = parse_uint_flag("--seed", value_of("--seed"));
+    } else if (a == "--nodes" || a.rfind("--nodes=", 0) == 0) {
+      expected_nodes =
+          static_cast<std::int64_t>(parse_uint_flag("--nodes", value_of("--nodes")));
+    } else if (a.rfind("--", 0) == 0) {
+      throw UsageError("unknown flag " + a);
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  if (engine_name != "interpreter" && engine_name != "dataflow") {
+    throw UsageError("unknown engine '" + engine_name +
+                     "' (expected interpreter or dataflow)");
+  }
+  if (transport_name != "inproc" && transport_name != "udp") {
+    throw UsageError("unknown transport '" + transport_name +
+                     "' (expected inproc or udp)");
+  }
+  if (loss < 0.0 || loss >= 1.0) throw UsageError("--loss must be in [0,1)");
+
+  auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
+  auto facts = load_facts(positional[1]);
+
+  fvn::obs::Registry registry;
+  fvn::obs::Trace obs_trace;
+  fvn::net::ClusterOptions options;
+  options.engine = engine_name == "dataflow" ? fvn::runtime::EngineKind::Dataflow
+                                             : fvn::runtime::EngineKind::Interpreter;
+  options.transport = transport_name == "udp" ? fvn::net::TransportKind::Udp
+                                              : fvn::net::TransportKind::InProc;
+  options.faults.drop_rate = loss;
+  options.faults.seed = seed;
+  options.reliability.enabled = retransmit;
+  if (want_metrics) options.metrics = &registry;
+  if (!trace_path.empty()) options.trace = &obs_trace;
+
+  fvn::net::Cluster cluster(program, options);
+  cluster.inject_all(facts);
+  const auto nodes = cluster.nodes();
+  if (expected_nodes >= 0 &&
+      nodes.size() != static_cast<std::size_t>(expected_nodes)) {
+    std::cerr << "error: facts span " << nodes.size() << " nodes, --nodes="
+              << expected_nodes << " expected\n";
+    return 1;
+  }
+  auto stats = cluster.run();
+  for (const auto& node : cluster.nodes()) {
+    std::cout << "--- " << node << " ---\n";
+    for (const auto& row : cluster.database(node).dump()) std::cout << row << "\n";
+  }
+  std::cerr << "nodes=" << stats.nodes << " sent=" << stats.messages_sent
+            << " received=" << stats.messages_received
+            << " retransmitted=" << stats.retransmitted
+            << " acked=" << stats.acked << " bytes=" << stats.transport.bytes_sent
+            << " wall_ms=" << stats.wall_ms
+            << (stats.quiesced ? "" : " (no quiescence before budget)") << "\n";
+  if (!trace_path.empty()) obs_trace.write(trace_path);
+  if (want_metrics) std::cerr << registry.render_summary();
+  return stats.quiesced ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,9 +389,16 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     return cmd_analyze(std::vector<std::string>(argv + 2, argv + argc));
   }
-  if (command == "plan") {
+  if (command == "plan" || command == "dist") {
     try {
-      return cmd_plan(std::vector<std::string>(argv + 2, argv + argc));
+      const std::vector<std::string> rest(argv + 2, argv + argc);
+      return command == "plan" ? cmd_plan(rest) : cmd_dist(rest);
+    } catch (const ndlog::ParseError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    } catch (const UsageError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
@@ -360,7 +506,9 @@ int main(int argc, char** argv) {
                 << " converged_at=" << stats.last_change_time << "s"
                 << (stats.quiesced ? "" : " (budget exhausted)") << "\n";
       flush_obs();
-      return 0;
+      // Same convention as dist: a run that never quiesced is a runtime
+      // failure (1), not success.
+      return stats.quiesced ? 0 : 1;
     }
     if (command == "explain") {
       if (args.size() < 3) return usage();
@@ -375,6 +523,14 @@ int main(int argc, char** argv) {
       return 0;
     }
     return usage();
+  } catch (const ndlog::ParseError& e) {
+    // Same convention as lint/analyze: malformed input exits 2, runtime
+    // failures (divergence, budget exhaustion, transport errors) exit 1.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

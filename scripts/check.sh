@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repository health gate: tier-1 build + tests, the same suite again under
-# ASan/UBSan, and (when available) clang-tidy over src/ with the checks
+# ASan/UBSan, the concurrent `net`-labelled suite once more under TSan
+# (build-tsan), and (when available) clang-tidy over src/ with the checks
 # pinned in .clang-tidy.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-tidy]
@@ -49,6 +50,15 @@ if [ "$run_sanitize" -eq 1 ]; then
   cmake -B build-san -S . -DFVN_SANITIZE="address;undefined" >/dev/null
   cmake --build build-san -j "$jobs"
   ctest --test-dir build-san --output-on-failure -j "$jobs"
+
+  # The fvn::net cluster is the only genuinely concurrent subsystem (one
+  # thread per node + coordinator); its `net`-labelled tests run again under
+  # TSan, which ASan cannot subsume. Separate tree: TSan is incompatible
+  # with ASan in one binary.
+  echo "== check: TSan build + ctest -L net =="
+  cmake -B build-tsan -S . -DFVN_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" --target test_net_wire test_net_cluster
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L net
 fi
 
 echo "== check: all stages passed =="

@@ -1,0 +1,254 @@
+#include "net/cluster.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "runtime/localize.hpp"
+
+namespace fvn::net {
+
+using ndlog::Tuple;
+using ndlog::Value;
+
+Cluster::Cluster(ndlog::Program program, ClusterOptions options,
+                 const ndlog::BuiltinRegistry& builtins)
+    : program_(runtime::localize(program)),
+      catalog_(ndlog::Catalog::from_program(program_)),
+      options_(options),
+      builtins_(&builtins) {
+  ndlog::check_arities(program_);
+  ndlog::check_safety(program_, builtins);
+  if (options_.require_stratified) ndlog::stratify(program_);
+  // Hard-state programs only: soft-state expiry and periodic refresh need
+  // per-node clocks and by design never quiesce (they keep re-firing), so
+  // termination detection would be meaningless. The discrete-event Simulator
+  // stays the executor for those; reject them up front with a clear error.
+  for (const auto& pred : catalog_.predicates()) {
+    const auto& info = catalog_.info(pred);
+    if (info.lifetime_seconds.has_value() && *info.lifetime_seconds > 0.0) {
+      throw ClusterError("cluster: predicate " + pred +
+                         " has a finite lifetime (soft state); the distributed "
+                         "runtime executes hard-state programs only — use the "
+                         "simulator");
+    }
+  }
+  for (const auto& rule : program_.rules) {
+    for (const auto& elem : rule.body) {
+      if (const auto* ba = std::get_if<ndlog::BodyAtom>(&elem)) {
+        if (ba->atom.predicate == "periodic") {
+          throw ClusterError(
+              "cluster: program uses periodic; the distributed runtime "
+              "executes hard-state programs only — use the simulator");
+        }
+      }
+    }
+  }
+  if (options_.engine == runtime::EngineKind::Dataflow) {
+    dataflow::PlanOptions plan_options;
+    plan_options.incremental_aggregates = options_.incremental_aggregates;
+    plan_.emplace(dataflow::compile(program_, plan_options));
+  }
+  for (const auto& rule : program_.rules) {
+    if (!rule.is_fact()) continue;
+    ndlog::Bindings empty;
+    std::vector<Value> values;
+    for (const auto& arg : rule.head.args) {
+      values.push_back(*ndlog::eval_term(*arg.term, empty, builtins));
+    }
+    inject(Tuple(rule.head.predicate, std::move(values)));
+  }
+}
+
+std::string Cluster::location_of(const Tuple& tuple) const {
+  const std::size_t idx = catalog_.contains(tuple.predicate())
+                              ? catalog_.loc_index(tuple.predicate())
+                              : 0;
+  if (idx >= tuple.arity() || !tuple.at(idx).is_addr()) {
+    throw ndlog::AnalysisError("tuple " + tuple.to_string() +
+                               " has no address at its location attribute");
+  }
+  return tuple.at(idx).as_addr();
+}
+
+void Cluster::register_addrs(const Value& value) {
+  if (value.is_addr()) {
+    seeds_[value.as_addr()];  // ensure the node exists (may stay seedless)
+    return;
+  }
+  if (value.kind() == ndlog::ValueKind::List) {
+    for (const auto& item : value.as_list()) register_addrs(item);
+  }
+}
+
+void Cluster::add_node(const std::string& name) { seeds_[name]; }
+
+void Cluster::inject(const Tuple& fact) {
+  // Location specifiers can only be copied from base facts, never
+  // synthesized, so registering every Addr reachable from the seeds
+  // enumerates every node a derived tuple could ever address.
+  for (const auto& v : fact.values()) register_addrs(v);
+  seeds_[location_of(fact)].push_back(fact);
+}
+
+void Cluster::inject_all(const std::vector<Tuple>& facts) {
+  for (const auto& f : facts) inject(f);
+}
+
+NodeObs Cluster::make_obs(const std::string& name) {
+  NodeObs obs;
+  if (options_.metrics == nullptr) return obs;
+  obs::Registry& m = *options_.metrics;
+  const std::string base = "net/node/" + name + "/";
+  obs.sent = &m.counter(base + "sent");
+  obs.received = &m.counter(base + "received");
+  obs.retransmitted = &m.counter(base + "retransmitted");
+  obs.acked = &m.counter(base + "acked");
+  obs.installed = &m.counter(base + "installed");
+  obs.bytes_sent = &m.counter(base + "bytes_sent");
+  obs.bytes_received = &m.counter(base + "bytes_received");
+  obs.mailbox_depth = &m.histogram(base + "mailbox_depth");
+  obs.encode = &m.timer(base + "encode");
+  obs.decode = &m.timer(base + "decode");
+  return obs;
+}
+
+ClusterStats Cluster::run() {
+  assert(!ran_ && "Cluster::run may be called once");
+  ran_ = true;
+  if (seeds_.empty()) throw ClusterError("cluster: no nodes (no facts injected)");
+
+  switch (options_.transport) {
+    case TransportKind::InProc:
+      transport_ = std::make_unique<InProcTransport>(options_.faults);
+      break;
+    case TransportKind::Udp:
+      transport_ = std::make_unique<UdpTransport>(options_.faults);
+      break;
+  }
+  // Everything that touches shared structures (transport registration, obs
+  // series creation, node construction, seeding) happens here, before any
+  // thread starts; afterwards node threads only touch their own state.
+  for (const auto& [name, facts] : seeds_) transport_->add_node(name);
+  for (const auto& [name, facts] : seeds_) {
+    auto node = std::make_unique<Node>(name, program_, catalog_, *builtins_,
+                                       plan_ ? &*plan_ : nullptr, *transport_,
+                                       options_.reliability, make_obs(name));
+    for (const auto& fact : facts) node->seed(fact);
+    nodes_.emplace(name, std::move(node));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start]() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  ClusterStats stats;
+  stats.nodes = nodes_.size();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& [name, node] : nodes_) {
+    Node* n = node.get();
+    threads.emplace_back([n, &stop] { n->run(stop); });
+  }
+
+  // Double-scan termination detection (header comment has the argument).
+  std::uint64_t last_activity = ~std::uint64_t{0};
+  std::size_t stable = 0;
+  bool failed = false;
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options_.poll_interval_ms));
+    ++stats.coordinator_polls;
+    std::uint64_t activity = 0;
+    std::uint64_t unacked = 0;
+    bool all_idle = true;
+    for (const auto& [name, node] : nodes_) {
+      if (node->failed()) failed = true;
+      activity += node->activity();
+      unacked += node->unacked();
+      all_idle = all_idle && node->idle();
+    }
+    if (failed) break;
+    const bool quiet = transport_->quiet();
+    if (options_.trace != nullptr) {
+      options_.trace->counter("net/activity", "net", static_cast<double>(activity));
+      options_.trace->counter("net/unacked", "net", static_cast<double>(unacked));
+    }
+    if (all_idle && quiet && unacked == 0 && activity == last_activity) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    last_activity = activity;
+    if (stable >= options_.quiescence_rounds) {
+      stats.quiesced = true;
+      break;
+    }
+    if (elapsed_ms() > options_.max_seconds * 1e3) break;
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  stats.wall_ms = elapsed_ms();
+
+  std::string errors;
+  for (const auto& [name, node] : nodes_) {
+    if (node->failed()) errors += (errors.empty() ? "" : "; ") + node->error();
+  }
+  if (!errors.empty()) throw ClusterError("cluster: node failure: " + errors);
+
+  for (const auto& [name, node] : nodes_) {
+    const NodeStats& ns = node->stats();
+    stats.messages_sent += ns.sent;
+    stats.messages_received += ns.received;
+    stats.retransmitted += ns.retransmitted;
+    stats.acked += ns.acked;
+    stats.duplicates += ns.duplicates;
+    stats.corrupt_frames += ns.corrupt_frames;
+    stats.tuples_installed += ns.installed;
+    stats.overwrites += ns.overwrites;
+    stats.bytes_sent += ns.bytes_sent;
+    stats.bytes_received += ns.bytes_received;
+  }
+  stats.transport = transport_->stats();
+  if (options_.trace != nullptr) {
+    options_.trace->instant("net/quiesced", "net",
+                            std::string("{\"quiesced\":") +
+                                (stats.quiesced ? "true" : "false") + "}");
+  }
+  return stats;
+}
+
+const ndlog::Database& Cluster::database(const std::string& node) const {
+  static const ndlog::Database empty;
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? empty : it->second->database();
+}
+
+ndlog::Database Cluster::merged_database() const {
+  ndlog::Database out;
+  for (const auto& [name, node] : nodes_) {
+    const ndlog::Database& db = node->database();
+    for (const auto& pred : db.predicates()) {
+      for (const auto& t : db.relation(pred)) out.insert(t);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Cluster::nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, node] : nodes_) out.push_back(name);
+  if (out.empty()) {
+    for (const auto& [name, facts] : seeds_) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace fvn::net

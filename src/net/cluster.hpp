@@ -1,0 +1,144 @@
+// fvn::net cluster — orchestrates N concurrently-executing Nodes over a
+// Transport and detects distributed termination (DESIGN.md §12).
+//
+// Lifecycle: construct (localizes + checks the program, compiles the
+// dataflow plan when asked), inject() base facts, run() once. run() builds
+// the transport, registers every node that can ever be addressed (every
+// Addr value reachable from a base fact — location specifiers cannot be
+// synthesized, only copied, so this is the complete node universe), starts
+// one thread per node, then polls for quiescence:
+//
+//   quiesced  :=  for `quiescence_rounds` consecutive polls:
+//                 every node idle  AND  transport quiet (mailboxes, hold
+//                 queues, kernel buffers empty)  AND  total unacked == 0
+//                 AND  the summed activity counter did not change
+//
+// This is a double-scan (Safra-style) argument: a message in flight at poll
+// time is either buffered somewhere (transport not quiet), unacknowledged
+// (unacked > 0), or was already processed (activity moved between polls).
+// Requiring all three stable across consecutive scans closes the window in
+// which a frame hops between the categories unseen. See DESIGN.md §12 for
+// the full argument.
+//
+// Scope: hard-state programs only. Soft state (finite lifetimes) and
+// `periodic` need per-node clocks and never quiesce; the constructor rejects
+// them with ClusterError — the discrete-event Simulator remains the executor
+// for those.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "ndlog/catalog.hpp"
+#include "ndlog/eval.hpp"
+#include "net/node.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/simulator.hpp"
+
+namespace fvn::net {
+
+/// A program the cluster cannot run (soft state, periodic, no nodes), or a
+/// run-time failure inside a node thread.
+class ClusterError : public std::runtime_error {
+ public:
+  explicit ClusterError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class TransportKind : std::uint8_t { InProc, Udp };
+
+struct ClusterOptions {
+  runtime::EngineKind engine = runtime::EngineKind::Interpreter;
+  TransportKind transport = TransportKind::InProc;
+  /// Seeded transport misbehavior; masked by reliability when enabled.
+  FaultOptions faults;
+  ReliabilityOptions reliability;
+  /// Consecutive stable coordinator polls required to declare quiescence.
+  std::size_t quiescence_rounds = 3;
+  double poll_interval_ms = 1.0;
+  /// Wall-clock budget; exceeded => stats.quiesced = false.
+  double max_seconds = 30.0;
+  bool require_stratified = true;
+  bool incremental_aggregates = true;
+  /// Observability sinks (null = off). With `metrics`, per-node series
+  /// net/node/<n>/{sent,received,retransmitted,acked,installed,bytes_sent,
+  /// bytes_received,mailbox_depth,encode,decode} are pre-created before the
+  /// threads start (the registry is not thread-safe; each node only ever
+  /// touches its own series). With `trace`, the *coordinator* emits
+  /// cluster-level counter samples each poll.
+  obs::Registry* metrics = nullptr;
+  obs::Trace* trace = nullptr;
+};
+
+struct ClusterStats {
+  std::size_t nodes = 0;
+  std::uint64_t messages_sent = 0;        ///< Data frames first-transmitted
+  std::uint64_t messages_received = 0;    ///< Data frames delivered in order
+  std::uint64_t retransmitted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t duplicates = 0;           ///< deduplicated re-deliveries
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t tuples_installed = 0;
+  std::uint64_t overwrites = 0;
+  std::uint64_t bytes_sent = 0;           ///< payload bytes (incl. retransmits)
+  std::uint64_t bytes_received = 0;
+  TransportStats transport;
+  std::size_t coordinator_polls = 0;
+  double wall_ms = 0.0;
+  bool quiesced = false;
+};
+
+/// Distributed executor for one hard-state NDlog program. One-shot: run()
+/// may be called once; databases are readable afterwards.
+class Cluster {
+ public:
+  Cluster(ndlog::Program program, ClusterOptions options = {},
+          const ndlog::BuiltinRegistry& builtins =
+              ndlog::BuiltinRegistry::standard());
+
+  /// Ensure a node exists even if no fact lives there (receive-only nodes).
+  void add_node(const std::string& name);
+
+  /// Queue a base fact; delivered to the node named by its location
+  /// attribute when run() starts. Every Addr value inside the fact also
+  /// registers a node, so derived tuples always have a live destination.
+  void inject(const ndlog::Tuple& fact);
+  void inject_all(const std::vector<ndlog::Tuple>& facts);
+
+  /// Start the transport and node threads, run to quiescence (or budget),
+  /// stop, join, aggregate. Throws TransportError if the transport cannot be
+  /// built (UDP in a sandbox) and ClusterError if a node thread failed.
+  ClusterStats run();
+
+  /// Valid after run().
+  const ndlog::Database& database(const std::string& node) const;
+  /// Union of all nodes' relations — the object the differential suite
+  /// compares against runtime::Simulator::merged_database().
+  ndlog::Database merged_database() const;
+  std::vector<std::string> nodes() const;
+  const ndlog::Program& program() const noexcept { return program_; }
+
+ private:
+  void register_addrs(const ndlog::Value& value);
+  std::string location_of(const ndlog::Tuple& tuple) const;
+  NodeObs make_obs(const std::string& name);
+
+  ndlog::Program program_;
+  ndlog::Catalog catalog_;
+  ClusterOptions options_;
+  const ndlog::BuiltinRegistry* builtins_;
+  std::optional<dataflow::Plan> plan_;
+
+  std::map<std::string, std::vector<ndlog::Tuple>> seeds_;  // node -> facts
+  std::unique_ptr<Transport> transport_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace fvn::net

@@ -1,0 +1,354 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace fvn::net {
+
+using ndlog::Rule;
+using ndlog::Tuple;
+using ndlog::TupleSet;
+
+Node::Node(std::string name, const ndlog::Program& program,
+           const ndlog::Catalog& catalog, const ndlog::BuiltinRegistry& builtins,
+           const dataflow::Plan* plan, Transport& transport,
+           ReliabilityOptions reliability, NodeObs obs)
+    : name_(std::move(name)),
+      program_(&program),
+      catalog_(&catalog),
+      builtins_(&builtins),
+      transport_(&transport),
+      reliability_(reliability),
+      obs_(obs),
+      engine_(builtins),
+      plan_(plan),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (plan_ != nullptr) {
+    // Per-node engine with a null registry: obs::Registry is not thread-safe
+    // and the shared element counters would race across node threads.
+    flow_ = std::make_unique<dataflow::Engine>(*plan_, builtins, nullptr);
+  }
+  for (const auto& rule : program_->rules) {
+    if (rule.is_fact()) continue;
+    (rule.head.has_aggregate() ? agg_rules_ : normal_rules_).push_back(&rule);
+  }
+}
+
+double Node::now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+void Node::seed(Tuple fact) { seeds_.push_back(std::move(fact)); }
+
+std::string Node::location_of(const Tuple& tuple) const {
+  const std::size_t idx = catalog_->contains(tuple.predicate())
+                              ? catalog_->loc_index(tuple.predicate())
+                              : 0;
+  if (idx >= tuple.arity() || !tuple.at(idx).is_addr()) {
+    throw ndlog::AnalysisError("tuple " + tuple.to_string() +
+                               " has no address at its location attribute");
+  }
+  return tuple.at(idx).as_addr();
+}
+
+std::string Node::key_of(const Tuple& tuple) const {
+  std::string key = tuple.predicate();
+  if (!catalog_->contains(tuple.predicate())) return key + "|" + tuple.to_string();
+  const auto& info = catalog_->info(tuple.predicate());
+  if (info.key_fields.empty()) return key + "|" + tuple.to_string();
+  for (std::size_t f : info.key_fields) {
+    if (f >= 1 && f <= tuple.arity()) key += "|" + tuple.at(f - 1).to_string();
+  }
+  return key;
+}
+
+void Node::note_insert(const Tuple& tuple) {
+  if (flow_) flow_->on_insert(tuple, db_);
+}
+
+void Node::note_erase(const Tuple& tuple) {
+  if (flow_) flow_->on_erase(tuple, db_);
+}
+
+bool Node::install(const Tuple& tuple) {
+  const std::string key = key_of(tuple);
+  auto it = by_key_.find(key);
+  bool changed = false;
+  if (it == by_key_.end()) {
+    by_key_.emplace(key, tuple);
+    db_.insert(tuple);
+    note_insert(tuple);
+    changed = true;
+  } else if (!(it->second == tuple)) {
+    // Keyed overwrite (P2 materialize semantics), exactly as the simulator.
+    db_.erase(it->second);
+    note_erase(it->second);
+    it->second = tuple;
+    db_.insert(tuple);
+    note_insert(tuple);
+    ++stats_.overwrites;
+    changed = true;
+  }
+  if (changed) {
+    ++stats_.installed;
+    if (obs_.installed != nullptr) obs_.installed->add(1);
+  }
+  return changed;
+}
+
+void Node::route(const Tuple& tuple) {
+  const std::string dest = location_of(tuple);
+  if (dest == name_) {
+    deliver(tuple, /*transient=*/false);
+  } else {
+    ship(tuple, dest);
+  }
+}
+
+void Node::run_rules(const Tuple& delta) {
+  std::vector<Tuple> produced;
+  if (flow_) {
+    flow_->process(delta, db_, produced);
+  } else {
+    TupleSet delta_set{delta};
+    for (const Rule* rule : normal_rules_) {
+      const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (atoms[i]->atom.predicate != delta.predicate()) continue;
+        engine_.eval_rule_delta(*rule, db_, i, delta_set,
+                                [&](Tuple t) { produced.push_back(std::move(t)); });
+      }
+    }
+  }
+  for (auto& t : produced) route(t);
+}
+
+void Node::run_agg_rules() {
+  if (agg_rules_.empty()) return;
+  if (flow_) {
+    for (std::size_t i = 0; i < plan_->aggregates.size(); ++i) {
+      const Rule* rule = &program_->rules[plan_->aggregates[i].rule_index];
+      auto maybe_outputs = flow_->flush_aggregate(i, db_);
+      if (!maybe_outputs) continue;  // provably unchanged since the last flush
+      TupleSet outputs = std::move(*maybe_outputs);
+      TupleSet& prev = agg_cache_[rule];
+      if (outputs == prev) continue;
+      for (const auto& old_row : prev) {
+        if (outputs.count(old_row)) continue;
+        if (location_of(old_row) != name_) continue;  // remote copies are theirs
+        if (db_.erase(old_row)) {
+          note_erase(old_row);
+          by_key_.erase(key_of(old_row));
+        }
+      }
+      std::vector<Tuple> added;
+      for (const auto& row : outputs) {
+        if (!prev.count(row)) added.push_back(row);
+      }
+      prev = outputs;
+      for (const auto& t : added) {
+        const std::string dest = location_of(t);
+        if (dest == name_) {
+          if (install(t)) run_rules(t);
+        } else {
+          ship(t, dest);
+        }
+      }
+    }
+    return;
+  }
+  for (const Rule* rule : agg_rules_) {
+    TupleSet outputs;
+    engine_.eval_agg_rule(*rule, db_, [&](Tuple t) { outputs.insert(std::move(t)); });
+    TupleSet& prev = agg_cache_[rule];
+    if (outputs == prev) continue;
+    // Incremental view maintenance: retract groups that disappeared or whose
+    // aggregate value changed, then install/ship the new rows (same
+    // diff-against-cache flow as runtime::Simulator::run_agg_rules).
+    for (const auto& old_row : prev) {
+      if (outputs.count(old_row)) continue;
+      if (location_of(old_row) != name_) continue;
+      if (db_.erase(old_row)) by_key_.erase(key_of(old_row));
+    }
+    std::vector<Tuple> added;
+    for (const auto& row : outputs) {
+      if (!prev.count(row)) added.push_back(row);
+    }
+    prev = outputs;
+    for (const auto& t : added) {
+      const std::string dest = location_of(t);
+      if (dest == name_) {
+        if (install(t)) run_rules(t);
+      } else {
+        ship(t, dest);
+      }
+    }
+  }
+}
+
+void Node::deliver(const Tuple& tuple, bool transient) {
+  if (transient) {
+    run_rules(tuple);
+    run_agg_rules();
+    return;
+  }
+  if (!install(tuple)) return;  // duplicate: no re-derivation
+  run_rules(tuple);
+  run_agg_rules();
+}
+
+void Node::ship(const Tuple& tuple, const std::string& dest) {
+  Frame frame;
+  frame.kind = Frame::Kind::Data;
+  frame.src = name_;
+  frame.dst = dest;
+  frame.tuple = tuple;
+  std::string bytes;
+  {
+    obs::Timer::Scope scope(obs_.encode);
+    if (reliability_.enabled) {
+      OutChannel& out = out_[dest];
+      frame.seq = out.next_seq++;
+      bytes = encode_frame(frame);
+      out.pending.emplace(
+          frame.seq, Pending{bytes, now_ms() + reliability_.initial_backoff_ms,
+                             reliability_.initial_backoff_ms});
+      unacked_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      frame.seq = out_[dest].next_seq++;
+      bytes = encode_frame(frame);
+    }
+  }
+  ++stats_.sent;
+  stats_.bytes_sent += bytes.size();
+  if (obs_.sent != nullptr) obs_.sent->add(1);
+  if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(bytes.size());
+  transport_->send(name_, dest, std::move(bytes));
+}
+
+void Node::retransmit_due() {
+  if (!reliability_.enabled) return;
+  const double now = now_ms();
+  for (auto& [dest, out] : out_) {
+    for (auto& [seq, pending] : out.pending) {
+      if (pending.due_ms > now) continue;
+      pending.backoff_ms =
+          std::min(pending.backoff_ms * 2.0, reliability_.max_backoff_ms);
+      pending.due_ms = now + pending.backoff_ms;
+      ++stats_.retransmitted;
+      stats_.bytes_sent += pending.bytes.size();
+      if (obs_.retransmitted != nullptr) obs_.retransmitted->add(1);
+      if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(pending.bytes.size());
+      transport_->send(name_, dest, pending.bytes);
+    }
+  }
+}
+
+void Node::handle_data(Frame&& frame) {
+  if (!reliability_.enabled) {
+    // Raw mode: process in arrival order, no dedup (fault-free transports only).
+    const bool transient =
+        catalog_->contains(frame.tuple.predicate()) &&
+        catalog_->info(frame.tuple.predicate()).lifetime_seconds == 0.0;
+    ++stats_.received;
+    if (obs_.received != nullptr) obs_.received->add(1);
+    deliver(frame.tuple, transient);
+    return;
+  }
+  // Always ack, even for duplicates — the previous ack may have been lost.
+  Frame ack;
+  ack.kind = Frame::Kind::Ack;
+  ack.seq = frame.seq;
+  ack.src = name_;
+  ack.dst = frame.src;
+  transport_->send(name_, frame.src, encode_frame(ack));
+
+  InChannel& in = in_[frame.src];
+  if (frame.seq < in.next_expected || in.reassembly.count(frame.seq)) {
+    ++stats_.duplicates;
+    return;
+  }
+  if (frame.seq != in.next_expected) {
+    in.reassembly.emplace(frame.seq, std::move(frame.tuple));
+    return;
+  }
+  // In-order delivery: this frame, then everything it unblocks.
+  Tuple next = std::move(frame.tuple);
+  for (;;) {
+    ++in.next_expected;
+    ++stats_.received;
+    if (obs_.received != nullptr) obs_.received->add(1);
+    const bool transient = catalog_->contains(next.predicate()) &&
+                           catalog_->info(next.predicate()).lifetime_seconds == 0.0;
+    deliver(next, transient);
+    auto it = in.reassembly.find(in.next_expected);
+    if (it == in.reassembly.end()) break;
+    next = std::move(it->second);
+    in.reassembly.erase(it);
+  }
+}
+
+void Node::handle_frame(const std::string& bytes) {
+  stats_.bytes_received += bytes.size();
+  if (obs_.bytes_received != nullptr) obs_.bytes_received->add(bytes.size());
+  Frame frame;
+  try {
+    obs::Timer::Scope scope(obs_.decode);
+    frame = decode_frame(bytes);
+  } catch (const WireError&) {
+    // Corrupt frame: count and drop; the sender's retransmit recovers it.
+    ++stats_.corrupt_frames;
+    return;
+  }
+  if (frame.kind == Frame::Kind::Ack) {
+    auto it = out_.find(frame.src);
+    if (it != out_.end() && it->second.pending.erase(frame.seq) > 0) {
+      ++stats_.acked;
+      if (obs_.acked != nullptr) obs_.acked->add(1);
+      unacked_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
+  handle_data(std::move(frame));
+}
+
+bool Node::sweep() {
+  transport_->pump(name_);
+  retransmit_due();
+  std::string bytes;
+  std::uint64_t drained = 0;
+  while (transport_->recv(name_, bytes)) {
+    ++drained;
+    handle_frame(bytes);
+    activity_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (drained > 0 && obs_.mailbox_depth != nullptr) obs_.mailbox_depth->observe(drained);
+  return drained > 0;
+}
+
+void Node::run(const std::atomic<bool>& stop) {
+  try {
+    for (const auto& fact : seeds_) {
+      deliver(fact, /*transient=*/false);
+      activity_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    seeds_.clear();
+    while (!stop.load(std::memory_order_acquire)) {
+      const bool busy = sweep();
+      idle_.store(!busy, std::memory_order_release);
+      if (!busy) {
+        // Nothing to do: yield the core instead of spin-polling. 100µs keeps
+        // retransmit deadlines (>= 2ms) and termination polls responsive.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  } catch (const std::exception& e) {
+    error_ = name_ + ": " + e.what();
+    failed_.store(true, std::memory_order_release);
+    idle_.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace fvn::net

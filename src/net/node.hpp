@@ -1,0 +1,198 @@
+// fvn::net node runtime — one concurrently-executing NDlog node (DESIGN.md
+// §12). A Node owns its slice of the distributed database and an executor
+// over it (interpreter RuleEngine or compiled dataflow::Engine), and runs an
+// event loop on its own std::thread:
+//
+//   pump held frames -> retransmit overdue -> drain mailbox -> process
+//
+// Rule semantics deliberately mirror runtime::Simulator install/run_rules/
+// run_agg_rules line for line (keyed overwrite, aggregate diff-against-cache,
+// "remote copies age out") so the differential suite can demand an *identical*
+// merged fixpoint from both executives.
+//
+// Reliability: the transport may drop, duplicate, reorder and delay frames;
+// the Node layers a per-directed-channel protocol on top that masks all four:
+//
+//   sender    every Data frame carries a per-(src,dst) sequence number and
+//             stays in a pending map until acked; overdue frames retransmit
+//             with capped exponential backoff.
+//   receiver  acks every Data frame it sees (including duplicates — the
+//             original ack may have been the casualty), delivers exactly once
+//             and in sequence order via a reassembly buffer.
+//
+// Exactly-once in-order delivery per channel makes the fault injection
+// semantically invisible; it only costs retransmissions and time.
+//
+// Thread model: everything mutable on a Node is owned by its thread, except
+// the std::atomic signals (idle/activity/unacked/failed) the coordinator
+// polls for termination detection, and the transport (internally locked).
+// The obs series pointers are wired before the thread starts and point into
+// a Registry nobody else touches concurrently per-node.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.hpp"
+#include "dataflow/plan.hpp"
+#include "ndlog/catalog.hpp"
+#include "ndlog/eval.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace fvn::net {
+
+/// Ack + retransmit knobs (cluster-wide; see Cluster).
+struct ReliabilityOptions {
+  /// Off = fire-and-forget raw frames (only sane on a fault-free transport;
+  /// the differential suite uses it as the zero-overhead baseline).
+  bool enabled = true;
+  double initial_backoff_ms = 2.0;  ///< first retransmit deadline
+  double max_backoff_ms = 50.0;     ///< backoff doubles up to this cap
+};
+
+/// Per-node observability series, wired by the Cluster before the node's
+/// thread starts (all null when metrics are off). Each node gets its own
+/// series — obs::Registry is not thread-safe, so no two threads may share one.
+struct NodeObs {
+  obs::Counter* sent = nullptr;
+  obs::Counter* received = nullptr;
+  obs::Counter* retransmitted = nullptr;
+  obs::Counter* acked = nullptr;
+  obs::Counter* installed = nullptr;
+  obs::Counter* bytes_sent = nullptr;
+  obs::Counter* bytes_received = nullptr;
+  /// Frames drained per non-empty mailbox sweep (the observable backlog).
+  obs::Histogram* mailbox_depth = nullptr;
+  obs::Timer* encode = nullptr;
+  obs::Timer* decode = nullptr;
+};
+
+/// Plain counters, safe to read after the node's thread has been joined.
+struct NodeStats {
+  std::uint64_t sent = 0;            ///< Data frames first-transmitted
+  std::uint64_t received = 0;        ///< Data frames delivered in-order
+  std::uint64_t retransmitted = 0;   ///< Data frames re-sent after timeout
+  std::uint64_t acked = 0;           ///< pending frames cleared by an ack
+  std::uint64_t duplicates = 0;      ///< already-delivered Data frames re-acked
+  std::uint64_t corrupt_frames = 0;  ///< frames decode rejected (WireError)
+  std::uint64_t installed = 0;       ///< local installs (new or overwrite)
+  std::uint64_t overwrites = 0;      ///< keyed overwrites among installed
+  std::uint64_t bytes_sent = 0;      ///< payload bytes handed to the transport
+  std::uint64_t bytes_received = 0;
+};
+
+/// One distributed NDlog node. Construct, seed(), then start(); the Cluster
+/// owns the lifecycle.
+class Node {
+ public:
+  /// `program`, `catalog`, `builtins`, `plan` and `transport` must outlive
+  /// the node; `plan` is null in interpreter mode.
+  Node(std::string name, const ndlog::Program& program, const ndlog::Catalog& catalog,
+       const ndlog::BuiltinRegistry& builtins, const dataflow::Plan* plan,
+       Transport& transport, ReliabilityOptions reliability, NodeObs obs);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Queue a base fact for delivery at startup. Must be called before run().
+  void seed(ndlog::Tuple fact);
+
+  /// Thread body: process seeds, then loop until `stop` is set. Never throws;
+  /// failures are recorded (failed()/error()) so the coordinator can abort.
+  void run(const std::atomic<bool>& stop);
+
+  // --- Coordinator-facing signals (safe while the thread runs) --------------
+
+  /// True when the last loop sweep found nothing to do.
+  bool idle() const noexcept { return idle_.load(std::memory_order_acquire); }
+  /// Monotonic count of frames/seeds processed — the double-scan input.
+  std::uint64_t activity() const noexcept {
+    return activity_.load(std::memory_order_acquire);
+  }
+  /// Data frames sent but not yet acked (0 when reliability is off).
+  std::uint64_t unacked() const noexcept {
+    return unacked_.load(std::memory_order_acquire);
+  }
+  bool failed() const noexcept { return failed_.load(std::memory_order_acquire); }
+
+  // --- Post-join accessors (thread must have exited) ------------------------
+
+  const std::string& error() const noexcept { return error_; }
+  const ndlog::Database& database() const noexcept { return db_; }
+  const NodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    std::string bytes;       // encoded frame, ready to re-send
+    double due_ms = 0.0;     // next retransmit deadline (node clock)
+    double backoff_ms = 0.0; // current backoff step
+  };
+  struct OutChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> pending;
+  };
+  struct InChannel {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, ndlog::Tuple> reassembly;  // buffered future seqs
+  };
+
+  double now_ms() const;
+  bool sweep();  ///< one loop iteration; true if any frame was processed
+  void handle_frame(const std::string& bytes);
+  void handle_data(Frame&& frame);
+  void retransmit_due();
+  void ship(const ndlog::Tuple& tuple, const std::string& dest);
+
+  // Rule semantics (mirrors runtime::Simulator).
+  void deliver(const ndlog::Tuple& tuple, bool transient);
+  bool install(const ndlog::Tuple& tuple);
+  void run_rules(const ndlog::Tuple& delta);
+  void run_agg_rules();
+  void route(const ndlog::Tuple& tuple);  ///< local -> deliver, remote -> ship
+  std::string key_of(const ndlog::Tuple& tuple) const;
+  std::string location_of(const ndlog::Tuple& tuple) const;
+  void note_insert(const ndlog::Tuple& tuple);
+  void note_erase(const ndlog::Tuple& tuple);
+
+  std::string name_;
+  const ndlog::Program* program_;
+  const ndlog::Catalog* catalog_;
+  const ndlog::BuiltinRegistry* builtins_;
+  Transport* transport_;
+  ReliabilityOptions reliability_;
+  NodeObs obs_;
+
+  ndlog::RuleEngine engine_;
+  std::unique_ptr<dataflow::Engine> flow_;  // dataflow mode only
+  std::vector<const ndlog::Rule*> normal_rules_;
+  std::vector<const ndlog::Rule*> agg_rules_;
+  const dataflow::Plan* plan_;
+
+  ndlog::Database db_;
+  std::map<std::string, ndlog::Tuple> by_key_;
+  std::map<const ndlog::Rule*, ndlog::TupleSet> agg_cache_;
+  std::vector<ndlog::Tuple> seeds_;
+
+  std::map<std::string, OutChannel> out_;
+  std::map<std::string, InChannel> in_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  NodeStats stats_;
+  std::string error_;
+
+  std::atomic<bool> idle_{false};
+  std::atomic<std::uint64_t> activity_{0};
+  std::atomic<std::uint64_t> unacked_{0};
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace fvn::net

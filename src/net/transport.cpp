@@ -1,0 +1,271 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fvn::net {
+
+namespace {
+
+/// Splitmix64 — derives an independent per-sender fault stream from the
+/// cluster seed, so one node's send pattern never perturbs another's faults.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Transport::Transport(FaultOptions faults)
+    : faults_(faults), epoch_(std::chrono::steady_clock::now()) {}
+
+double Transport::now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+void Transport::add_node(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = senders_.try_emplace(name);
+  if (inserted) it->second.rng.seed(mix(faults_.seed) ^ fnv1a(name));
+}
+
+void Transport::transmit_counted(const std::string& to, std::string frame) {
+  stats_.bytes_sent += frame.size();
+  transmit(to, std::move(frame));
+}
+
+void Transport::send(const std::string& from, const std::string& to,
+                     std::string frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = senders_.find(from);
+  if (it == senders_.end()) throw TransportError("unregistered sender " + from);
+  ++stats_.frames_sent;
+  if (!faults_.any()) {
+    transmit_counted(to, std::move(frame));
+    return;
+  }
+  SenderState& sender = it->second;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  if (faults_.drop_rate > 0 && u(sender.rng) < faults_.drop_rate) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  const bool duplicate =
+      faults_.duplicate_rate > 0 && u(sender.rng) < faults_.duplicate_rate;
+  double hold_ms = 0.0;
+  if (faults_.reorder_rate > 0 && u(sender.rng) < faults_.reorder_rate) {
+    // Hold long enough that frames sent immediately after overtake this one.
+    hold_ms += 1.0 + 2.0 * u(sender.rng);
+  }
+  if (faults_.delay_ms > 0) hold_ms += faults_.delay_ms * u(sender.rng);
+  if (duplicate) {
+    ++stats_.frames_duplicated;
+    transmit_counted(to, frame);
+  }
+  if (hold_ms > 0.0) {
+    ++stats_.frames_delayed;
+    stats_.bytes_sent += frame.size();  // counted now, transmitted at pump()
+    sender.held.push_back(HeldFrame{now_ms() + hold_ms, to, std::move(frame)});
+    return;
+  }
+  transmit_counted(to, std::move(frame));
+}
+
+void Transport::pump(const std::string& from) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = senders_.find(from);
+  if (it == senders_.end() || it->second.held.empty()) return;
+  const double now = now_ms();
+  auto& held = it->second.held;
+  for (std::size_t i = 0; i < held.size();) {
+    if (held[i].due_ms <= now) {
+      transmit(held[i].to, std::move(held[i].frame));
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Transport::recv(const std::string& node, std::string& frame) {
+  if (!poll(node, frame)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += frame.size();
+  return true;
+}
+
+bool Transport::quiet() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, sender] : senders_) {
+      if (!sender.held.empty()) return false;
+    }
+  }
+  return impl_quiet();
+}
+
+TransportStats Transport::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// --- InProcTransport --------------------------------------------------------
+
+InProcTransport::InProcTransport(FaultOptions faults) : Transport(faults) {}
+
+void InProcTransport::add_node(const std::string& name) {
+  Transport::add_node(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = mailboxes_.find(name);
+  if (it == mailboxes_.end()) mailboxes_.emplace(name, std::make_unique<Mailbox>());
+}
+
+void InProcTransport::transmit(const std::string& to, std::string frame) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(to);
+    if (it == mailboxes_.end()) throw TransportError("unknown destination " + to);
+    box = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(box->mutex);
+  box->frames.push_back(std::move(frame));
+}
+
+bool InProcTransport::poll(const std::string& node, std::string& frame) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(node);
+    if (it == mailboxes_.end()) return false;
+    box = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(box->mutex);
+  if (box->frames.empty()) return false;
+  frame = std::move(box->frames.front());
+  box->frames.pop_front();
+  return true;
+}
+
+bool InProcTransport::impl_quiet() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, box] : mailboxes_) {
+    std::lock_guard<std::mutex> box_lock(box->mutex);
+    if (!box->frames.empty()) return false;
+  }
+  return true;
+}
+
+// --- UdpTransport -----------------------------------------------------------
+
+UdpTransport::UdpTransport(FaultOptions faults) : Transport(faults) {}
+
+UdpTransport::~UdpTransport() {
+  for (auto& [name, sock] : sockets_) {
+    if (sock.fd >= 0) ::close(sock.fd);
+  }
+}
+
+void UdpTransport::add_node(const std::string& name) {
+  Transport::add_node(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sockets_.count(name)) return;
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    throw TransportError(std::string("udp: socket() failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportError(std::string("udp: bind() failed: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportError(std::string("udp: getsockname() failed: ") +
+                         std::strerror(err));
+  }
+  // Non-blocking: node loops poll; they must never park in the kernel.
+  int flags = 1;
+  if (::ioctl(fd, FIONBIO, &flags) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportError(std::string("udp: FIONBIO failed: ") + std::strerror(err));
+  }
+  sockets_[name] = Socket{fd, ntohs(addr.sin_port)};
+}
+
+void UdpTransport::transmit(const std::string& to, std::string frame) {
+  Socket src{};
+  Socket dst{};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sockets_.find(to);
+    if (it == sockets_.end()) throw TransportError("unknown destination " + to);
+    dst = it->second;
+    // Any socket can carry the datagram; use the destination's own fd for
+    // sending too — sendto() is atomic per datagram and thread-safe.
+    src = dst;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dst.port);
+  // Loopback sends only fail transiently (ENOBUFS under pressure); treat a
+  // failed send exactly like a dropped frame — the reliability layer above
+  // retransmits.
+  (void)::sendto(src.fd, frame.data(), frame.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}
+
+bool UdpTransport::poll(const std::string& node, std::string& frame) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sockets_.find(node);
+    if (it == sockets_.end()) return false;
+    fd = it->second.fd;
+  }
+  char buf[65536];
+  const ssize_t n = ::recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);
+  if (n < 0) return false;  // EWOULDBLOCK or transient error: nothing to read
+  frame.assign(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool UdpTransport::impl_quiet() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, sock] : sockets_) {
+    int pending = 0;
+    if (::ioctl(sock.fd, FIONREAD, &pending) == 0 && pending > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fvn::net

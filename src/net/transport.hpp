@@ -1,0 +1,176 @@
+// fvn::net transports — how encoded frames move between concurrently
+// executing nodes (DESIGN.md §12). A Transport is a set of named mailboxes:
+// node threads push frames at each other with send() and drain their own
+// mailbox with recv(). Two implementations ship:
+//
+//   * InProcTransport — one lock-guarded FIFO deque per node. The default:
+//     deterministic-ish, dependency-free, and what the differential suite and
+//     TSan runs use.
+//   * UdpTransport — one non-blocking AF_INET loopback socket per node.
+//     Real kernel datagrams with real loss-of-ordering potential; construction
+//     throws TransportError where sockets are unavailable (sandboxes), and
+//     every caller is expected to degrade gracefully (tests skip, the CLI
+//     reports exit 1).
+//
+// Fault injection lives in the shared base class so both transports misbehave
+// identically: seeded per-sender RNG streams decide drop / duplicate /
+// reorder / delay per frame, so a given (seed, per-sender send sequence)
+// misbehaves reproducibly regardless of which transport carries the bytes.
+// Reorder and delay are implemented as a per-sender hold queue released by
+// pump(), which node event loops call every iteration.
+//
+// Thread model: send()/pump() are called by the sending node's thread,
+// recv() by the receiving node's thread, quiet()/stats snapshots by the
+// coordinator; all shared state is mutex-guarded. add_node() must complete
+// before any node thread starts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fvn::net {
+
+/// Thrown when a transport cannot be constructed (e.g. no socket support) or
+/// a frame is addressed to an unknown node.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Seeded misbehavior knobs. All rates are per-frame probabilities in [0,1].
+struct FaultOptions {
+  double drop_rate = 0.0;       ///< frame silently discarded
+  double duplicate_rate = 0.0;  ///< frame transmitted twice
+  double reorder_rate = 0.0;    ///< frame held ~1-3ms, letting later frames pass
+  double delay_ms = 0.0;        ///< uniform extra [0, delay_ms) hold per frame
+  std::uint64_t seed = 1;       ///< fault RNG seed (per-sender streams derive from it)
+
+  bool any() const noexcept {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 || delay_ms > 0;
+  }
+};
+
+/// Monotonic counters aggregated across all senders (coordinator reads a
+/// snapshot under the same mutex the senders update it under).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;         ///< send() calls (pre-fault)
+  std::uint64_t frames_delivered = 0;    ///< frames handed to recv() callers
+  std::uint64_t frames_dropped = 0;      ///< fault injection: discarded
+  std::uint64_t frames_duplicated = 0;   ///< fault injection: sent twice
+  std::uint64_t frames_delayed = 0;      ///< fault injection: held in the hold queue
+  std::uint64_t bytes_sent = 0;          ///< post-fault bytes actually transmitted
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Transport {
+ public:
+  explicit Transport(FaultOptions faults = {});
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Register a node before any thread starts. Idempotent.
+  virtual void add_node(const std::string& name);
+
+  /// Fault-injecting send from `from`'s thread. Throws TransportError for an
+  /// unregistered destination.
+  void send(const std::string& from, const std::string& to, std::string frame);
+
+  /// Release any held (reordered/delayed) frames from `from` whose hold has
+  /// elapsed. Node loops call this once per iteration.
+  void pump(const std::string& from);
+
+  /// Pop the next frame for `node`; false when the mailbox is empty.
+  bool recv(const std::string& node, std::string& frame);
+
+  /// True when no frame is buffered anywhere: mailboxes, hold queues, and
+  /// (for UDP) kernel socket buffers. Coordinator-side quiescence input.
+  bool quiet();
+
+  TransportStats stats();
+
+ protected:
+  /// Actually move bytes: push into the destination mailbox / socket.
+  virtual void transmit(const std::string& to, std::string frame) = 0;
+  /// Pop from the implementation mailbox for `node`.
+  virtual bool poll(const std::string& node, std::string& frame) = 0;
+  /// Implementation part of quiet() (mailboxes / socket buffers empty).
+  virtual bool impl_quiet() = 0;
+
+ private:
+  struct HeldFrame {
+    double due_ms = 0.0;  // steady-clock milliseconds since transport start
+    std::string to;
+    std::string frame;
+  };
+  struct SenderState {
+    std::mt19937_64 rng;
+    std::vector<HeldFrame> held;
+  };
+
+  void transmit_counted(const std::string& to, std::string frame);
+  double now_ms() const;
+
+  FaultOptions faults_;
+  std::mutex mutex_;  // guards senders_ and stats_
+  std::map<std::string, SenderState> senders_;
+  TransportStats stats_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Lock-guarded per-node FIFO mailboxes, all in one process.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(FaultOptions faults = {});
+
+  void add_node(const std::string& name) override;
+
+ protected:
+  void transmit(const std::string& to, std::string frame) override;
+  bool poll(const std::string& node, std::string& frame) override;
+  bool impl_quiet() override;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::deque<std::string> frames;
+  };
+  std::mutex mutex_;  // guards the map shape only (nodes added before start)
+  std::map<std::string, std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Non-blocking AF_INET UDP sockets on 127.0.0.1, one per node. Construction
+/// of the first socket happens lazily in add_node(); failures throw
+/// TransportError so callers can skip cleanly where sockets are unavailable.
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(FaultOptions faults = {});
+  ~UdpTransport() override;
+
+  void add_node(const std::string& name) override;
+
+ protected:
+  void transmit(const std::string& to, std::string frame) override;
+  bool poll(const std::string& node, std::string& frame) override;
+  bool impl_quiet() override;
+
+ private:
+  struct Socket {
+    int fd = -1;
+    std::uint16_t port = 0;
+  };
+  std::mutex mutex_;
+  std::map<std::string, Socket> sockets_;
+};
+
+}  // namespace fvn::net

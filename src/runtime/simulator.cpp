@@ -22,6 +22,15 @@ std::uint64_t sim_ts(double seconds) {
   return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
 }
 
+/// Splitmix64: derives the loss RNG stream's seed from SimOptions::seed so
+/// loss and jitter draws never share (and so never perturb) a stream.
+std::uint64_t derive_loss_seed(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Simulator::Simulator(ndlog::Program program, SimOptions options,
@@ -31,7 +40,8 @@ Simulator::Simulator(ndlog::Program program, SimOptions options,
       options_(options),
       builtins_(&builtins),
       engine_(builtins),
-      rng_(options.seed) {
+      rng_(options.seed),
+      loss_rng_(derive_loss_seed(options.seed)) {
   ndlog::check_arities(program_);
   ndlog::check_safety(program_, builtins);
   if (options_.require_stratified) ndlog::stratify(program_);
@@ -212,7 +222,7 @@ void Simulator::send(const std::string& from, const Tuple& tuple, double now) {
   }
   if (options_.loss_rate > 0.0) {
     std::uniform_real_distribution<double> u(0.0, 1.0);
-    if (u(rng_) < options_.loss_rate) {
+    if (u(loss_rng_) < options_.loss_rate) {
       ++stats_.messages_dropped;
       if (options_.metrics != nullptr) {
         options_.metrics->counter("sim/node/" + from + "/dropped").add(1);

@@ -41,15 +41,23 @@ enum class EngineKind : std::uint8_t {
 
 struct SimOptions {
   double default_link_delay = 0.01;  // seconds
-  double loss_rate = 0.0;            // per-message drop probability
+  /// Per-message drop probability. Loss draws come from a dedicated RNG
+  /// stream (derived from `seed`), separate from the jitter stream below, so
+  /// a seeded loss pattern is stable when `delay_jitter` is toggled — and a
+  /// seeded jitter schedule is stable when `loss_rate` is toggled.
+  double loss_rate = 0.0;
+  /// Seeds both RNG streams: the jitter stream directly, the loss stream via
+  /// a splitmix64 derivation.
   std::uint64_t seed = 1;
   /// Seed-driven per-message delay jitter: each message's delay is
-  /// multiplied by 1 + U(0, delay_jitter) drawn from the seeded RNG, so
-  /// different seeds explore different arrival orders. 0 (the default)
-  /// keeps schedules fully deterministic — existing differential tests
-  /// rely on bit-identical runs. The semantic analyzer's order-sensitivity
-  /// cross-validation (ND0016/ND0017) uses this to witness racing
-  /// fixpoints with two seeds.
+  /// multiplied by 1 + U(0, delay_jitter) drawn from the jitter RNG stream
+  /// (seeded with `seed`), so different seeds explore different arrival
+  /// orders. 0 (the default) keeps schedules fully deterministic — existing
+  /// differential tests rely on bit-identical runs. The semantic analyzer's
+  /// order-sensitivity cross-validation (ND0016/ND0017) uses this to witness
+  /// racing fixpoints with two seeds; those witnesses depend on the jitter
+  /// stream consuming exactly one draw per non-local send, which is why loss
+  /// draws live on their own stream (see loss_rate).
   double delay_jitter = 0.0;
   double max_time = 1e6;
   std::size_t max_events = 5'000'000;
@@ -213,7 +221,12 @@ class Simulator {
   std::map<std::pair<std::string, std::string>, double> link_delays_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::uint64_t sequence_ = 0;
+  /// Jitter stream (delay_jitter draws). Kept separate from loss_rng_ so the
+  /// two fault knobs can be toggled independently without perturbing each
+  /// other's seeded schedules.
   std::mt19937_64 rng_;
+  /// Loss stream (loss_rate draws), seeded from `seed` via splitmix64.
+  std::mt19937_64 loss_rng_;
   std::vector<Monitor> monitors_;
   std::vector<TraceEntry> trace_;
   SimStats stats_;
