@@ -46,6 +46,7 @@
 
 #include "logic/pvs_emit.hpp"
 #include "ndlog/analysis.hpp"
+#include "ndlog/cost.hpp"
 #include "ndlog/eval.hpp"
 #include "ndlog/lint.hpp"
 #include "ndlog/parser.hpp"
@@ -97,9 +98,10 @@ int usage() {
                "[--no-retransmit] [--engine=...] [--metrics] [--trace <out.json>]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
-               "       fvn_cli analyze [--json|--dot|--metrics] <prog.ndlog>...   "
-               "(semantic passes ND0014..ND0018; same exit convention)\n"
-               "       fvn_cli plan <prog.ndlog> [--dot|--json]   "
+               "       fvn_cli analyze [--json|--dot|--metrics|--cost] <prog.ndlog>...   "
+               "(semantic passes ND0014..ND0018; --cost adds the ND0019..ND0021 "
+               "cost model; same exit convention)\n"
+               "       fvn_cli plan <prog.ndlog> [--dot|--json] [--cost-order]   "
                "(localize + compile to dataflow strands)\n"
                "       eval = run, sim = simulate; both take --metrics and "
                "--trace <out.json>; sim takes --engine=<interpreter|dataflow>\n";
@@ -112,19 +114,24 @@ int usage() {
 int cmd_plan(const std::vector<std::string>& args) {
   bool dot = false;
   bool json = false;
+  bool cost_order = false;
   std::vector<std::string> files;
   for (const auto& a : args) {
     if (a == "--dot") {
       dot = true;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--cost-order") {
+      cost_order = true;
     } else {
       files.push_back(a);
     }
   }
   if (files.size() != 1 || (dot && json)) return usage();
   auto program = fvn::ndlog::parse_program(slurp(files[0]), files[0]);
-  auto plan = fvn::dataflow::compile(fvn::runtime::localize(program));
+  fvn::dataflow::PlanOptions plan_options;
+  plan_options.cost_order = cost_order;
+  auto plan = fvn::dataflow::compile(fvn::runtime::localize(program), plan_options);
   if (dot) {
     std::cout << plan.to_dot();
   } else if (json) {
@@ -194,6 +201,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
   bool json = false;
   bool dot = false;
   bool want_metrics = false;
+  bool want_cost = false;
   std::vector<std::string> files;
   for (const auto& a : args) {
     if (a == "--json") {
@@ -202,6 +210,8 @@ int cmd_analyze(const std::vector<std::string>& args) {
       dot = true;
     } else if (a == "--metrics") {
       want_metrics = true;
+    } else if (a == "--cost") {
+      want_cost = true;
     } else {
       files.push_back(a);
     }
@@ -217,6 +227,8 @@ int cmd_analyze(const std::vector<std::string>& args) {
     const std::string& file = files[f];
     fvn::ndlog::DiagnosticSink sink;
     std::string summary_json;
+    std::string cost_json;
+    std::string cost_human;
     try {
       auto program = fvn::ndlog::parse_program(slurp(file), file);
       fvn::ndlog::check_arities(program, sink);
@@ -228,10 +240,18 @@ int cmd_analyze(const std::vector<std::string>& args) {
         if (want_metrics) options.metrics = &registry;
         auto report = fvn::ndlog::analyze_semantics(program, sink, options);
         summary_json = fvn::ndlog::semantic_json(report);
-        if (dot) {
+        if (want_cost) {
+          auto cost_report = fvn::ndlog::cost::analyze(program, report, sink);
+          cost_json = fvn::ndlog::cost::to_json(cost_report);
+          if (!json && !dot) cost_human = fvn::ndlog::cost::to_human(cost_report);
+          if (dot) {
+            std::cout << fvn::ndlog::cost::to_dot(program, cost_report);
+          }
+        } else if (dot) {
           std::cout << fvn::ndlog::semantic_dot(program, report);
         }
       }
+      fvn::ndlog::dedupe_localized_diagnostics(program, sink);
       sink.sort_by_location();
     } catch (const fvn::ndlog::ParseError& e) {
       sink.error("ND0001", e.what(),
@@ -245,9 +265,11 @@ int cmd_analyze(const std::vector<std::string>& args) {
       json_out << (f != 0 ? "," : "") << "{\"file\":\"" << fvn::ndlog::json_escape(file)
                << "\",\"diagnostics\":" << fvn::ndlog::render_json(sink.diagnostics());
       if (!summary_json.empty()) json_out << ",\"summary\":" << summary_json;
+      if (!cost_json.empty()) json_out << ",\"cost\":" << cost_json;
       json_out << "}";
     } else if (!dot) {
       std::cout << fvn::ndlog::render_human(sink.diagnostics(), file);
+      if (!cost_human.empty()) std::cout << cost_human;
     }
   }
   if (json) {
@@ -290,6 +312,7 @@ int cmd_dist(const std::vector<std::string>& args) {
   std::string trace_path;
   std::string engine_name = "interpreter";
   std::string transport_name = "inproc";
+  bool cost_order = false;
   double loss = 0.0;
   std::uint64_t seed = 1;
   std::int64_t expected_nodes = -1;
@@ -310,6 +333,8 @@ int cmd_dist(const std::vector<std::string>& args) {
       trace_path = value_of("--trace");
     } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
       engine_name = value_of("--engine");
+    } else if (a == "--cost-order") {
+      cost_order = true;
     } else if (a == "--transport" || a.rfind("--transport=", 0) == 0) {
       transport_name = value_of("--transport");
     } else if (a == "--loss" || a.rfind("--loss=", 0) == 0) {
@@ -344,6 +369,7 @@ int cmd_dist(const std::vector<std::string>& args) {
   fvn::net::ClusterOptions options;
   options.engine = engine_name == "dataflow" ? fvn::runtime::EngineKind::Dataflow
                                              : fvn::runtime::EngineKind::Interpreter;
+  options.cost_order = cost_order;
   options.transport = transport_name == "udp" ? fvn::net::TransportKind::Udp
                                               : fvn::net::TransportKind::InProc;
   options.faults.drop_rate = loss;
@@ -410,6 +436,7 @@ int main(int argc, char** argv) {
   bool want_metrics = false;
   std::string trace_path;
   std::string engine_name;
+  bool cost_order = false;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -425,6 +452,8 @@ int main(int argc, char** argv) {
       engine_name = argv[++i];
     } else if (a.rfind("--engine=", 0) == 0) {
       engine_name = a.substr(9);
+    } else if (a == "--cost-order") {
+      cost_order = true;
     } else {
       args.push_back(a);
     }
@@ -494,6 +523,7 @@ int main(int argc, char** argv) {
       if (want_metrics) sim_options.metrics = &registry;
       if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
       if (engine_name == "dataflow") sim_options.engine = runtime::EngineKind::Dataflow;
+      sim_options.cost_order = cost_order;
       runtime::Simulator sim(program, sim_options);
       sim.inject_all(facts);
       auto stats = sim.run();

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Repository health gate: tier-1 build + tests, the same suite again under
+# Repository health gate: tier-1 build + tests, the analyze-all sweep over
+# every shipped example (ctest -L analyze), the same suite again under
 # ASan/UBSan, the concurrent `net`-labelled suite once more under TSan
 # (build-tsan), and (when available) clang-tidy over src/ with the checks
-# pinned in .clang-tidy.
+# pinned in .clang-tidy — the tidy stage is gating (WarningsAsErrors: '*'),
+# so any finding fails the script.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-tidy]
 #
@@ -34,10 +36,19 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+# analyze-all: lint + analyze (--json, --cost) over every shipped example,
+# exercised through the fvn_cli binary by test_analyze_all. A fast, focused
+# re-run so a diagnostics regression names this stage rather than hiding in
+# the full suite above.
+echo "== check: analyze-all sweep (ctest -L analyze) =="
+ctest --test-dir build --output-on-failure -L analyze
+
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "== check: clang-tidy over src/ =="
-    # The tier-1 build above refreshed compile_commands.json.
+    echo "== check: clang-tidy over src/ (gating: warnings are errors) =="
+    # The tier-1 build above refreshed compile_commands.json. .clang-tidy
+    # sets WarningsAsErrors: '*', so clang-tidy exits nonzero on any finding
+    # and set -e fails the script here.
     find src -name '*.cpp' -print0 |
       xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
   else

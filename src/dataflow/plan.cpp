@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "ndlog/analysis.hpp"
+#include "ndlog/cost.hpp"
 #include "ndlog/eval.hpp"
 #include "obs/json.hpp"
 
@@ -317,6 +318,31 @@ Strand build_strand(const Rule& rule, std::size_t rule_index, std::size_t delta_
 }  // namespace
 
 Plan compile(const Program& localized, const PlanOptions& options) {
+  if (options.cost_order) {
+    // Permute each rule's body into the statically cheapest safe join order,
+    // then compile the rewritten program as usual. plan_orders returns the
+    // identity for rules where reordering could perturb the fixpoint.
+    Program ordered = localized;
+    const auto orders = ndlog::cost::plan_orders(localized);
+    for (std::size_t ri = 0; ri < ordered.rules.size() && ri < orders.size(); ++ri) {
+      Rule& rule = ordered.rules[ri];
+      const auto& perm = orders[ri];
+      if (perm.size() != rule.body.size()) continue;
+      bool identity = true;
+      std::vector<ndlog::BodyElem> body;
+      body.reserve(perm.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] != i) identity = false;
+        body.push_back(rule.body[perm[i]]);
+      }
+      if (!identity) rule.body = std::move(body);
+    }
+    PlanOptions inner = options;
+    inner.cost_order = false;
+    Plan plan = compile(ordered, inner);
+    plan.cost_ordered = true;
+    return plan;
+  }
   Plan plan;
   plan.program = localized;
   for (std::size_t ri = 0; ri < localized.rules.size(); ++ri) {
@@ -454,7 +480,9 @@ std::string Plan::to_dot() const {
 
 std::string Plan::to_json() const {
   std::ostringstream os;
-  os << "{\"program\":\"" << obs::json_escape(program.name) << "\",\"strands\":[";
+  os << "{\"program\":\"" << obs::json_escape(program.name) << "\"";
+  if (cost_ordered) os << ",\"cost_ordered\":true";
+  os << ",\"strands\":[";
   for (std::size_t i = 0; i < strands.size(); ++i) {
     if (i) os << ",";
     strand_json(os, strands[i]);

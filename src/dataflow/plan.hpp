@@ -53,12 +53,19 @@ struct AggregateRulePlan {
 struct PlanOptions {
   /// When false every aggregate rule uses the recompute fallback (ablation).
   bool incremental_aggregates = true;
+  /// Reorder each rule's body atoms into the statically cheapest join order
+  /// (ndlog::cost::plan_orders) before building strands. Only rules whose
+  /// reordering provably cannot change the final database are touched, so
+  /// the fixpoint stays bit-identical to the interpreter's.
+  bool cost_order = false;
 };
 
 /// A compiled program: self-contained (owns a copy of the localized program
 /// so plans can be dumped or executed independently of the caller's AST).
 struct Plan {
   ndlog::Program program;
+  /// Rule bodies were permuted by the cost-guided join-order pass.
+  bool cost_ordered = false;
   std::vector<Strand> strands;               // (rule order, delta position)
   std::vector<AggregateRulePlan> aggregates; // rule order
   /// delta predicate -> strand indices, preserving global strand order.

@@ -133,26 +133,31 @@ void check_arities(const Program& program, DiagnosticSink& sink) {
   };
   std::map<std::string, FirstUse> seen;
   auto note = [&](const std::string& pred, std::size_t n, const std::string& where,
-                  SourceSpan span) {
+                  SourceSpan span, int rule_index) {
     auto [it, inserted] = seen.emplace(pred, FirstUse{n, where, span});
     if (!inserted && it->second.arity != n) {
       auto& d = sink.error("ND0002",
                            "predicate '" + pred + "' used with arity " + std::to_string(n) +
                                " in " + where + " but with arity " +
                                std::to_string(it->second.arity) + " in " + it->second.where,
-                           span);
+                           span)
+                    .in_rule(rule_index, pred);
       d.hint = "use " + std::to_string(it->second.arity) + " argument(s) for '" +
                pred + "' everywhere";
       if (it->second.span.valid()) {
-        sink.note("ND0002", "first use of '" + pred + "' is here", it->second.span);
+        sink.note("ND0002", "first use of '" + pred + "' is here", it->second.span)
+            .in_rule(-1, pred);
       }
     }
   };
-  for (const auto& rule : program.rules) {
-    note(rule.head.predicate, rule.head.args.size(), rule_label(rule), rule.head.span());
+  for (std::size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const Rule& rule = program.rules[ri];
+    note(rule.head.predicate, rule.head.args.size(), rule_label(rule), rule.head.span(),
+         static_cast<int>(ri));
     for (const auto& elem : rule.body) {
       if (const auto* ba = std::get_if<BodyAtom>(&elem)) {
-        note(ba->atom.predicate, ba->atom.args.size(), rule_label(rule), ba->atom.span());
+        note(ba->atom.predicate, ba->atom.args.size(), rule_label(rule), ba->atom.span(),
+             static_cast<int>(ri));
       }
     }
   }
@@ -171,7 +176,9 @@ bool term_vars_bound(const Term& term, const std::set<std::string>& bound) {
 
 void check_safety(const Program& program, const BuiltinRegistry& builtins,
                   DiagnosticSink& sink) {
-  for (const auto& rule : program.rules) {
+  for (std::size_t rule_i = 0; rule_i < program.rules.size(); ++rule_i) {
+    const auto& rule = program.rules[rule_i];
+    const int ri = static_cast<int>(rule_i);
     // Unknown built-in functions anywhere in the rule (ND0004), reported once
     // per function name per rule.
     std::set<std::string> unknown_reported;
@@ -181,6 +188,7 @@ void check_safety(const Program& program, const BuiltinRegistry& builtins,
           unknown_reported.insert(t.name).second) {
         sink.error("ND0004",
                    rule_label(rule) + ": unknown function '" + t.name + "'", span)
+            .in_rule(ri, rule.head.predicate)
             .hint = "register it on the BuiltinRegistry or use a standard f_* builtin";
       }
       for (const auto& a : t.args) check_fns(*a, span);
@@ -233,6 +241,7 @@ void check_safety(const Program& program, const BuiltinRegistry& builtins,
                      rule_label(rule) + ": variable '" + v + "' in " + what +
                          " is not bound",
                      span)
+              .in_rule(ri, rule.head.predicate)
               .hint = "bind '" + v + "' in a positive body atom or an `=` assignment";
         }
       }
@@ -318,6 +327,7 @@ std::optional<Stratification> stratify(const Program& program, DiagnosticSink& s
                      (e.negated ? "negatively" : "through an aggregate") + " on '" +
                      e.body + "' inside a recursive cycle (" + rule_label(rule) + ")",
                  rule.span())
+          .in_rule(static_cast<int>(e.rule_index), e.head)
           .hint = "break the cycle so the " +
                   std::string(e.negated ? "negation" : "aggregation") +
                   " reads a lower stratum";

@@ -1,0 +1,186 @@
+// Static cost & cardinality analysis for NDlog programs (DESIGN.md §13).
+//
+// Computes, per predicate, a symbolic upper bound on the number of distinct
+// tuples ever derived ("derivations"), and per rule an upper bound on body
+// solutions enumerated over a whole run ("firings"), on tuples shipped
+// across node boundaries ("messages"), and on wire bytes ("bytes"). Bounds
+// are monomials over a small symbol vocabulary:
+//
+//   V        number of distinct node addresses in the run
+//   V!       factorial of V (simple-path enumeration: ≤ V·V! paths)
+//   A        maximum wire size of one scalar value, in bytes
+//   |pred|   number of tuples externally injected into base table `pred`
+//
+// The model reuses the existing analyses: table-size bounds come from the
+// key/FD chase (semantic.hpp) and the interval abstraction (absint.hpp);
+// join fan-out follows the body-atom ordering with FD-closure pruning; and
+// message classes fall out of which rules ship their heads to another
+// location specifier. Three diagnostics are emitted (only by this pass):
+//
+//   ND0019  expensive join order    the written body order is quadratic or
+//                                   worse while a provably cheaper ordering
+//                                   of the same atoms exists (warning)
+//   ND0020  message amplification   a rule ships tuples on an async channel
+//                                   and its static message bound is
+//                                   unbounded (warning)
+//   ND0021  recompute-heavy agg     an aggregate whose recomputation cost
+//                                   grows with its input although
+//                                   incremental maintenance is statically
+//                                   safe for it (note)
+//
+// The bounds are falsifiable: tests/test_cost_crossval.cpp runs every
+// example through the evaluator and the simulator with obs metrics enabled
+// and asserts measured per-rule firings and per-channel bytes stay within
+// the static bounds. `plan_orders` feeds the dataflow planner's opt-in
+// cost-guided join-order mode (PlanOptions::cost_order).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.hpp"
+#include "ndlog/diagnostics.hpp"
+#include "ndlog/semantic.hpp"
+
+namespace fvn::ndlog::cost {
+
+// ---------------------------------------------------------------------------
+// Symbolic bounds
+// ---------------------------------------------------------------------------
+
+/// One symbolic upper bound: `constant · Π sym^power · (V!)^factorial`, or
+/// the distinguished unbounded element. `constant == 0` is canonical zero
+/// (no symbols). Soundness of `plus` assumes every symbol evaluates to ≥ 1;
+/// `evaluate` clamps accordingly.
+struct Bound {
+  bool unbounded = false;
+  double constant = 1.0;
+  std::map<std::string, int> powers;  // symbol -> exponent (> 0)
+  int factorial = 0;                  // exponent of V!
+
+  static Bound zero() { return Bound{false, 0.0, {}, 0}; }
+  static Bound one() { return Bound{false, 1.0, {}, 0}; }
+  static Bound count(double n) { return Bound{false, n, {}, 0}; }
+  static Bound sym(const std::string& name, int power = 1);
+  /// Number of simple paths reachable from any seed: ≤ V · V!.
+  static Bound paths();
+  static Bound top() { return Bound{true, 1.0, {}, 0}; }
+
+  bool is_zero() const noexcept { return !unbounded && constant == 0.0; }
+  /// Total symbolic degree (factorial counts as `factorial_degree_weight`).
+  int degree() const noexcept;
+
+  /// Evaluate under `env` (symbol -> value, clamped to ≥ 1). "V" also feeds
+  /// the factorial part. Missing symbols evaluate to +inf (conservative);
+  /// unbounded evaluates to +inf.
+  double evaluate(const std::map<std::string, double>& env) const;
+  void collect_symbols(std::set<std::string>& out) const;
+
+  /// "unbounded", "0", "12", "V^2", "3*V*|link|", "V*V!".
+  std::string to_string() const;
+  /// Asymptotic class, constants stripped: "unbounded", "O(exp)" (any
+  /// factorial part), "O(1)", "O(V^2*|link|)".
+  std::string complexity_class() const;
+
+  bool operator==(const Bound& other) const noexcept;
+};
+
+/// How much factorial weighs in `degree()` comparisons (V! dominates any
+/// fixed polynomial degree we meet in practice).
+inline constexpr int factorial_degree_weight = 8;
+
+Bound times(const Bound& a, const Bound& b);
+/// Sound upper bound on a + b: summed constants, pointwise-max exponents
+/// (requires symbols ≥ 1 at evaluation time).
+Bound plus(const Bound& a, const Bound& b);
+/// Strict-weak order by asymptotic rank: unbounded > factorial > total
+/// degree > per-symbol exponents > constant.
+bool cheaper(const Bound& a, const Bound& b);
+/// Whichever of the two valid upper bounds ranks cheaper.
+Bound min_bound(const Bound& a, const Bound& b);
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+struct RuleCost {
+  std::size_t rule_index = 0;
+  std::string rule;        // display name ("r2" or head predicate)
+  std::string head;        // head predicate
+  bool ships = false;      // head crosses a location-specifier boundary
+  bool aggregate = false;
+  /// Body-element indices of positive atoms in the order they are joined
+  /// (the written order).
+  std::vector<std::size_t> order;
+  /// Upper bound on distinct body solutions under the written order.
+  Bound solutions;
+  /// Upper bound on solutions enumerated over a whole run, including
+  /// semi-naive re-enumeration slack and (for aggregates) recompute rounds.
+  Bound firings;
+  Bound messages;          // zero when the rule never ships
+  Bound bytes;             // messages × static per-tuple wire size
+  std::string message_class;  // complexity_class of `messages`; "-" if local
+  /// Cheapest safe ordering found (== `order` when none is cheaper or
+  /// reordering is unsafe for bit-identical fixpoints).
+  std::vector<std::size_t> best_order;
+  Bound best_solutions;
+  /// Reordering this rule cannot change the final database: the head is not
+  /// a materialized predicate whose keys drop non-FD-determined columns.
+  bool reorder_safe = false;
+};
+
+struct PredicateCost {
+  std::string predicate;
+  bool base = false;       // no deriving non-fact rule: externally populated
+  Bound derivations;       // distinct tuples ever derived/injected
+};
+
+struct CostReport {
+  std::vector<PredicateCost> predicates;  // sorted by name
+  std::vector<RuleCost> rules;            // program rule order, facts skipped
+  Bound total_messages;
+  Bound total_bytes;
+
+  const PredicateCost* predicate(const std::string& name) const;
+  const RuleCost* rule_at(std::size_t rule_index) const;
+};
+
+struct CostOptions {
+  /// Exhaustive join-order search up to this many positive atoms per rule
+  /// (n! permutations); larger bodies fall back to a greedy order.
+  int max_exhaustive_atoms = 7;
+  /// Multiplier slack applied to `solutions` to cover semi-naive
+  /// re-enumeration (round 0 + per-delta-position passes).
+  bool firing_slack = true;
+};
+
+/// Run the cost pass on top of an existing semantic report (the CLI reuses
+/// the one `analyze` already computed). Emits ND0019–ND0021 into `sink`.
+CostReport analyze(const Program& program, const SemanticReport& semantics,
+                   DiagnosticSink& sink, const CostOptions& options = {});
+
+/// Convenience overload: computes its own SemanticReport into a scratch
+/// sink, so only ND0019–ND0021 land in `sink`.
+CostReport analyze(const Program& program, DiagnosticSink& sink,
+                   const CostOptions& options = {});
+
+/// Deterministic JSON object (parsable by obs::json_parse): symbols,
+/// per-predicate derivations, per-rule costs, totals.
+std::string to_json(const CostReport& report);
+/// Human-readable table for `fvn_cli analyze --cost`.
+std::string to_human(const CostReport& report);
+/// Graphviz DOT: predicate dependency graph annotated with derivation
+/// bounds; rule edges labelled with firing bounds, shipping edges dashed.
+std::string to_dot(const Program& program, const CostReport& report);
+
+/// Per-rule body-element permutation for cost-guided planning: for every
+/// rule whose cheapest safe order differs from the written one, positive
+/// atoms in the cheap order followed by the remaining body elements
+/// (comparisons, then negated atoms) in written order; the identity
+/// permutation otherwise. Aggregate rules are never reordered.
+std::vector<std::vector<std::size_t>> plan_orders(const Program& program);
+
+}  // namespace fvn::ndlog::cost

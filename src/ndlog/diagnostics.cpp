@@ -107,7 +107,9 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
        << ",\"code\":\"" << json_escape(d.code) << "\""
        << ",\"message\":\"" << json_escape(d.message) << "\""
        << ",\"line\":" << d.span.begin.line << ",\"column\":" << d.span.begin.column
-       << ",\"end_line\":" << d.span.end.line << ",\"end_column\":" << d.span.end.column;
+       << ",\"end_line\":" << d.span.end.line << ",\"end_column\":" << d.span.end.column
+       << ",\"rule_index\":" << d.rule_index
+       << ",\"predicate\":\"" << json_escape(d.predicate) << "\"";
     if (!d.hint.empty()) os << ",\"hint\":\"" << json_escape(d.hint) << "\"";
     os << "}";
   }

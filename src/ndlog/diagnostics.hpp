@@ -48,6 +48,19 @@ struct Diagnostic {
   std::string message;
   SourceSpan span;
   std::string hint;     // optional fix-it hint; empty = none
+  /// Originating rule index into Program::rules; -1 when the finding is not
+  /// anchored to a rule (parse errors, materialize declarations).
+  int rule_index = -1;
+  /// Predicate the finding is about (head predicate for rule-level findings,
+  /// the declared/read predicate otherwise); empty when not applicable.
+  std::string predicate;
+
+  /// Attach rule/predicate provenance; returns *this for chaining.
+  Diagnostic& in_rule(int index, std::string pred) {
+    rule_index = index;
+    predicate = std::move(pred);
+    return *this;
+  }
 
   /// "3:7: error: ND0003: message" (location omitted when unknown).
   std::string to_string() const;
@@ -89,8 +102,10 @@ std::string json_escape(std::string_view s);
 
 /// Render a JSON array of diagnostic objects:
 ///   [{"severity":"error","code":"ND0003","message":"...","line":3,
-///     "column":7,"end_line":3,"end_column":11,"hint":"..."}, ...]
-/// line/column are 0 when unknown; "hint" is present only when non-empty.
+///     "column":7,"end_line":3,"end_column":11,"rule_index":2,
+///     "predicate":"path","hint":"..."}, ...]
+/// line/column are 0 when unknown; rule_index is -1 and predicate "" when the
+/// finding is not anchored to a rule; "hint" is present only when non-empty.
 std::string render_json(const std::vector<Diagnostic>& diags);
 
 }  // namespace fvn::ndlog

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <variant>
 
 namespace fvn::ndlog {
@@ -16,6 +17,12 @@ namespace {
 bool is_special_predicate(const std::string& pred) { return pred == "periodic"; }
 
 std::string rule_label(const Rule& rule) { return "rule " + rule.display_name(); }
+
+/// Index of `rule` inside `program.rules` (rules are stored by value, so the
+/// address identifies the element).
+int rule_index_of(const Program& program, const Rule& rule) {
+  return static_cast<int>(&rule - program.rules.data());
+}
 
 std::set<std::string> materialized_predicates(const Program& program) {
   std::set<std::string> out;
@@ -86,6 +93,9 @@ const std::vector<DiagnosticCodeInfo>& diagnostic_catalog() {
       {"ND0016", Severity::Warning, "negation over asynchronously derived predicate (order-sensitive)"},
       {"ND0017", Severity::Warning, "materialized key projection drops non-functional columns (race)"},
       {"ND0018", Severity::Note, "aggregate over asynchronous input (non-monotone, CALM)"},
+      {"ND0019", Severity::Warning, "quadratic-or-worse join order with a provably cheaper ordering"},
+      {"ND0020", Severity::Warning, "unbounded message amplification on an async channel"},
+      {"ND0021", Severity::Note, "recompute-heavy aggregate; incremental maintenance statically safe"},
   };
   return catalog;
 }
@@ -106,6 +116,7 @@ void lint_unused_predicates(const Program& program, DiagnosticSink& sink) {
     sink.warning("ND0006",
                  "predicate '" + pred + "' is derived but never read by any rule",
                  rule.head.span())
+        .in_rule(rule_index_of(program, rule), pred)
         .hint = "materialize '" + pred +
                 "' if it is a program output, or remove the rules deriving it";
   }
@@ -130,6 +141,7 @@ void lint_underivable_predicates(const Program& program, DiagnosticSink& sink) {
                    "predicate '" + pred + "' is read in " + rule_label(rule) +
                        " but no rule derives it and no materialize declares it",
                    ba->atom.span())
+          .in_rule(rule_index_of(program, rule), pred)
           .hint = "add a materialize declaration for '" + pred +
                   "' (base relation) or a rule deriving it — this is often a typo";
     }
@@ -157,7 +169,8 @@ void lint_duplicate_rules(const Program& program, DiagnosticSink& sink) {
                                (first.loc.valid()
                                     ? " (line " + std::to_string(first.loc.line) + ")"
                                     : ""),
-                           rule.span());
+                           rule.span())
+                  .in_rule(rule_index_of(program, rule), rule.head.predicate);
     d.hint = "delete one of the two rules; they derive identical tuples";
   }
 }
@@ -174,6 +187,7 @@ void lint_singleton_variables(const Program& program, DiagnosticSink& sink) {
                        "' is used only once (in atom '" +
                        use.first_positive_atom->predicate + "')",
                    use.first_positive_atom->span())
+          .in_rule(rule_index_of(program, rule), rule.head.predicate)
           .hint = "rename it to '_" + var + "' if the value is intentionally unused";
     }
   }
@@ -231,6 +245,7 @@ void lint_cartesian_products(const Program& program, DiagnosticSink& sink) {
                      "computes a cartesian product " +
                      groups.str(),
                  rule.span())
+        .in_rule(rule_index_of(program, rule), rule.head.predicate)
         .hint = "add a shared variable between the groups or split the rule";
   }
 }
@@ -256,6 +271,7 @@ void lint_aggregate_empty_groups(const Program& program, DiagnosticSink& sink) {
                      " over a guarded body derives no tuple for groups whose "
                      "candidates are all filtered out (count never yields 0)",
                  rule.head.span())
+        .in_rule(rule_index_of(program, rule), rule.head.predicate)
         .hint = "derive the group keys unconditionally in a separate rule if "
                 "an empty group must still produce a row";
   }
@@ -273,6 +289,7 @@ void lint_localizability(const Program& program, DiagnosticSink& sink) {
                      ") and cannot be localized into link-restricted "
                      "ship/join pairs for distributed execution",
                  rule.span())
+        .in_rule(rule_index_of(program, rule), rule.head.predicate)
         .hint = "split the rule so each body joins at most two locations";
   }
 }
@@ -292,10 +309,85 @@ void lint_link_restriction(const Program& program, DiagnosticSink& sink) {
                      " but is not link-restricted in either orientation — "
                      "runtime::localize would reject this rule at execution time",
                  rule.span())
+        .in_rule(rule_index_of(program, rule), rule.head.predicate)
         .hint = "make every atom at one location also carry the other "
                 "location's variable (positively), so its tuples can be "
                 "shipped to the join site";
   }
+}
+
+namespace {
+
+/// Parse a localizer-generated ship-rule name "<pred>_sh_<origin>_<k>" and
+/// return the origin rule label, or "" when the name has a different shape.
+std::string ship_origin(const std::string& name) {
+  const auto pos = name.rfind("_sh_");
+  if (pos == std::string::npos) return {};
+  const std::string rest = name.substr(pos + 4);
+  const auto us = rest.rfind('_');
+  if (us == std::string::npos || us + 1 >= rest.size()) return {};
+  for (std::size_t i = us + 1; i < rest.size(); ++i) {
+    if (rest[i] < '0' || rest[i] > '9') return {};
+  }
+  return rest.substr(0, us);
+}
+
+}  // namespace
+
+void dedupe_localized_diagnostics(const Program& program, DiagnosticSink& sink) {
+  if (sink.empty()) return;
+  bool any_ship = false;
+  std::vector<Diagnostic> kept;
+  std::set<std::pair<std::string, int>> seen;  // (code, origin rule index)
+  // First pass: findings already anchored to non-ship rules claim their key
+  // so a retargeted ship-rule duplicate is recognized regardless of order.
+  for (const Diagnostic& d : sink.diagnostics()) {
+    const bool is_ship =
+        !ship_origin(d.predicate).empty() ||
+        (d.rule_index >= 0 &&
+         static_cast<std::size_t>(d.rule_index) < program.rules.size() &&
+         !ship_origin(program.rules[static_cast<std::size_t>(d.rule_index)].name)
+              .empty());
+    if (is_ship) {
+      any_ship = true;
+    } else if (d.rule_index >= 0) {
+      seen.emplace(d.code, d.rule_index);
+    }
+  }
+  if (!any_ship) return;
+  for (Diagnostic d : sink.diagnostics()) {
+    std::string origin = ship_origin(d.predicate);
+    if (origin.empty() && d.rule_index >= 0 &&
+        static_cast<std::size_t>(d.rule_index) < program.rules.size()) {
+      origin = ship_origin(program.rules[static_cast<std::size_t>(d.rule_index)].name);
+    }
+    if (origin.empty()) {
+      kept.push_back(std::move(d));
+      continue;
+    }
+    // Retarget onto the origin rule (the rewritten rule keeps its name).
+    const Rule* target = nullptr;
+    int target_index = -1;
+    for (std::size_t ri = 0; ri < program.rules.size(); ++ri) {
+      const Rule& rule = program.rules[ri];
+      if (rule.name == origin && ship_origin(rule.name).empty()) {
+        target = &rule;
+        target_index = static_cast<int>(ri);
+        break;
+      }
+    }
+    if (target == nullptr) {
+      kept.push_back(std::move(d));
+      continue;
+    }
+    d.span = target->span();
+    d.rule_index = target_index;
+    d.predicate = target->head.predicate;
+    if (!seen.emplace(d.code, target_index).second) continue;  // duplicate
+    kept.push_back(std::move(d));
+  }
+  sink.clear();
+  for (auto& d : kept) sink.report(std::move(d));
 }
 
 void lint_program(const Program& program, DiagnosticSink& sink,
@@ -315,6 +407,7 @@ void lint_program(const Program& program, DiagnosticSink& sink,
     lint_localizability(program, sink);
     lint_link_restriction(program, sink);
   }
+  dedupe_localized_diagnostics(program, sink);
   sink.sort_by_location();
 }
 

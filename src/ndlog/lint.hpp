@@ -58,8 +58,16 @@ void lint_aggregate_empty_groups(const Program& program, DiagnosticSink& sink); 
 void lint_localizability(const Program& program, DiagnosticSink& sink);          // ND0012
 void lint_link_restriction(const Program& program, DiagnosticSink& sink);        // ND0013
 
+/// Fold diagnostics attached to localize()-generated `<pred>_sh_<rule>_<k>`
+/// ship rules back onto the originating source rule: the span, rule index
+/// and predicate are retargeted to the origin rule, and findings that then
+/// duplicate one already reported against that rule (same code) are
+/// dropped. No-op for programs without ship rules.
+void dedupe_localized_diagnostics(const Program& program, DiagnosticSink& sink);
+
 /// Run the core checks plus every enabled lint pass, collecting all findings
-/// into `sink` (sorted by source location on return).
+/// into `sink` (localized ship-rule findings folded onto their origin rules,
+/// sorted by source location on return).
 void lint_program(const Program& program, DiagnosticSink& sink,
                   const BuiltinRegistry& builtins = BuiltinRegistry::standard(),
                   const LintOptions& options = {});

@@ -281,6 +281,102 @@ void invert_into(const Term& term, std::set<std::string>& determined) {
 
 using FdMap = std::map<std::string, std::vector<Fd>>;
 
+/// Resolve a head term to the constructor that produces it: a constant, a
+/// function application (directly or through a `Var = f(...)`/`Var = const`
+/// body equality), or nullptr when the value is an opaque variable.
+const Term* resolve_constructor(const Rule& rule, const TermPtr& t) {
+  if (!t) return nullptr;
+  if (t->kind == Term::Kind::Const || t->kind == Term::Kind::Func) return t.get();
+  if (t->kind != Term::Kind::Var) return nullptr;
+  for (const auto& elem : rule.body) {
+    const auto* cmp = std::get_if<Comparison>(&elem);
+    if (cmp == nullptr || cmp->op != CmpOp::Eq) continue;
+    const Term* lhs = cmp->lhs.get();
+    const Term* rhs = cmp->rhs.get();
+    for (int flip = 0; flip < 2; ++flip) {
+      if (lhs != nullptr && rhs != nullptr && lhs->kind == Term::Kind::Var &&
+          lhs->name == t->name &&
+          (rhs->kind == Term::Kind::Const || rhs->kind == Term::Kind::Func)) {
+        return rhs;
+      }
+      std::swap(lhs, rhs);
+    }
+  }
+  return nullptr;
+}
+
+/// True when `rule` merely copies an existing tuple of its own head predicate
+/// through the FD: the dependent head term is the very variable sitting at
+/// the dependent position of a positive same-predicate body atom, and every
+/// determinant position carries the identical variable (or equal constant) in
+/// head and body. Such a rule can never introduce a fresh dependent value for
+/// a determinant, so it is consistent with any other defining rule.
+bool fd_copy_rule(const Rule& rule, const Fd& fd) {
+  if (static_cast<std::size_t>(fd.dependent) >= rule.head.args.size()) return false;
+  const auto& dep = rule.head.args[static_cast<std::size_t>(fd.dependent)];
+  if (dep.is_agg() || !dep.term || dep.term->kind != Term::Kind::Var) return false;
+  for (const auto& elem : rule.body) {
+    const auto* ba = std::get_if<BodyAtom>(&elem);
+    if (ba == nullptr || ba->negated || ba->atom.predicate != rule.head.predicate) {
+      continue;
+    }
+    if (static_cast<std::size_t>(fd.dependent) >= ba->atom.args.size()) continue;
+    const auto& bdep = ba->atom.args[static_cast<std::size_t>(fd.dependent)];
+    if (!bdep || bdep->kind != Term::Kind::Var || bdep->name != dep.term->name) {
+      continue;
+    }
+    bool dets_match = true;
+    for (const int p : fd.determinant) {
+      if (static_cast<std::size_t>(p) >= rule.head.args.size() ||
+          static_cast<std::size_t>(p) >= ba->atom.args.size()) {
+        dets_match = false;
+        break;
+      }
+      const auto& h = rule.head.args[static_cast<std::size_t>(p)];
+      const auto& b = ba->atom.args[static_cast<std::size_t>(p)];
+      if (h.is_agg() || !h.term || !b) { dets_match = false; break; }
+      const bool same_var = h.term->kind == Term::Kind::Var &&
+                            b->kind == Term::Kind::Var &&
+                            h.term->name == b->name;
+      const bool same_const = h.term->kind == Term::Kind::Const &&
+                              b->kind == Term::Kind::Const &&
+                              h.term->constant == b->constant;
+      if (!same_var && !same_const) { dets_match = false; break; }
+    }
+    if (dets_match) return true;
+  }
+  return false;
+}
+
+/// True when two defining rules can never derive tuples that agree on the
+/// FD's determinant: some determinant position is built by provably disjoint
+/// constructors (distinct constants, distinct function symbols, or a constant
+/// vs. a constructor application — built-ins like f_init/f_concatPath are
+/// injective with disjoint ranges). Aggregate dependents of the same kind are
+/// also fine: the final-state aggregate stores one merged value per group no
+/// matter which rules contributed.
+bool fd_pair_separated(const Rule& a, const Rule& b, const Fd& fd) {
+  const auto& da = a.head.args[static_cast<std::size_t>(fd.dependent)];
+  const auto& db = b.head.args[static_cast<std::size_t>(fd.dependent)];
+  if (da.is_agg() && db.is_agg() && da.agg == db.agg) return true;
+  for (const int p : fd.determinant) {
+    if (static_cast<std::size_t>(p) >= a.head.args.size() ||
+        static_cast<std::size_t>(p) >= b.head.args.size()) {
+      continue;
+    }
+    const auto& ha = a.head.args[static_cast<std::size_t>(p)];
+    const auto& hb = b.head.args[static_cast<std::size_t>(p)];
+    if (ha.is_agg() || hb.is_agg()) continue;
+    const Term* ca = resolve_constructor(a, ha.term);
+    const Term* cb = resolve_constructor(b, hb.term);
+    if (ca == nullptr || cb == nullptr) continue;
+    if (ca->kind != cb->kind) return true;
+    if (ca->kind == Term::Kind::Const && !(ca->constant == cb->constant)) return true;
+    if (ca->kind == Term::Kind::Func && ca->name != cb->name) return true;
+  }
+  return false;
+}
+
 /// Chase-style justification: starting from the head positions of
 /// `fd.determinant`, close the set of determined variables under equality
 /// bindings and the body atoms' surviving FDs; the FD holds for this rule if
@@ -466,6 +562,42 @@ FdMap infer_fds(const Program& program, int fd_max_arity) {
               out.end());
   }
 
+  // Pre-pass: per-rule chase justification (below) is coinductive — each
+  // rule is checked in isolation under the hypothesis that the FD already
+  // holds for its body atoms. That is sound for a single defining rule (by
+  // induction on derivation depth) but unsound across rules: spanning_tree's
+  // st4 (`D=0`) and st5 (`D=D2+1`) each justify `distCand: {0} -> 1` alone
+  // while jointly deriving many distances per node. Require every pair of
+  // defining rules to be consistent: one of them is a verbatim copy rule for
+  // the FD, or their determinants are constructor-disjoint so the pair can
+  // never agree on a determinant in the first place. (Ground facts for
+  // derived predicates are handled pairwise above; a fact/rule overlap is
+  // still assumed not to collide, matching the chase's optimism.)
+  for (const auto& pred : derived) {
+    std::vector<const Rule*> defs;
+    for (const auto& rule : program.rules) {
+      if (rule.head.predicate == pred && !rule.is_fact()) defs.push_back(&rule);
+    }
+    if (defs.size() < 2) continue;
+    auto& out = fds[pred];
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Fd& fd) {
+                               for (std::size_t i = 0; i < defs.size(); ++i) {
+                                 for (std::size_t j = i + 1; j < defs.size(); ++j) {
+                                   if (fd_copy_rule(*defs[i], fd) ||
+                                       fd_copy_rule(*defs[j], fd)) {
+                                     continue;
+                                   }
+                                   if (!fd_pair_separated(*defs[i], *defs[j], fd)) {
+                                     return true;
+                                   }
+                                 }
+                               }
+                               return false;
+                             }),
+              out.end());
+  }
+
   // Greatest fixpoint: drop every FD some defining rule cannot justify.
   bool changed = true;
   while (changed) {
@@ -531,7 +663,8 @@ SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
           "ND0014",
           "rule '" + rule.display_name() + "' can never fire: '" +
               ra.unsat_detail + "' is always false under interval analysis",
-          ra.unsat_loc.valid() ? SourceSpan::at(ra.unsat_loc) : rule.span());
+          ra.unsat_loc.valid() ? SourceSpan::at(ra.unsat_loc) : rule.span())
+                    .in_rule(static_cast<int>(i), rule.head.predicate);
       d.hint = "delete the rule or fix the comparison";
     }
   }
@@ -604,7 +737,8 @@ SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
                   "' around recursive cycle {" + join_names(members) +
                   "} without a bound or cycle guard: evaluation can diverge "
                   "(DivergenceError at runtime)",
-              rule.span());
+              rule.span())
+                        .in_rule(static_cast<int>(i), rule.head.predicate);
           d.hint =
               "add an upper-bound comparison (e.g. C < 1000) or a cycle guard "
               "(f_inPath(P, S) = false)";
@@ -637,7 +771,9 @@ SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
             "rule '" + rule.display_name() + "' negates '" + ba->atom.predicate +
                 "', which is derived asynchronously across nodes: whether the "
                 "negation holds depends on message arrival order",
-            ba->atom.span());
+            ba->atom.span())
+                      .in_rule(static_cast<int>(&rule - program.rules.data()),
+                               rule.head.predicate);
         d.hint = "derive the negated predicate locally or accept an "
                  "order-dependent fixpoint";
         report.order_sensitive_predicates.insert(rule.head.predicate);
@@ -672,7 +808,8 @@ SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
               "projection that drops column(s) " + dropped +
               " not functionally determined by the keys: concurrent updates "
               "race and the stored value depends on message arrival order",
-          SourceSpan::at(mat.loc));
+          SourceSpan::at(mat.loc))
+                    .in_rule(-1, mat.predicate);
       d.hint = "add the racing column to keys(...) or make it functionally "
                "dependent on the keys (e.g. via an aggregate)";
       report.order_sensitive_predicates.insert(mat.predicate);
@@ -691,7 +828,9 @@ SemanticReport analyze_semantics(const Program& program, DiagnosticSink& sink,
                       "', which arrives asynchronously: the aggregate is "
                       "recomputed non-monotonically (CALM) and converges only "
                       "with its input",
-                  rule.span());
+                  rule.span())
+            .in_rule(static_cast<int>(&rule - program.rules.data()),
+                     rule.head.predicate);
         break;  // one note per rule
       }
     }

@@ -48,6 +48,7 @@ Cluster::Cluster(ndlog::Program program, ClusterOptions options,
   if (options_.engine == runtime::EngineKind::Dataflow) {
     dataflow::PlanOptions plan_options;
     plan_options.incremental_aggregates = options_.incremental_aggregates;
+    plan_options.cost_order = options_.cost_order;
     plan_.emplace(dataflow::compile(program_, plan_options));
   }
   for (const auto& rule : program_.rules) {

@@ -66,6 +66,8 @@ struct ClusterOptions {
   double max_seconds = 30.0;
   bool require_stratified = true;
   bool incremental_aggregates = true;
+  /// Dataflow engine: compile with cost-guided join ordering.
+  bool cost_order = false;
   /// Observability sinks (null = off). With `metrics`, per-node series
   /// net/node/<n>/{sent,received,retransmitted,acked,installed,bytes_sent,
   /// bytes_received,mailbox_depth,encode,decode} are pre-created before the

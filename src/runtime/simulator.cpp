@@ -48,6 +48,7 @@ Simulator::Simulator(ndlog::Program program, SimOptions options,
   if (options_.engine == EngineKind::Dataflow) {
     dataflow::PlanOptions plan_options;
     plan_options.incremental_aggregates = options_.incremental_aggregates;
+    plan_options.cost_order = options_.cost_order;
     plan_.emplace(dataflow::compile(program_, plan_options));
   }
   for (const auto& rule : program_.rules) {
@@ -254,10 +255,17 @@ void Simulator::run_rules(const std::string& node, const Tuple& delta, double no
     TupleSet delta_set{delta};
     for (const Rule* rule : normal_rules_) {
       const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+      std::uint64_t firings = 0;
       for (std::size_t i = 0; i < atoms.size(); ++i) {
         if (atoms[i]->atom.predicate != delta.predicate()) continue;
-        engine_.eval_rule_delta(*rule, state.db, i, delta_set,
-                                [&](Tuple t) { produced.push_back(std::move(t)); });
+        engine_.eval_rule_delta(*rule, state.db, i, delta_set, [&](Tuple t) {
+          ++firings;
+          produced.push_back(std::move(t));
+        });
+      }
+      if (firings != 0 && options_.metrics != nullptr) {
+        options_.metrics->counter("sim/rule/" + rule->display_name() + "/firings")
+            .add(firings);
       }
     }
   }
@@ -280,7 +288,15 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
   NodeState& state = node_states_[node];
   for (const Rule* rule : agg_rules_) {
     TupleSet outputs;
-    engine_.eval_agg_rule(*rule, state.db, [&](Tuple t) { outputs.insert(std::move(t)); });
+    std::uint64_t firings = 0;
+    engine_.eval_agg_rule(*rule, state.db, [&](Tuple t) {
+      ++firings;
+      outputs.insert(std::move(t));
+    });
+    if (firings != 0 && options_.metrics != nullptr) {
+      options_.metrics->counter("sim/rule/" + rule->display_name() + "/firings")
+          .add(firings);
+    }
     TupleSet& prev = state.agg_cache[rule];
     if (outputs == prev) continue;
     // Incremental view maintenance: retract groups that disappeared or whose

@@ -77,7 +77,10 @@ struct SimOptions {
   /// Observability sinks (may be null — the default — for zero overhead).
   /// With `metrics`, the simulator records per-node message counters
   /// (sim/node/<n>/{sent,received,dropped,installed}), overwrite/expiry
-  /// counters, and a sim/queue_depth histogram sampled at every event.
+  /// counters, interpreter-mode per-rule solution counters
+  /// (sim/rule/<rule>/firings; dataflow mode exposes the finer-grained
+  /// dataflow/elem/* series instead), and a sim/queue_depth histogram
+  /// sampled at every event.
   /// With `obs_trace`, it emits instants and counter samples stamped in
   /// *virtual* time (simulated seconds as trace microseconds), so the
   /// exported Chrome trace shows protocol time, not host time.
@@ -93,6 +96,9 @@ struct SimOptions {
   /// the planner proves it exact (false forces the recompute fallback for
   /// every aggregate rule — the ablation knob).
   bool incremental_aggregates = true;
+  /// Dataflow mode: compile with cost-guided join ordering
+  /// (dataflow::PlanOptions::cost_order). Interpreter mode ignores this.
+  bool cost_order = false;
 };
 
 /// One recorded simulation event (Pip-style trace entry for offline checks).

@@ -1,0 +1,106 @@
+// The analyze-all gate (scripts/check.sh runs this via `ctest -L analyze`):
+// every shipped example program must survive `fvn_cli lint` and
+// `fvn_cli analyze --json` with no error-severity findings, the JSON
+// documents must round-trip through the strict fvn::obs reader, and every
+// diagnostic payload must carry the machine-readable rule anchor
+// (rule_index + predicate) the editor integrations key on. The cost overlay
+// (`analyze --cost --json`) must parse on every example too.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fvn {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(FVN_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult result;
+  char buf[512];
+  while (pipe != nullptr && fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pipe != nullptr ? pclose(pipe) : -1;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::vector<std::string> example_programs() {
+  std::vector<std::string> out;
+  const auto dir =
+      std::filesystem::path(FVN_SOURCE_DIR) / "examples" / "ndlog";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ndlog") out.push_back(entry.path().string());
+  }
+  EXPECT_FALSE(out.empty()) << dir;
+  return out;
+}
+
+/// Exit 0 (clean) or 1 (warnings only) — never 2 (errors/parse failure).
+void expect_no_errors(const CliResult& result, const std::string& what) {
+  EXPECT_GE(result.exit_code, 0) << what << "\n" << result.output;
+  EXPECT_LE(result.exit_code, 1) << what << "\n" << result.output;
+}
+
+TEST(AnalyzeAll, EveryExampleLintsWithoutErrors) {
+  for (const auto& path : example_programs()) {
+    expect_no_errors(run_cli("lint " + path), "lint " + path);
+  }
+}
+
+TEST(AnalyzeAll, EveryExampleAnalyzeJsonParsesAndAnchorsDiagnostics) {
+  for (const auto& path : example_programs()) {
+    const auto result = run_cli("analyze --json " + path);
+    expect_no_errors(result, "analyze --json " + path);
+    const auto doc = obs::json_parse(result.output);
+    ASSERT_TRUE(doc.has_value()) << path << "\n" << result.output;
+    const obs::JsonValue* files = doc->find("files");
+    ASSERT_NE(files, nullptr) << path;
+    ASSERT_TRUE(files->is_array()) << path;
+    for (const auto& file : files->array) {
+      const obs::JsonValue* diags = file.find("diagnostics");
+      ASSERT_NE(diags, nullptr) << path;
+      for (const auto& d : diags->array) {
+        const obs::JsonValue* rule_index = d.find("rule_index");
+        const obs::JsonValue* predicate = d.find("predicate");
+        ASSERT_NE(rule_index, nullptr) << path << "\n" << result.output;
+        ASSERT_NE(predicate, nullptr) << path << "\n" << result.output;
+        EXPECT_EQ(rule_index->kind, obs::JsonValue::Kind::Number) << path;
+        EXPECT_EQ(predicate->kind, obs::JsonValue::Kind::String) << path;
+      }
+    }
+  }
+}
+
+TEST(AnalyzeAll, EveryExampleCostOverlayParses) {
+  for (const auto& path : example_programs()) {
+    const auto result = run_cli("analyze --cost --json " + path);
+    expect_no_errors(result, "analyze --cost --json " + path);
+    const auto doc = obs::json_parse(result.output);
+    ASSERT_TRUE(doc.has_value()) << path << "\n" << result.output;
+    const obs::JsonValue* files = doc->find("files");
+    ASSERT_NE(files, nullptr) << path;
+    for (const auto& file : files->array) {
+      const obs::JsonValue* cost = file.find("cost");
+      ASSERT_NE(cost, nullptr) << path << "\n" << result.output;
+      ASSERT_NE(cost->find("predicates"), nullptr) << path;
+      ASSERT_NE(cost->find("rules"), nullptr) << path;
+      ASSERT_NE(cost->find("total_messages"), nullptr) << path;
+      ASSERT_NE(cost->find("total_bytes"), nullptr) << path;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvn

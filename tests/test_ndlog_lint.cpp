@@ -6,6 +6,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 #include "core/protocols.hpp"
 #include "ndlog/analysis.hpp"
@@ -379,6 +383,105 @@ TEST(Lint, BodyLocationVarsMatchesPaperRule) {
   auto program = core::path_vector_program();
   const auto& r2 = program.rules[1];
   EXPECT_EQ(body_location_vars(r2), (std::set<std::string>{"S", "Z"}));
+}
+
+// ---------------------------------------------------------------------------
+// docs/DIAGNOSTICS.md stays in sync with the registered catalog
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, DiagnosticsDocCoversEveryRegisteredCodeExactly) {
+  std::ifstream in(std::string(FVN_SOURCE_DIR) + "/docs/DIAGNOSTICS.md");
+  ASSERT_TRUE(in.good()) << "docs/DIAGNOSTICS.md missing";
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string doc = os.str();
+
+  // Every registered code has a table row with the registered severity and
+  // summary, byte-for-byte.
+  for (const auto& info : diagnostic_catalog()) {
+    std::string severity;
+    switch (info.severity) {
+      case Severity::Error: severity = "error"; break;
+      case Severity::Warning: severity = "warning"; break;
+      case Severity::Note: severity = "note"; break;
+    }
+    const std::string row = "| " + std::string(info.code) + " | " + severity +
+                            " | " + std::string(info.summary) + " |";
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/DIAGNOSTICS.md is missing or has a stale row for "
+        << info.code << "\nexpected: " << row;
+  }
+  // And the doc mentions no unregistered ND codes (catches typos and rows
+  // for codes that were renumbered away).
+  std::set<std::string> registered;
+  for (const auto& info : diagnostic_catalog()) registered.emplace(info.code);
+  for (std::size_t pos = doc.find("ND00"); pos != std::string::npos;
+       pos = doc.find("ND00", pos + 1)) {
+    const std::string code = doc.substr(pos, 6);
+    EXPECT_TRUE(registered.count(code) == 1)
+        << "docs/DIAGNOSTICS.md mentions unregistered code " << code;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Folding ship-rule findings onto their origin rule (a localized program fed
+// back through lint/analyze must not report the same defect twice).
+// ---------------------------------------------------------------------------
+
+// A localized-shape program: `link_sh_r1_0` is the generated ship rule for
+// r1 (runtime::localize naming), and its body variable C is a singleton —
+// the ND0009 lands on the ship rule and must be folded back onto r1.
+const char* kShipSingleton =
+    "materialize(link, infinity, infinity, keys(1,2)).\n"
+    "materialize(link_sh_r1_0, infinity, infinity, keys(1,2)).\n"
+    "materialize(reach, infinity, infinity, keys(1,2)).\n"
+    "link_sh_r1_0 link_sh_r1_0(S,@Z) :- link(@S,Z,C).\n"
+    "r1 reach(@Z,S) :- link_sh_r1_0(S,@Z).\n";
+
+TEST(LintDedupe, ShipRuleFindingRetargetsToOriginRule) {
+  auto program = parse_program(kShipSingleton);
+  const auto diags = lint_source(kShipSingleton);
+  const auto nd9 = with_code(diags, "ND0009");
+  ASSERT_EQ(nd9.size(), 1u) << render_human(diags);
+  // Retargeted: span, rule index and predicate all name r1, not the ship.
+  EXPECT_EQ(nd9[0].span.begin.line, 5);
+  EXPECT_EQ(nd9[0].rule_index, 1);
+  EXPECT_EQ(nd9[0].predicate, "reach");
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.predicate.find("_sh_"), std::string::npos) << render_human({d});
+    if (d.rule_index >= 0) {
+      EXPECT_EQ(program.rules.at(static_cast<std::size_t>(d.rule_index))
+                    .name.find("_sh_"),
+                std::string::npos)
+          << render_human({d});
+    }
+  }
+}
+
+TEST(LintDedupe, ShipFindingDuplicatingOriginFindingIsDropped) {
+  // Both the ship rule and r1 itself have a singleton (C and S): only r1's
+  // own finding survives; the retargeted ship copy is the duplicate.
+  const auto diags = lint_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(link_sh_r1_0, infinity, infinity, keys(1,2)).\n"
+      "materialize(reach, infinity, infinity, keys(1)).\n"
+      "link_sh_r1_0 link_sh_r1_0(S,@Z) :- link(@S,Z,C).\n"
+      "r1 reach(@Z) :- link_sh_r1_0(S,@Z).\n");
+  const auto nd9 = with_code(diags, "ND0009");
+  ASSERT_EQ(nd9.size(), 1u) << render_human(diags);
+  EXPECT_EQ(nd9[0].rule_index, 1);
+  EXPECT_EQ(nd9[0].predicate, "reach");
+}
+
+TEST(LintDedupe, ProgramsWithoutShipRulesAreUntouched) {
+  // Same defects, no ship naming: nothing may be folded or dropped.
+  const auto diags = lint_source(
+      "materialize(link, infinity, infinity, keys(1,2)).\n"
+      "materialize(relay, infinity, infinity, keys(1,2)).\n"
+      "materialize(reach, infinity, infinity, keys(1)).\n"
+      "h1 relay(S,@Z) :- link(@S,Z,C).\n"
+      "r1 reach(@Z) :- relay(S,@Z).\n");
+  EXPECT_EQ(with_code(diags, "ND0009").size(), 2u) << render_human(diags);
 }
 
 }  // namespace

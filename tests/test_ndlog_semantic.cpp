@@ -467,14 +467,18 @@ TEST(Semantic, MetricsCountersPopulated) {
 // Golden expected-diagnostics per shipped example
 // ---------------------------------------------------------------------------
 
-/// "<code> <line>" per diagnostic, location-sorted — the golden format.
+/// "<code> <line> r<rule_index> <predicate>" per diagnostic, location-sorted
+/// — the golden format ("-" when no predicate is attached). Pinning the rule
+/// anchor and predicate here keeps the machine-readable payload (the same
+/// fields `analyze --json` emits) stable across analyzer refactors.
 std::string diag_signature(const std::string& example_stem) {
   const auto source = slurp(std::string(FVN_SOURCE_DIR) + "/examples/ndlog/" +
                             example_stem + ".ndlog");
   const auto diags = analyze_source(source);
   std::ostringstream os;
   for (const auto& d : diags) {
-    os << d.code << " " << d.span.begin.line << "\n";
+    os << d.code << " " << d.span.begin.line << " r" << d.rule_index << " "
+       << (d.predicate.empty() ? "-" : d.predicate) << "\n";
   }
   return os.str();
 }
