@@ -20,6 +20,10 @@
 //                                            UDP sockets
 //                     --loss=<p> --seed=<s>  seeded per-frame drop injection
 //                     --no-retransmit        disable the ack+retransmit layer
+//                     --no-batch             one wire frame per tuple (A/B
+//                                            baseline for batched channels)
+//                     --poll-ms=<ms>         coordinator quiescence-scan
+//                                            timeout (default 0.25)
 //                     --engine=<interpreter|dataflow>, --metrics, --trace
 //   fvn_cli plan      <prog.ndlog> [--dot|--json]   compiled dataflow graph
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
@@ -95,7 +99,8 @@ int usage() {
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
                "       fvn_cli dist <prog.ndlog> <facts.txt> [--nodes=<n>] "
                "[--transport=<inproc|udp>] [--loss=<p>] [--seed=<s>] "
-               "[--no-retransmit] [--engine=...] [--metrics] [--trace <out.json>]\n"
+               "[--no-retransmit] [--no-batch] [--poll-ms=<ms>] [--engine=...] "
+               "[--metrics] [--trace <out.json>]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
                "       fvn_cli analyze [--json|--dot|--metrics|--cost] <prog.ndlog>...   "
@@ -317,6 +322,8 @@ int cmd_dist(const std::vector<std::string>& args) {
   std::uint64_t seed = 1;
   std::int64_t expected_nodes = -1;
   bool retransmit = true;
+  bool batch = true;
+  double poll_ms = -1.0;  // < 0 = keep the ClusterOptions default
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -329,6 +336,10 @@ int cmd_dist(const std::vector<std::string>& args) {
       want_metrics = true;
     } else if (a == "--no-retransmit") {
       retransmit = false;
+    } else if (a == "--no-batch") {
+      batch = false;
+    } else if (a == "--poll-ms" || a.rfind("--poll-ms=", 0) == 0) {
+      poll_ms = parse_double_flag("--poll-ms", value_of("--poll-ms"));
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       trace_path = value_of("--trace");
     } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
@@ -360,6 +371,9 @@ int cmd_dist(const std::vector<std::string>& args) {
                      "' (expected inproc or udp)");
   }
   if (loss < 0.0 || loss >= 1.0) throw UsageError("--loss must be in [0,1)");
+  if (poll_ms == 0.0 || poll_ms > 1000.0) {
+    throw UsageError("--poll-ms must be in (0,1000]");
+  }
 
   auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
   auto facts = load_facts(positional[1]);
@@ -375,6 +389,8 @@ int cmd_dist(const std::vector<std::string>& args) {
   options.faults.drop_rate = loss;
   options.faults.seed = seed;
   options.reliability.enabled = retransmit;
+  options.reliability.batch = batch;
+  if (poll_ms > 0.0) options.poll_interval_ms = poll_ms;
   if (want_metrics) options.metrics = &registry;
   if (!trace_path.empty()) options.trace = &obs_trace;
 

@@ -2,9 +2,10 @@
 # Repository health gate: tier-1 build + tests, the analyze-all sweep over
 # every shipped example (ctest -L analyze), the same suite again under
 # ASan/UBSan, the concurrent `net`-labelled suite once more under TSan
-# (build-tsan), and (when available) clang-tidy over src/ with the checks
-# pinned in .clang-tidy — the tidy stage is gating (WarningsAsErrors: '*'),
-# so any finding fails the script.
+# (build-tsan), a perf-smoke floor on bench_net's cluster:simulator
+# throughput ratio, and (when available) clang-tidy over src/ with the
+# checks pinned in .clang-tidy — the tidy stage is gating
+# (WarningsAsErrors: '*'), so any finding fails the script.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-tidy]
 #
@@ -68,8 +69,23 @@ if [ "$run_sanitize" -eq 1 ]; then
   # with ASan in one binary.
   echo "== check: TSan build + ctest -L net =="
   cmake -B build-tsan -S . -DFVN_SANITIZE="thread" >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_net_wire test_net_cluster
+  cmake --build build-tsan -j "$jobs" --target test_net_wire test_net_cluster test_net_stats
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L net
 fi
+
+# Perf smoke: the 8-node path-vector cluster must stay within shouting
+# distance of the discrete-event simulator. vs_simulator_x100 is the cluster:
+# simulator throughput ratio (100 = parity); the batched-channel work keeps
+# it in the 40-60 band on a single-core container, so 25 is a regression
+# floor (the unbatched baseline measured 13), not a target.
+echo "== check: perf smoke (bench_net vs_simulator_x100 floor) =="
+./build/bench/bench_net --fvn-smoke --benchmark_filter='^$' >/dev/null
+python3 - <<'EOF'
+import json, sys
+floor = 25
+got = json.load(open("BENCH_net.json"))["metrics"]["counters"]["net/bench/vs_simulator_x100"]
+print(f"vs_simulator_x100 = {got} (floor {floor})")
+sys.exit(0 if got >= floor else 1)
+EOF
 
 echo "== check: all stages passed =="

@@ -156,6 +156,7 @@ void Engine::exec(RunCtx& ctx, std::size_t ei) {
         }
       }
       const Value& v = regs_[static_cast<std::size_t>(e.agg_slot)];
+      if (ctx.dirty_keys != nullptr) ctx.dirty_keys->insert(key);
       auto& group = (*ctx.groups)[key];
       auto it = group.emplace(v, 0).first;
       it->second += ctx.sign;
@@ -173,7 +174,7 @@ void Engine::exec(RunCtx& ctx, std::size_t ei) {
 
 void Engine::run_strand(const Strand& strand, const StrandObs& obs, const Tuple& delta,
                         const Database& db, std::vector<Tuple>* out, GroupState* groups,
-                        int sign) {
+                        int sign, std::set<std::vector<Value>>* dirty_keys) {
   if (strand.dead || strand.elements.empty()) return;
   if (regs_.size() < strand.nslots) regs_.resize(strand.nslots);
   RunCtx ctx;
@@ -183,6 +184,7 @@ void Engine::run_strand(const Strand& strand, const StrandObs& obs, const Tuple&
   ctx.db = &db;
   ctx.out = out;
   ctx.groups = groups;
+  ctx.dirty_keys = dirty_keys;
   ctx.sign = sign;
   exec(ctx, 0);
 }
@@ -205,7 +207,8 @@ void Engine::touch(const Tuple& tuple, int sign, const Database& db) {
     for (std::size_t si = 0; si < ap.strands.size(); ++si) {
       const Strand& strand = ap.strands[si];
       if (strand.delta_predicate != tuple.predicate()) continue;
-      run_strand(strand, agg_obs_[ai][si], tuple, db, nullptr, &agg_[ai].groups, sign);
+      run_strand(strand, agg_obs_[ai][si], tuple, db, nullptr, &agg_[ai].groups, sign,
+                 &agg_[ai].dirty_keys);
     }
   }
 }
@@ -231,30 +234,73 @@ std::optional<TupleSet> Engine::flush_aggregate(std::size_t index, const Databas
     // identical insertion sequence (identical iteration order downstream).
     for (const auto& [key, multiset] : state.groups) {
       std::vector<Value> values = key;
-      switch (ap.kind) {
-        case ndlog::AggKind::Min:
-          values[ap.agg_pos] = multiset.begin()->first;
-          break;
-        case ndlog::AggKind::Max:
-          values[ap.agg_pos] = multiset.rbegin()->first;
-          break;
-        case ndlog::AggKind::Count:
-          values[ap.agg_pos] =
-              Value::integer(static_cast<std::int64_t>(multiset.size()));
-          break;
-        case ndlog::AggKind::Sum: {
-          Value total = Value::integer(0);
-          for (const auto& [v, n] : multiset) total = total.add(v);
-          values[ap.agg_pos] = total;
-          break;
-        }
-      }
+      values[ap.agg_pos] = aggregate_value(ap, multiset);
       outputs.insert(Tuple(rule.head.predicate, std::move(values)));
     }
   } else {
     fallback_.eval_agg_rule(rule, db, [&](Tuple t) { outputs.insert(std::move(t)); });
   }
   return outputs;
+}
+
+Value Engine::aggregate_value(const AggregateRulePlan& ap,
+                              const std::map<Value, std::int64_t>& group) {
+  switch (ap.kind) {
+    case ndlog::AggKind::Min:
+      return group.begin()->first;
+    case ndlog::AggKind::Max:
+      return group.rbegin()->first;
+    case ndlog::AggKind::Count:
+      return Value::integer(static_cast<std::int64_t>(group.size()));
+    case ndlog::AggKind::Sum: {
+      Value total = Value::integer(0);
+      for (const auto& [v, n] : group) total = total.add(v);
+      return total;
+    }
+  }
+  return Value::nil();  // unreachable: all AggKind cases covered above
+}
+
+bool Engine::flush_aggregate_diff(std::size_t index, std::vector<AggDelta>& out) {
+  const AggregateRulePlan& ap = plan_->aggregates[index];
+  AggState& state = agg_[index];
+  out.clear();
+  if (!state.dirty) return false;
+  // Clear before diffing, mirroring flush_aggregate(): mutations the
+  // executive performs while applying this diff re-dirty the rule for the
+  // next flush pass.
+  state.dirty = false;
+  const ndlog::Rule& rule = plan_->program.rules[ap.rule_index];
+  for (const auto& key : state.dirty_keys) {
+    auto git = state.groups.find(key);
+    std::optional<Value> now;
+    if (git != state.groups.end()) now = aggregate_value(ap, git->second);
+    auto eit = state.emitted.find(key);
+    AggDelta delta;
+    if (eit != state.emitted.end()) {
+      if (now.has_value() && *now == eit->second) continue;  // value unmoved
+      std::vector<Value> values = key;
+      values[ap.agg_pos] = eit->second;
+      delta.retract = Tuple(rule.head.predicate, std::move(values));
+    } else if (!now.has_value()) {
+      continue;  // appeared and vanished between flushes: never emitted
+    }
+    if (now.has_value()) {
+      std::vector<Value> values = key;
+      values[ap.agg_pos] = *now;
+      delta.assert_now = Tuple(rule.head.predicate, std::move(values));
+      if (eit != state.emitted.end()) {
+        eit->second = *now;
+      } else {
+        state.emitted.emplace(key, *now);
+      }
+    } else {
+      state.emitted.erase(eit);
+    }
+    out.push_back(std::move(delta));
+  }
+  state.dirty_keys.clear();
+  return !out.empty();
 }
 
 }  // namespace fvn::dataflow

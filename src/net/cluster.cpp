@@ -109,7 +109,10 @@ NodeObs Cluster::make_obs(const std::string& name) {
   obs.installed = &m.counter(base + "installed");
   obs.bytes_sent = &m.counter(base + "bytes_sent");
   obs.bytes_received = &m.counter(base + "bytes_received");
+  obs.ack_bytes = &m.counter(base + "ack_bytes");
+  obs.tuples_shipped = &m.counter(base + "tuples_shipped");
   obs.mailbox_depth = &m.histogram(base + "mailbox_depth");
+  obs.batch_size = &m.histogram(base + "batch_size");
   obs.encode = &m.timer(base + "encode");
   obs.decode = &m.timer(base + "decode");
   return obs;
@@ -162,9 +165,24 @@ ClusterStats Cluster::run() {
   std::uint64_t last_activity = ~std::uint64_t{0};
   std::size_t stable = 0;
   bool failed = false;
+  // Ticket discipline: snapshot the progress doorbell BEFORE the scan whose
+  // verdict we might sleep on — a node parking mid-scan then advances the
+  // signal past the snapshot and progress_wait returns immediately.
+  std::uint64_t ticket = transport_->progress_ticket();
   for (;;) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(options_.poll_interval_ms));
+    // The stability argument counts *scans*, not wall time: once a scan looks
+    // quiescent, confirming rescans only need to be distinct, so take them a
+    // yield apart instead of a full poll interval — detection then costs
+    // microseconds instead of quiescence_rounds * poll_interval. While the
+    // cluster is visibly busy, park on the progress doorbell: nodes ring it
+    // when they go idle, so the scan that will observe quiescence starts one
+    // wakeup after the last node parks, not a poll interval later.
+    if (stable > 0) {
+      std::this_thread::yield();
+    } else {
+      transport_->progress_wait(ticket, options_.poll_interval_ms);
+    }
+    ticket = transport_->progress_ticket();
     ++stats.coordinator_polls;
     std::uint64_t activity = 0;
     std::uint64_t unacked = 0;
@@ -195,6 +213,7 @@ ClusterStats Cluster::run() {
   }
 
   stop.store(true, std::memory_order_release);
+  transport_->wake_all();  // parked node threads exit now, not at their timeout
   for (auto& t : threads) t.join();
   stats.wall_ms = elapsed_ms();
 
@@ -208,14 +227,18 @@ ClusterStats Cluster::run() {
     const NodeStats& ns = node->stats();
     stats.messages_sent += ns.sent;
     stats.messages_received += ns.received;
+    stats.tuples_shipped += ns.tuples_shipped;
+    stats.tuples_received += ns.tuples_received;
     stats.retransmitted += ns.retransmitted;
     stats.acked += ns.acked;
+    stats.acks_sent += ns.acks_sent;
     stats.duplicates += ns.duplicates;
     stats.corrupt_frames += ns.corrupt_frames;
     stats.tuples_installed += ns.installed;
     stats.overwrites += ns.overwrites;
     stats.bytes_sent += ns.bytes_sent;
     stats.bytes_received += ns.bytes_received;
+    stats.ack_bytes += ns.ack_bytes;
   }
   stats.transport = transport_->stats();
   if (options_.trace != nullptr) {
@@ -230,6 +253,12 @@ const ndlog::Database& Cluster::database(const std::string& node) const {
   static const ndlog::Database empty;
   auto it = nodes_.find(node);
   return it == nodes_.end() ? empty : it->second->database();
+}
+
+const NodeStats& Cluster::node_stats(const std::string& node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) throw ClusterError("cluster: unknown node " + node);
+  return it->second->stats();
 }
 
 ndlog::Database Cluster::merged_database() const {

@@ -61,7 +61,10 @@ struct ClusterOptions {
   ReliabilityOptions reliability;
   /// Consecutive stable coordinator polls required to declare quiescence.
   std::size_t quiescence_rounds = 3;
-  double poll_interval_ms = 1.0;
+  /// Coordinator sleep between quiescence scans. Small programs converge in a
+  /// handful of milliseconds, so the poll interval is a direct wall-clock tax
+  /// (quiescence_rounds * interval at minimum) — keep it well under 1ms.
+  double poll_interval_ms = 0.25;
   /// Wall-clock budget; exceeded => stats.quiesced = false.
   double max_seconds = 30.0;
   bool require_stratified = true;
@@ -70,8 +73,8 @@ struct ClusterOptions {
   bool cost_order = false;
   /// Observability sinks (null = off). With `metrics`, per-node series
   /// net/node/<n>/{sent,received,retransmitted,acked,installed,bytes_sent,
-  /// bytes_received,mailbox_depth,encode,decode} are pre-created before the
-  /// threads start (the registry is not thread-safe; each node only ever
+  /// bytes_received,ack_bytes,tuples_shipped,mailbox_depth,batch_size,
+  /// encode,decode} are pre-created before the threads start (the registry is not thread-safe; each node only ever
   /// touches its own series). With `trace`, the *coordinator* emits
   /// cluster-level counter samples each poll.
   obs::Registry* metrics = nullptr;
@@ -80,16 +83,22 @@ struct ClusterOptions {
 
 struct ClusterStats {
   std::size_t nodes = 0;
-  std::uint64_t messages_sent = 0;        ///< Data frames first-transmitted
-  std::uint64_t messages_received = 0;    ///< Data frames delivered in order
+  std::uint64_t messages_sent = 0;        ///< DataBatch frames first-transmitted
+  std::uint64_t messages_received = 0;    ///< DataBatch frames delivered in order
+  std::uint64_t tuples_shipped = 0;       ///< tuples carried by sent batches
+  std::uint64_t tuples_received = 0;      ///< tuples carried by delivered batches
   std::uint64_t retransmitted = 0;
   std::uint64_t acked = 0;
+  std::uint64_t acks_sent = 0;            ///< Ack frames transmitted
   std::uint64_t duplicates = 0;           ///< deduplicated re-deliveries
   std::uint64_t corrupt_frames = 0;
   std::uint64_t tuples_installed = 0;
   std::uint64_t overwrites = 0;
-  std::uint64_t bytes_sent = 0;           ///< payload bytes (incl. retransmits)
+  /// Payload bytes handed to the transport: batches, retransmits, *and acks*
+  /// (`ack_bytes` breaks the ack share out).
+  std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t ack_bytes = 0;
   TransportStats transport;
   std::size_t coordinator_polls = 0;
   double wall_ms = 0.0;
@@ -120,6 +129,8 @@ class Cluster {
 
   /// Valid after run().
   const ndlog::Database& database(const std::string& node) const;
+  /// Per-node protocol counters (valid after run(); throws on unknown node).
+  const NodeStats& node_stats(const std::string& node) const;
   /// Union of all nodes' relations — the object the differential suite
   /// compares against runtime::Simulator::merged_database().
   ndlog::Database merged_database() const;

@@ -42,10 +42,21 @@ double Node::now_ms() const {
 
 void Node::seed(Tuple fact) { seeds_.push_back(std::move(fact)); }
 
-std::string Node::location_of(const Tuple& tuple) const {
-  const std::size_t idx = catalog_->contains(tuple.predicate())
-                              ? catalog_->loc_index(tuple.predicate())
-                              : 0;
+const Node::PredInfo& Node::pred_info(const std::string& predicate) const {
+  auto it = pred_cache_.find(predicate);
+  if (it != pred_cache_.end()) return it->second;
+  PredInfo info;
+  if (catalog_->contains(predicate)) {
+    const auto& ci = catalog_->info(predicate);
+    info.loc_index = ci.loc_index;
+    info.transient = ci.lifetime_seconds.has_value() && *ci.lifetime_seconds == 0.0;
+    info.key_fields = &ci.key_fields;
+  }
+  return pred_cache_.emplace(predicate, info).first->second;
+}
+
+const std::string& Node::location_of(const Tuple& tuple) const {
+  const std::size_t idx = pred_info(tuple.predicate()).loc_index;
   if (idx >= tuple.arity() || !tuple.at(idx).is_addr()) {
     throw ndlog::AnalysisError("tuple " + tuple.to_string() +
                                " has no address at its location attribute");
@@ -53,15 +64,18 @@ std::string Node::location_of(const Tuple& tuple) const {
   return tuple.at(idx).as_addr();
 }
 
-std::string Node::key_of(const Tuple& tuple) const {
-  std::string key = tuple.predicate();
-  if (!catalog_->contains(tuple.predicate())) return key + "|" + tuple.to_string();
-  const auto& info = catalog_->info(tuple.predicate());
-  if (info.key_fields.empty()) return key + "|" + tuple.to_string();
-  for (std::size_t f : info.key_fields) {
-    if (f >= 1 && f <= tuple.arity()) key += "|" + tuple.at(f - 1).to_string();
+bool Node::TupleKeyLess::operator()(const Tuple& a, const Tuple& b) const {
+  if (int c = a.predicate().compare(b.predicate()); c != 0) return c < 0;
+  const auto* kf = node->pred_info(a.predicate()).key_fields;
+  if (kf == nullptr || kf->empty()) return a < b;  // whole tuple is the key
+  for (std::size_t f : *kf) {
+    if (f < 1 || f > a.arity() || f > b.arity()) continue;
+    const ndlog::Value& va = a.at(f - 1);
+    const ndlog::Value& vb = b.at(f - 1);
+    if (va < vb) return true;
+    if (vb < va) return false;
   }
-  return key;
+  return false;
 }
 
 void Node::note_insert(const Tuple& tuple) {
@@ -73,19 +87,20 @@ void Node::note_erase(const Tuple& tuple) {
 }
 
 bool Node::install(const Tuple& tuple) {
-  const std::string key = key_of(tuple);
-  auto it = by_key_.find(key);
+  auto it = by_key_.find(tuple);
   bool changed = false;
   if (it == by_key_.end()) {
-    by_key_.emplace(key, tuple);
+    by_key_.insert(tuple);
     db_.insert(tuple);
     note_insert(tuple);
     changed = true;
-  } else if (!(it->second == tuple)) {
+  } else if (!(*it == tuple)) {
     // Keyed overwrite (P2 materialize semantics), exactly as the simulator.
-    db_.erase(it->second);
-    note_erase(it->second);
-    it->second = tuple;
+    db_.erase(*it);
+    note_erase(*it);
+    auto slot = by_key_.extract(it);
+    slot.value() = tuple;  // same key fields: the set's order is undisturbed
+    by_key_.insert(std::move(slot));
     db_.insert(tuple);
     note_insert(tuple);
     ++stats_.overwrites;
@@ -98,12 +113,12 @@ bool Node::install(const Tuple& tuple) {
   return changed;
 }
 
-void Node::route(const Tuple& tuple) {
-  const std::string dest = location_of(tuple);
+void Node::route(Tuple tuple) {
+  const std::string& dest = location_of(tuple);
   if (dest == name_) {
-    deliver(tuple, /*transient=*/false);
+    deliver(std::move(tuple), /*transient=*/false);
   } else {
-    ship(tuple, dest);
+    ship(std::move(tuple), dest);
   }
 }
 
@@ -122,25 +137,48 @@ void Node::run_rules(const Tuple& delta) {
       }
     }
   }
-  for (auto& t : produced) route(t);
+  for (auto& t : produced) route(std::move(t));
 }
 
-void Node::run_agg_rules() {
-  if (agg_rules_.empty()) return;
+bool Node::run_agg_rules() {
+  if (agg_rules_.empty()) return false;
+  bool any_changed = false;
   if (flow_) {
     for (std::size_t i = 0; i < plan_->aggregates.size(); ++i) {
+      if (flow_->aggregate_incremental(i)) {
+        // Diff flush: only the groups whose aggregate value moved come back,
+        // so maintenance costs O(changes), not O(groups), per batch.
+        if (!flow_->flush_aggregate_diff(i, agg_deltas_)) continue;
+        any_changed = true;
+        for (auto& d : agg_deltas_) {
+          if (d.retract.has_value() && location_of(*d.retract) == name_ &&
+              db_.erase(*d.retract)) {
+            note_erase(*d.retract);
+            by_key_.erase(*d.retract);
+          }
+          if (!d.assert_now.has_value()) continue;
+          const std::string dest = location_of(*d.assert_now);
+          if (dest == name_) {
+            if (install(*d.assert_now)) run_rules(*d.assert_now);
+          } else {
+            ship(std::move(*d.assert_now), dest);
+          }
+        }
+        continue;
+      }
       const Rule* rule = &program_->rules[plan_->aggregates[i].rule_index];
       auto maybe_outputs = flow_->flush_aggregate(i, db_);
       if (!maybe_outputs) continue;  // provably unchanged since the last flush
       TupleSet outputs = std::move(*maybe_outputs);
       TupleSet& prev = agg_cache_[rule];
       if (outputs == prev) continue;
+      any_changed = true;
       for (const auto& old_row : prev) {
         if (outputs.count(old_row)) continue;
         if (location_of(old_row) != name_) continue;  // remote copies are theirs
         if (db_.erase(old_row)) {
           note_erase(old_row);
-          by_key_.erase(key_of(old_row));
+          by_key_.erase(old_row);
         }
       }
       std::vector<Tuple> added;
@@ -148,146 +186,214 @@ void Node::run_agg_rules() {
         if (!prev.count(row)) added.push_back(row);
       }
       prev = outputs;
-      for (const auto& t : added) {
+      for (auto& t : added) {
         const std::string dest = location_of(t);
         if (dest == name_) {
           if (install(t)) run_rules(t);
         } else {
-          ship(t, dest);
+          ship(std::move(t), dest);
         }
       }
     }
-    return;
+    return any_changed;
   }
   for (const Rule* rule : agg_rules_) {
     TupleSet outputs;
     engine_.eval_agg_rule(*rule, db_, [&](Tuple t) { outputs.insert(std::move(t)); });
     TupleSet& prev = agg_cache_[rule];
     if (outputs == prev) continue;
+    any_changed = true;
     // Incremental view maintenance: retract groups that disappeared or whose
     // aggregate value changed, then install/ship the new rows (same
     // diff-against-cache flow as runtime::Simulator::run_agg_rules).
     for (const auto& old_row : prev) {
       if (outputs.count(old_row)) continue;
       if (location_of(old_row) != name_) continue;
-      if (db_.erase(old_row)) by_key_.erase(key_of(old_row));
+      if (db_.erase(old_row)) by_key_.erase(old_row);
     }
     std::vector<Tuple> added;
     for (const auto& row : outputs) {
       if (!prev.count(row)) added.push_back(row);
     }
     prev = outputs;
-    for (const auto& t : added) {
+    for (auto& t : added) {
       const std::string dest = location_of(t);
       if (dest == name_) {
         if (install(t)) run_rules(t);
       } else {
-        ship(t, dest);
+        ship(std::move(t), dest);
       }
     }
   }
+  return any_changed;
 }
 
-void Node::deliver(const Tuple& tuple, bool transient) {
+void Node::flush_agg_rules() {
+  // A pass's own installs (a new best row firing ordinary rules) can re-dirty
+  // an aggregate, so repeat until a pass changes nothing.
+  while (run_agg_rules()) {
+  }
+}
+
+void Node::deliver(Tuple tuple, bool transient) {
   if (transient) {
     run_rules(tuple);
-    run_agg_rules();
     return;
   }
   if (!install(tuple)) return;  // duplicate: no re-derivation
   run_rules(tuple);
-  run_agg_rules();
 }
 
-void Node::ship(const Tuple& tuple, const std::string& dest) {
-  Frame frame;
-  frame.kind = Frame::Kind::Data;
-  frame.src = name_;
-  frame.dst = dest;
-  frame.tuple = tuple;
-  std::string bytes;
-  {
-    obs::Timer::Scope scope(obs_.encode);
+void Node::ship(Tuple tuple, const std::string& dest) {
+  // NB: callers may pass `dest` referencing a Value inside `tuple`; a Tuple
+  // move steals the values vector's buffer without relocating the elements,
+  // so the reference stays valid for the map lookup below.
+  auto& buf = outbuf_[dest];
+  if (buf.empty()) ++outbuf_dirty_;
+  buf.push_back(std::move(tuple));
+  if (!reliability_.batch) flush_channels();
+}
+
+void Node::flush_channels() {
+  if (outbuf_dirty_ == 0) return;  // idle sweeps skip the whole scan
+  outbuf_dirty_ = 0;
+  for (auto& [dest, buf] : outbuf_) {
+    if (buf.empty()) continue;
+    Frame frame;
+    frame.kind = Frame::Kind::DataBatch;
+    frame.src = name_;
+    frame.dst = dest;
+    frame.tuples = std::move(buf);
+    buf.clear();
+    const std::size_t tuple_count = frame.tuples.size();
+    auto oit = out_.end();
     if (reliability_.enabled) {
-      OutChannel& out = out_[dest];
-      frame.seq = out.next_seq++;
-      bytes = encode_frame(frame);
-      out.pending.emplace(
-          frame.seq, Pending{bytes, now_ms() + reliability_.initial_backoff_ms,
-                             reliability_.initial_backoff_ms});
-      unacked_.fetch_add(1, std::memory_order_acq_rel);
-    } else {
-      frame.seq = out_[dest].next_seq++;
+      oit = out_.try_emplace(dest).first;
+      frame.seq = oit->second.next_seq++;
+    }
+    // Raw mode: seq stays 0 — no receiver checks it, and a per-ship counter
+    // would make otherwise-identical runs byte-diverge for nothing.
+    std::string bytes;
+    {
+      obs::Timer::Scope scope(obs_.encode);
       bytes = encode_frame(frame);
     }
+    if (oit != out_.end()) {
+      const double due = now_ms() + reliability_.initial_backoff_ms;
+      oit->second.pending.emplace(
+          frame.seq, Pending{bytes, due, reliability_.initial_backoff_ms});
+      due_heap_.push(Due{due, &oit->first, frame.seq});
+      unacked_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ++stats_.sent;
+    stats_.tuples_shipped += tuple_count;
+    stats_.bytes_sent += bytes.size();
+    if (obs_.sent != nullptr) obs_.sent->add(1);
+    if (obs_.tuples_shipped != nullptr) obs_.tuples_shipped->add(tuple_count);
+    if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(bytes.size());
+    if (obs_.batch_size != nullptr) obs_.batch_size->observe(tuple_count);
+    transport_->send(name_, dest, std::move(bytes));
   }
-  ++stats_.sent;
+}
+
+void Node::retransmit_due() {
+  if (!reliability_.enabled || due_heap_.empty()) return;
+  const double now = now_ms();
+  while (!due_heap_.empty()) {
+    const Due top = due_heap_.top();
+    if (top.due_ms > now) break;  // heap order: nothing else is due either
+    due_heap_.pop();
+    auto oit = out_.find(*top.dest);
+    if (oit == out_.end()) continue;
+    auto pit = oit->second.pending.find(top.seq);
+    if (pit == oit->second.pending.end()) continue;  // acked: stale heap entry
+    Pending& p = pit->second;
+    if (p.due_ms != top.due_ms) continue;  // rescheduled: stale heap entry
+    try {
+      transport_->send(name_, *top.dest, p.bytes);
+    } catch (const TransportError&) {
+      // The transport refused the frame (e.g. unreachable peer). A send that
+      // never happened must not escalate backoff or skew retransmitted/
+      // bytes_sent — retry later at the *same* backoff.
+      p.due_ms = now + p.backoff_ms;
+      due_heap_.push(Due{p.due_ms, &oit->first, top.seq});
+      continue;
+    }
+    p.backoff_ms = std::min(p.backoff_ms * 2.0, reliability_.max_backoff_ms);
+    p.due_ms = now + p.backoff_ms;
+    ++stats_.retransmitted;
+    stats_.bytes_sent += p.bytes.size();
+    if (obs_.retransmitted != nullptr) obs_.retransmitted->add(1);
+    if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(p.bytes.size());
+    due_heap_.push(Due{p.due_ms, &oit->first, top.seq});
+  }
+}
+
+void Node::send_ack(const std::string& dest, std::uint64_t cumulative_seq) {
+  Frame ack;
+  ack.kind = Frame::Kind::Ack;
+  ack.seq = cumulative_seq;
+  ack.src = name_;
+  ack.dst = dest;
+  std::string bytes = encode_frame(ack);
+  // Acks are wire traffic too: count them into the node's byte totals (and
+  // separately, so the protocol overhead stays visible in stats and obs).
+  ++stats_.acks_sent;
+  stats_.ack_bytes += bytes.size();
   stats_.bytes_sent += bytes.size();
-  if (obs_.sent != nullptr) obs_.sent->add(1);
+  if (obs_.ack_bytes != nullptr) obs_.ack_bytes->add(bytes.size());
   if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(bytes.size());
   transport_->send(name_, dest, std::move(bytes));
 }
 
-void Node::retransmit_due() {
-  if (!reliability_.enabled) return;
-  const double now = now_ms();
-  for (auto& [dest, out] : out_) {
-    for (auto& [seq, pending] : out.pending) {
-      if (pending.due_ms > now) continue;
-      pending.backoff_ms =
-          std::min(pending.backoff_ms * 2.0, reliability_.max_backoff_ms);
-      pending.due_ms = now + pending.backoff_ms;
-      ++stats_.retransmitted;
-      stats_.bytes_sent += pending.bytes.size();
-      if (obs_.retransmitted != nullptr) obs_.retransmitted->add(1);
-      if (obs_.bytes_sent != nullptr) obs_.bytes_sent->add(pending.bytes.size());
-      transport_->send(name_, dest, pending.bytes);
-    }
+void Node::deliver_tuples(std::vector<Tuple>&& tuples) {
+  for (auto& t : tuples) {
+    const bool transient = pred_info(t.predicate()).transient;
+    deliver(std::move(t), transient);
   }
+  // One aggregate flush per delivered batch instead of per tuple — with
+  // batching this is where most of the cluster's rule-evaluation time went.
+  flush_agg_rules();
 }
 
-void Node::handle_data(Frame&& frame) {
+void Node::handle_batch(Frame&& frame) {
   if (!reliability_.enabled) {
     // Raw mode: process in arrival order, no dedup (fault-free transports only).
-    const bool transient =
-        catalog_->contains(frame.tuple.predicate()) &&
-        catalog_->info(frame.tuple.predicate()).lifetime_seconds == 0.0;
     ++stats_.received;
+    stats_.tuples_received += frame.tuples.size();
     if (obs_.received != nullptr) obs_.received->add(1);
-    deliver(frame.tuple, transient);
+    deliver_tuples(std::move(frame.tuples));
     return;
   }
-  // Always ack, even for duplicates — the previous ack may have been lost.
-  Frame ack;
-  ack.kind = Frame::Kind::Ack;
-  ack.seq = frame.seq;
-  ack.src = name_;
-  ack.dst = frame.src;
-  transport_->send(name_, frame.src, encode_frame(ack));
-
-  InChannel& in = in_[frame.src];
-  if (frame.seq < in.next_expected || in.reassembly.count(frame.seq)) {
+  const std::string src = frame.src;
+  InChannel& in = in_[src];
+  if (frame.seq < in.next_expected || in.reassembly.count(frame.seq) > 0) {
+    // Already delivered or already buffered: the previous ack may have been
+    // lost, so re-ack the cumulative frontier.
     ++stats_.duplicates;
+    send_ack(src, in.next_expected - 1);
     return;
   }
   if (frame.seq != in.next_expected) {
-    in.reassembly.emplace(frame.seq, std::move(frame.tuple));
+    in.reassembly.emplace(frame.seq, std::move(frame.tuples));
+    send_ack(src, in.next_expected - 1);
     return;
   }
-  // In-order delivery: this frame, then everything it unblocks.
-  Tuple next = std::move(frame.tuple);
+  // In-order delivery: this batch, then everything it unblocks; one
+  // cumulative ack for the whole run.
+  std::vector<Tuple> batch = std::move(frame.tuples);
   for (;;) {
     ++in.next_expected;
     ++stats_.received;
+    stats_.tuples_received += batch.size();
     if (obs_.received != nullptr) obs_.received->add(1);
-    const bool transient = catalog_->contains(next.predicate()) &&
-                           catalog_->info(next.predicate()).lifetime_seconds == 0.0;
-    deliver(next, transient);
+    deliver_tuples(std::move(batch));
     auto it = in.reassembly.find(in.next_expected);
     if (it == in.reassembly.end()) break;
-    next = std::move(it->second);
+    batch = std::move(it->second);
     in.reassembly.erase(it);
   }
+  send_ack(src, in.next_expected - 1);
 }
 
 void Node::handle_frame(const std::string& bytes) {
@@ -304,14 +410,31 @@ void Node::handle_frame(const std::string& bytes) {
   }
   if (frame.kind == Frame::Kind::Ack) {
     auto it = out_.find(frame.src);
-    if (it != out_.end() && it->second.pending.erase(frame.seq) > 0) {
-      ++stats_.acked;
-      if (obs_.acked != nullptr) obs_.acked->add(1);
-      unacked_.fetch_sub(1, std::memory_order_acq_rel);
+    if (it != out_.end()) {
+      // Cumulative: one ack clears every pending batch up to and including
+      // its seq (stale due_heap_ entries are skipped lazily on pop).
+      auto& pending = it->second.pending;
+      std::uint64_t cleared = 0;
+      for (auto pit = pending.begin();
+           pit != pending.end() && pit->first <= frame.seq;) {
+        pit = pending.erase(pit);
+        ++cleared;
+      }
+      if (cleared > 0) {
+        stats_.acked += cleared;
+        if (obs_.acked != nullptr) obs_.acked->add(cleared);
+        unacked_.fetch_sub(cleared, std::memory_order_acq_rel);
+      }
     }
     return;
   }
-  handle_data(std::move(frame));
+  if (frame.kind == Frame::Kind::Data) {
+    // Legacy single-tuple frame: same channel machinery, batch of one.
+    frame.kind = Frame::Kind::DataBatch;
+    frame.tuples.clear();
+    frame.tuples.push_back(std::move(frame.tuple));
+  }
+  handle_batch(std::move(frame));
 }
 
 bool Node::sweep() {
@@ -319,35 +442,72 @@ bool Node::sweep() {
   retransmit_due();
   std::string bytes;
   std::uint64_t drained = 0;
-  while (transport_->recv(name_, bytes)) {
+  while (rx_cursor_ != nullptr ? transport_->recv(rx_cursor_, bytes)
+                               : transport_->recv(name_, bytes)) {
     ++drained;
     handle_frame(bytes);
     activity_.fetch_add(1, std::memory_order_acq_rel);
   }
+  if (drained > 0) stats_.last_active_ms = now_ms();
+  // Everything this sweep derived for each remote peer leaves as one batch.
+  flush_channels();
   if (drained > 0 && obs_.mailbox_depth != nullptr) obs_.mailbox_depth->observe(drained);
   return drained > 0;
 }
 
 void Node::run(const std::atomic<bool>& stop) {
   try {
-    for (const auto& fact : seeds_) {
-      deliver(fact, /*transient=*/false);
+    rx_cursor_ = transport_->rx_cursor(name_);
+    for (auto& fact : seeds_) {
+      deliver(std::move(fact), /*transient=*/false);
       activity_.fetch_add(1, std::memory_order_acq_rel);
     }
     seeds_.clear();
+    flush_agg_rules();
+    flush_channels();  // the seeds' derivations ship before the first sweep
+    std::uint32_t idle_streak = 0;
     while (!stop.load(std::memory_order_acquire)) {
-      const bool busy = sweep();
-      idle_.store(!busy, std::memory_order_release);
-      if (!busy) {
-        // Nothing to do: yield the core instead of spin-polling. 100µs keeps
-        // retransmit deadlines (>= 2ms) and termination polls responsive.
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      if (sweep()) {
+        idle_.store(false, std::memory_order_release);
+        idle_streak = 0;
+        continue;
       }
+      if (++idle_streak < 8) {
+        idle_.store(true, std::memory_order_release);
+        std::this_thread::yield();
+        continue;
+      }
+      // Nothing to do: park on the transport doorbell instead of spinning.
+      // A runnable-but-idle thread is pure overhead when nodes outnumber
+      // cores — it steals scheduler slices from whichever node has real
+      // work — and every frame bound for us rings the bell, so parking
+      // costs one wakeup of latency, not a poll interval. The ticket is
+      // snapshotted *before* a confirming sweep: a frame arriving between
+      // that sweep and the wait advances the signal past the ticket and
+      // rx_wait returns immediately. The timeout only backstops retransmit
+      // deadlines (and, inside rx_wait, fault pumping); shutdown is a
+      // wake_all() from the coordinator.
+      const std::uint64_t ticket = transport_->rx_ticket(name_);
+      if (sweep()) {
+        idle_.store(false, std::memory_order_release);
+        continue;
+      }
+      idle_.store(true, std::memory_order_release);
+      double timeout_ms = 5.0;
+      if (!due_heap_.empty()) {
+        timeout_ms = std::clamp(due_heap_.top().due_ms - now_ms(), 0.05, 5.0);
+      }
+      // Parking is the cluster-wide signal the coordinator's termination scan
+      // waits on (every node parked + nothing in flight ⇒ quiescent), so tell
+      // it the idle picture changed before blocking.
+      transport_->ring_progress();
+      transport_->rx_wait(name_, ticket, timeout_ms);
     }
   } catch (const std::exception& e) {
     error_ = name_ + ": " + e.what();
     failed_.store(true, std::memory_order_release);
     idle_.store(true, std::memory_order_release);
+    transport_->ring_progress();  // coordinator aborts the run promptly
   }
 }
 

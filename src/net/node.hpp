@@ -3,31 +3,41 @@
 // over it (interpreter RuleEngine or compiled dataflow::Engine), and runs an
 // event loop on its own std::thread:
 //
-//   pump held frames -> retransmit overdue -> drain mailbox -> process
+//   pump held frames -> retransmit overdue -> drain mailbox -> flush batches
 //
 // Rule semantics deliberately mirror runtime::Simulator install/run_rules/
 // run_agg_rules line for line (keyed overwrite, aggregate diff-against-cache,
 // "remote copies age out") so the differential suite can demand an *identical*
 // merged fixpoint from both executives.
 //
+// Shipping is *batched*: derived tuples bound for a remote node accumulate in
+// a per-destination channel buffer and flush as one DataBatch wire frame per
+// sweep — a whole delta round's worth of tuples pays for one encode, one
+// mailbox crossing, one seq number, and one pending/retransmit entry instead
+// of one each per tuple.
+//
 // Reliability: the transport may drop, duplicate, reorder and delay frames;
 // the Node layers a per-directed-channel protocol on top that masks all four:
 //
-//   sender    every Data frame carries a per-(src,dst) sequence number and
-//             stays in a pending map until acked; overdue frames retransmit
-//             with capped exponential backoff.
-//   receiver  acks every Data frame it sees (including duplicates — the
-//             original ack may have been the casualty), delivers exactly once
-//             and in sequence order via a reassembly buffer.
+//   sender    every DataBatch carries a per-(src,dst) sequence number and
+//             stays in a pending map until acked; a min-heap of due times
+//             finds overdue batches in O(log n), and each retransmission
+//             doubles the backoff up to a cap — but backoff and counters
+//             only advance after the transport actually accepted the send.
+//   receiver  delivers batches exactly once and in sequence order via a
+//             reassembly buffer, and answers every DataBatch (including
+//             duplicates — the previous ack may have been the casualty) with
+//             a *cumulative* ack carrying the highest in-order seq delivered;
+//             one ack can clear many pending batches.
 //
 // Exactly-once in-order delivery per channel makes the fault injection
 // semantically invisible; it only costs retransmissions and time.
 //
 // Thread model: everything mutable on a Node is owned by its thread, except
 // the std::atomic signals (idle/activity/unacked/failed) the coordinator
-// polls for termination detection, and the transport (internally locked).
-// The obs series pointers are wired before the thread starts and point into
-// a Registry nobody else touches concurrently per-node.
+// polls for termination detection, and the transport (internally
+// synchronized). The obs series pointers are wired before the thread starts
+// and point into a Registry nobody else touches concurrently per-node.
 #pragma once
 
 #include <atomic>
@@ -35,7 +45,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataflow/engine.hpp"
@@ -48,13 +61,19 @@
 
 namespace fvn::net {
 
-/// Ack + retransmit knobs (cluster-wide; see Cluster).
+/// Channel-layer knobs (cluster-wide; see Cluster).
 struct ReliabilityOptions {
   /// Off = fire-and-forget raw frames (only sane on a fault-free transport;
-  /// the differential suite uses it as the zero-overhead baseline).
+  /// the differential suite uses it as the zero-overhead baseline). Raw
+  /// frames carry seq 0 — nothing checks a raw seq, so allocating one per
+  /// ship would only make otherwise-identical runs byte-diverge.
   bool enabled = true;
   double initial_backoff_ms = 2.0;  ///< first retransmit deadline
   double max_backoff_ms = 50.0;     ///< backoff doubles up to this cap
+  /// Accumulate a sweep's derived tuples per destination and flush them as
+  /// one DataBatch frame (both modes). Off = flush after every ship, i.e.
+  /// one single-tuple batch per derived tuple (the A/B baseline).
+  bool batch = true;
 };
 
 /// Per-node observability series, wired by the Cluster before the node's
@@ -68,24 +87,38 @@ struct NodeObs {
   obs::Counter* installed = nullptr;
   obs::Counter* bytes_sent = nullptr;
   obs::Counter* bytes_received = nullptr;
+  obs::Counter* ack_bytes = nullptr;       ///< ack-frame bytes within bytes_sent
+  obs::Counter* tuples_shipped = nullptr;  ///< tuples carried by sent batches
   /// Frames drained per non-empty mailbox sweep (the observable backlog).
   obs::Histogram* mailbox_depth = nullptr;
+  /// Tuples per flushed DataBatch (the batching win, observable).
+  obs::Histogram* batch_size = nullptr;
   obs::Timer* encode = nullptr;
   obs::Timer* decode = nullptr;
 };
 
 /// Plain counters, safe to read after the node's thread has been joined.
+/// `bytes_sent`/`bytes_received` count every payload byte handed to / taken
+/// from the transport — data batches, retransmissions, *and acks* (acks are
+/// also broken out separately so the protocol overhead stays visible).
 struct NodeStats {
-  std::uint64_t sent = 0;            ///< Data frames first-transmitted
-  std::uint64_t received = 0;        ///< Data frames delivered in-order
-  std::uint64_t retransmitted = 0;   ///< Data frames re-sent after timeout
-  std::uint64_t acked = 0;           ///< pending frames cleared by an ack
-  std::uint64_t duplicates = 0;      ///< already-delivered Data frames re-acked
+  std::uint64_t sent = 0;            ///< DataBatch frames first-transmitted
+  std::uint64_t received = 0;        ///< DataBatch frames delivered in-order
+  std::uint64_t tuples_shipped = 0;  ///< tuples carried by `sent` batches
+  std::uint64_t tuples_received = 0; ///< tuples carried by `received` batches
+  std::uint64_t retransmitted = 0;   ///< DataBatch frames re-sent after timeout
+  std::uint64_t acked = 0;           ///< pending batches cleared by (cumulative) acks
+  std::uint64_t acks_sent = 0;       ///< Ack frames transmitted
+  std::uint64_t duplicates = 0;      ///< already-delivered batches re-acked
   std::uint64_t corrupt_frames = 0;  ///< frames decode rejected (WireError)
   std::uint64_t installed = 0;       ///< local installs (new or overwrite)
   std::uint64_t overwrites = 0;      ///< keyed overwrites among installed
   std::uint64_t bytes_sent = 0;      ///< payload bytes handed to the transport
   std::uint64_t bytes_received = 0;
+  std::uint64_t ack_bytes = 0;       ///< ack-frame bytes within bytes_sent
+  /// Node-clock ms of the last frame/seed processed — max over nodes is when
+  /// the cluster actually finished; wall_ms minus that is the detection tail.
+  double last_active_ms = 0.0;
 };
 
 /// One distributed NDlog node. Construct, seed(), then start(); the Cluster
@@ -118,7 +151,7 @@ class Node {
   std::uint64_t activity() const noexcept {
     return activity_.load(std::memory_order_acquire);
   }
-  /// Data frames sent but not yet acked (0 when reliability is off).
+  /// DataBatch frames sent but not yet acked (0 when reliability is off).
   std::uint64_t unacked() const noexcept {
     return unacked_.load(std::memory_order_acquire);
   }
@@ -142,24 +175,59 @@ class Node {
   };
   struct InChannel {
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, ndlog::Tuple> reassembly;  // buffered future seqs
+    std::map<std::uint64_t, std::vector<ndlog::Tuple>> reassembly;  // future seqs
+  };
+  /// Min-heap entry locating a retransmit deadline. Entries are lazy: an
+  /// acked batch or a rescheduled deadline leaves a stale entry behind,
+  /// detected by comparing due_ms against the live Pending record on pop.
+  struct Due {
+    double due_ms = 0.0;
+    const std::string* dest = nullptr;  // stable: keys of out_ never move
+    std::uint64_t seq = 0;
+    bool operator>(const Due& other) const { return due_ms > other.due_ms; }
+  };
+  /// Catalog facts consulted per routed/delivered tuple, interned once per
+  /// predicate name so the hot path never repeats a std::map string walk.
+  struct PredInfo {
+    std::size_t loc_index = 0;
+    bool transient = false;           // lifetime 0: deliver without installing
+    const std::vector<std::size_t>* key_fields = nullptr;  // null or empty = whole tuple
+  };
+  /// Keyed-overwrite identity order: tuples sort by predicate then by their
+  /// declared key fields (whole tuple when none declared). Comparing Values
+  /// in place replaces the old stringified-key map — installs no longer pay
+  /// a to_string allocation per key field.
+  struct TupleKeyLess {
+    const Node* node = nullptr;
+    bool operator()(const ndlog::Tuple& a, const ndlog::Tuple& b) const;
   };
 
   double now_ms() const;
   bool sweep();  ///< one loop iteration; true if any frame was processed
   void handle_frame(const std::string& bytes);
-  void handle_data(Frame&& frame);
+  void handle_batch(Frame&& frame);
+  void deliver_tuples(std::vector<ndlog::Tuple>&& tuples);
+  void send_ack(const std::string& dest, std::uint64_t cumulative_seq);
   void retransmit_due();
-  void ship(const ndlog::Tuple& tuple, const std::string& dest);
+  void ship(ndlog::Tuple tuple, const std::string& dest);
+  void flush_channels();
 
   // Rule semantics (mirrors runtime::Simulator).
-  void deliver(const ndlog::Tuple& tuple, bool transient);
+  void deliver(ndlog::Tuple tuple, bool transient);
   bool install(const ndlog::Tuple& tuple);
   void run_rules(const ndlog::Tuple& delta);
-  void run_agg_rules();
-  void route(const ndlog::Tuple& tuple);  ///< local -> deliver, remote -> ship
-  std::string key_of(const ndlog::Tuple& tuple) const;
-  std::string location_of(const ndlog::Tuple& tuple) const;
+  /// One aggregate maintenance pass; true if any aggregate row changed.
+  bool run_agg_rules();
+  /// Aggregate flush at batch granularity: deliver() skips per-tuple
+  /// aggregate recomputation (the simulator's cadence) and each delivered
+  /// batch/seed round ends with passes until no aggregate moves. Confluent
+  /// with the per-tuple cadence: delivery order is already arbitrary under
+  /// reorder faults, so the differential fixpoint cannot depend on where
+  /// the flush boundaries fall.
+  void flush_agg_rules();
+  void route(ndlog::Tuple tuple);  ///< local -> deliver, remote -> ship
+  const std::string& location_of(const ndlog::Tuple& tuple) const;
+  const PredInfo& pred_info(const std::string& predicate) const;
   void note_insert(const ndlog::Tuple& tuple);
   void note_erase(const ndlog::Tuple& tuple);
 
@@ -178,12 +246,26 @@ class Node {
   const dataflow::Plan* plan_;
 
   ndlog::Database db_;
-  std::map<std::string, ndlog::Tuple> by_key_;
+  /// One entry per keyed-overwrite slot; the element is the installed tuple.
+  std::set<ndlog::Tuple, TupleKeyLess> by_key_{TupleKeyLess{this}};
   std::map<const ndlog::Rule*, ndlog::TupleSet> agg_cache_;
+  std::vector<dataflow::Engine::AggDelta> agg_deltas_;  // diff-flush scratch
   std::vector<ndlog::Tuple> seeds_;
 
   std::map<std::string, OutChannel> out_;
   std::map<std::string, InChannel> in_;
+  /// Per-destination channel buffers: tuples shipped during the current sweep,
+  /// flushed as one DataBatch each by flush_channels(). Map entries persist
+  /// across sweeps, so steady-state flushes never re-insert.
+  std::map<std::string, std::vector<ndlog::Tuple>> outbuf_;
+  /// Count of non-empty outbuf_ buffers, so idle sweeps skip the flush scan.
+  std::size_t outbuf_dirty_ = 0;
+  std::priority_queue<Due, std::vector<Due>, std::greater<Due>> due_heap_;
+  mutable std::unordered_map<std::string, PredInfo> pred_cache_;
+
+  /// Transport mailbox cursor for name_, cached at run() start so the sweep
+  /// loop's mailbox polls skip the name lookup. Null = use the name path.
+  void* rx_cursor_ = nullptr;
 
   std::chrono::steady_clock::time_point epoch_;
   NodeStats stats_;

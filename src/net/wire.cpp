@@ -231,6 +231,10 @@ std::string encode_frame(const Frame& frame) {
   append_str(out, frame.src);
   append_str(out, frame.dst);
   if (frame.kind == Frame::Kind::Data) append_tuple(out, frame.tuple);
+  if (frame.kind == Frame::Kind::DataBatch) {
+    append_varint(out, frame.tuples.size());
+    for (const auto& t : frame.tuples) append_tuple(out, t);
+  }
   return out;
 }
 
@@ -259,7 +263,7 @@ Frame decode_frame(std::string_view bytes) {
     fail(WireErrorKind::BadVersion, "version " + std::to_string(version));
   }
   const std::uint8_t kind = r.byte("frame kind");
-  if (kind > static_cast<std::uint8_t>(Frame::Kind::Ack)) {
+  if (kind > static_cast<std::uint8_t>(Frame::Kind::DataBatch)) {
     fail(WireErrorKind::BadKind, "kind " + std::to_string(kind));
   }
   Frame frame;
@@ -268,6 +272,15 @@ Frame decode_frame(std::string_view bytes) {
   frame.src = r.str("frame src");
   frame.dst = r.str("frame dst");
   if (frame.kind == Frame::Kind::Data) frame.tuple = read_tuple(r);
+  if (frame.kind == Frame::Kind::DataBatch) {
+    const std::uint64_t count = r.varint("batch count");
+    // Every tuple costs at least its predicate length byte + arity byte; a
+    // count beyond the remaining input is corrupt and must not drive the
+    // reserve below.
+    if (count > r.remaining()) fail(WireErrorKind::LengthOverflow, "batch count");
+    frame.tuples.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) frame.tuples.push_back(read_tuple(r));
+  }
   require_consumed(r, "frame");
   return frame;
 }

@@ -13,13 +13,16 @@
 //     depth, and rejects any malformed input with a typed WireError instead
 //     of allocating, crashing, or silently truncating.
 //
-// Layout (version 1, all multi-byte integers as LEB128 varints unless noted):
+// Layout (version 2, all multi-byte integers as LEB128 varints unless noted):
 //
-//   frame   := 0x46 0x56 ('F' 'V')  version(1)  kind  payload
-//   kind    := 0x00 Data | 0x01 Ack
-//   Data    := varint(seq) str(src) str(dst) tuple
-//   Ack     := varint(seq) str(src) str(dst)        // src = acker
-//   tuple   := str(predicate) varint(arity) value*
+//   frame     := 0x46 0x56 ('F' 'V')  version(2)  kind  payload
+//   kind      := 0x00 Data | 0x01 Ack | 0x02 DataBatch
+//   Data      := varint(seq) str(src) str(dst) tuple
+//   Ack       := varint(seq) str(src) str(dst)      // src = acker; seq is the
+//                                                   // *cumulative* highest
+//                                                   // in-order batch delivered
+//   DataBatch := varint(seq) str(src) str(dst) varint(count) tuple*
+//   tuple     := str(predicate) varint(arity) value*
 //   value   := tag payload
 //     tag 0 Nil     (no payload)
 //     tag 1 Bool    one byte, 0x00 or 0x01 (anything else is BadBool)
@@ -38,6 +41,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ndlog/tuple.hpp"
 
@@ -45,7 +49,9 @@ namespace fvn::net {
 
 inline constexpr std::uint8_t kWireMagic0 = 0x46;  // 'F'
 inline constexpr std::uint8_t kWireMagic1 = 0x56;  // 'V'
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 added DataBatch (one frame carrying a whole delta round per
+/// channel); version-1 decoders reject it, so the version byte was bumped.
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Maximum List nesting decode() accepts (encode of deeper values throws too,
 /// so the limit is symmetric and round trips stay total).
 inline constexpr std::size_t kMaxDepth = 32;
@@ -78,19 +84,30 @@ class WireError : public std::runtime_error {
   WireErrorKind kind_;
 };
 
-/// One transport frame: either a data message carrying a tuple or the ack
-/// for one. `seq` numbers are per directed (sender, receiver) channel.
+/// One transport frame: a single-tuple data message, the cumulative ack for a
+/// channel, or a batch carrying one delta round's worth of tuples. `seq`
+/// numbers are per directed (sender, receiver) channel and count *frames*
+/// (a batch consumes one seq regardless of how many tuples it carries).
 struct Frame {
-  enum class Kind : std::uint8_t { Data = 0, Ack = 1 };
+  enum class Kind : std::uint8_t { Data = 0, Ack = 1, DataBatch = 2 };
   Kind kind = Kind::Data;
   std::uint64_t seq = 0;
-  std::string src;  ///< Data: sending node. Ack: the acking node.
-  std::string dst;  ///< Data: receiving node. Ack: the original sender.
-  ndlog::Tuple tuple;  ///< Data only; ignored (and not encoded) for Ack.
+  std::string src;  ///< Data/DataBatch: sending node. Ack: the acking node.
+  std::string dst;  ///< Data/DataBatch: receiving node. Ack: the original sender.
+  ndlog::Tuple tuple;  ///< Data only; ignored (and not encoded) otherwise.
+  std::vector<ndlog::Tuple> tuples;  ///< DataBatch only; in-order payload.
 
   bool operator==(const Frame& other) const {
-    return kind == other.kind && seq == other.seq && src == other.src &&
-           dst == other.dst && (kind == Kind::Ack || tuple == other.tuple);
+    if (kind != other.kind || seq != other.seq || src != other.src ||
+        dst != other.dst) {
+      return false;
+    }
+    switch (kind) {
+      case Kind::Data: return tuple == other.tuple;
+      case Kind::DataBatch: return tuples == other.tuples;
+      case Kind::Ack: return true;
+    }
+    return false;
   }
 };
 

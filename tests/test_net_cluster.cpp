@@ -330,9 +330,13 @@ TEST(Cluster, StatsBytesMatchTransportAccounting) {
   const auto run = cluster_fixpoint(program, facts, {});
   EXPECT_TRUE(run.stats.quiesced);
   EXPECT_GT(run.stats.bytes_sent, 0u);
-  // Transport-level bytes include acks; node-level bytes_sent counts only
-  // Data payloads, so transport >= node accounting.
-  EXPECT_GE(run.stats.transport.bytes_sent, run.stats.bytes_sent);
+  // Node-level bytes_sent counts every payload handed to the transport —
+  // batches, retransmits and acks alike — so on a lossless transport the two
+  // layers must agree *exactly*, and the ack share is strictly inside it.
+  EXPECT_EQ(run.stats.transport.bytes_sent, run.stats.bytes_sent);
+  EXPECT_GT(run.stats.ack_bytes, 0u);
+  EXPECT_LT(run.stats.ack_bytes, run.stats.bytes_sent);
+  EXPECT_GT(run.stats.acks_sent, 0u);
   EXPECT_EQ(run.stats.transport.frames_delivered, run.stats.transport.frames_sent);
 }
 

@@ -1,7 +1,8 @@
 // fvn::net wire-format tests: exact round trips (including the edge cases the
 // codec exists for — empty tuples, max arity, INT64_MIN, embedded NULs,
-// non-ASCII bytes), typed rejection of truncated/corrupt input, and a golden
-// hex dump (tests/golden/wire/frames.hex) pinning version-1 byte layout.
+// non-ASCII bytes, multi-tuple batches), typed rejection of truncated/corrupt
+// input, and a golden hex dump (tests/golden/wire/frames.hex) pinning
+// version-2 byte layout.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -20,6 +21,15 @@ using ndlog::Value;
 
 Tuple roundtrip(const Tuple& t) { return decode_tuple(encode_tuple(t)); }
 Value roundtrip(const Value& v) { return decode_value(encode_value(v)); }
+
+Frame make_ack(std::uint64_t seq, std::string src, std::string dst) {
+  Frame ack;
+  ack.kind = Frame::Kind::Ack;
+  ack.seq = seq;
+  ack.src = std::move(src);
+  ack.dst = std::move(dst);
+  return ack;
+}
 
 WireErrorKind kind_of(const std::string& bytes) {
   try {
@@ -131,16 +141,44 @@ TEST(WireFrame, DataAndAckRoundTrip) {
   data.tuple = Tuple("hop", {Value::addr("n1"), Value::addr("n2"), Value::integer(3)});
   EXPECT_EQ(decode_frame(encode_frame(data)), data);
 
-  Frame ack;
-  ack.kind = Frame::Kind::Ack;
-  ack.seq = 12345678;
-  ack.src = "n1";
-  ack.dst = "n0";
+  Frame ack = make_ack(12345678, "n1", "n0");
   EXPECT_EQ(decode_frame(encode_frame(ack)), ack);
-  // Acks carry no tuple: the encoding must not change with the tuple field.
+  // Acks carry no tuples: the encoding must not change with the payload fields.
   Frame ack2 = ack;
   ack2.tuple = data.tuple;
+  ack2.tuples = {data.tuple};
   EXPECT_EQ(encode_frame(ack2), encode_frame(ack));
+}
+
+TEST(WireFrame, DataBatchRoundTrips) {
+  Frame batch;
+  batch.kind = Frame::Kind::DataBatch;
+  batch.seq = 42;
+  batch.src = "n0";
+  batch.dst = "n1";
+  batch.tuples = {
+      Tuple("hop", {Value::addr("n1"), Value::addr("n2"), Value::integer(3)}),
+      Tuple("path", {Value::addr("n1"), Value::addr("n3"),
+                     Value::list({Value::addr("n0"), Value::addr("n1")})}),
+      Tuple("unit", {}),
+  };
+  EXPECT_EQ(decode_frame(encode_frame(batch)), batch);
+  EXPECT_EQ(encode_frame(decode_frame(encode_frame(batch))), encode_frame(batch));
+
+  // A batch of zero tuples is legal (a flush with nothing buffered never
+  // happens, but the codec is defined for it).
+  Frame empty = batch;
+  empty.tuples.clear();
+  EXPECT_EQ(decode_frame(encode_frame(empty)), empty);
+
+  // The single-tuple Data frame and a one-tuple batch are distinct kinds on
+  // the wire, both accepted.
+  Frame one = batch;
+  one.tuples.resize(1);
+  const Frame decoded = decode_frame(encode_frame(one));
+  EXPECT_EQ(decoded.kind, Frame::Kind::DataBatch);
+  ASSERT_EQ(decoded.tuples.size(), 1u);
+  EXPECT_EQ(decoded.tuples[0], one.tuples[0]);
 }
 
 TEST(WireFrame, EncodingIsDeterministic) {
@@ -172,10 +210,45 @@ TEST(WireDecode, EveryStrictPrefixOfAFrameIsRejected) {
         << "prefix length " << len;
   }
   EXPECT_EQ(decode_frame(bytes), f);
+
+  // Same property for a multi-tuple batch: truncating anywhere — frame
+  // header, batch count, or mid-tuple — must reject, never deliver a
+  // partial batch.
+  Frame batch;
+  batch.kind = Frame::Kind::DataBatch;
+  batch.seq = 300;
+  batch.src = "n0";
+  batch.dst = "n1";
+  batch.tuples = {f.tuple, Tuple("p", {Value::integer(1)}),
+                  Tuple("q", {Value::addr("n1"), Value::boolean(true)})};
+  const std::string batch_bytes = encode_frame(batch);
+  for (std::size_t len = 0; len < batch_bytes.size(); ++len) {
+    EXPECT_THROW((void)decode_frame(batch_bytes.substr(0, len)), WireError)
+        << "batch prefix length " << len;
+  }
+  EXPECT_EQ(decode_frame(batch_bytes), batch);
+}
+
+TEST(WireDecode, BatchCountOverflowDoesNotAllocate) {
+  // A batch announcing 2^40 tuples with a few payload bytes must reject
+  // before reserving anything.
+  std::string bytes;
+  bytes.push_back(static_cast<char>(kWireMagic0));
+  bytes.push_back(static_cast<char>(kWireMagic1));
+  bytes.push_back(static_cast<char>(kWireVersion));
+  bytes.push_back(static_cast<char>(Frame::Kind::DataBatch));
+  append_varint(bytes, 1);    // seq
+  append_varint(bytes, 1);    // src len
+  bytes += "a";
+  append_varint(bytes, 1);    // dst len
+  bytes += "b";
+  append_varint(bytes, std::uint64_t{1} << 40);  // batch count
+  bytes += "xy";
+  EXPECT_EQ(kind_of(bytes), WireErrorKind::LengthOverflow);
 }
 
 TEST(WireDecode, TrailingBytesRejected) {
-  const std::string bytes = encode_frame(Frame{Frame::Kind::Ack, 1, "a", "b", {}});
+  const std::string bytes = encode_frame(make_ack(1, "a", "b"));
   EXPECT_EQ(kind_of(bytes + '\x00'), WireErrorKind::TrailingBytes);
   const std::string tuple_bytes = encode_tuple(Tuple("p", {Value::integer(1)}));
   try {
@@ -187,7 +260,7 @@ TEST(WireDecode, TrailingBytesRejected) {
 }
 
 TEST(WireDecode, BadMagicVersionKind) {
-  const std::string good = encode_frame(Frame{Frame::Kind::Ack, 1, "a", "b", {}});
+  const std::string good = encode_frame(make_ack(1, "a", "b"));
   std::string bad = good;
   bad[0] = 'X';
   EXPECT_EQ(kind_of(bad), WireErrorKind::BadMagic);
@@ -195,10 +268,13 @@ TEST(WireDecode, BadMagicVersionKind) {
   bad[1] = 'X';
   EXPECT_EQ(kind_of(bad), WireErrorKind::BadMagic);
   bad = good;
-  bad[2] = '\x02';  // future version
+  bad[2] = '\x01';  // version 1: pre-batching, no longer spoken
   EXPECT_EQ(kind_of(bad), WireErrorKind::BadVersion);
   bad = good;
-  bad[3] = '\x07';  // kind neither Data nor Ack
+  bad[2] = '\x03';  // future version
+  EXPECT_EQ(kind_of(bad), WireErrorKind::BadVersion);
+  bad = good;
+  bad[3] = '\x07';  // kind not Data, Ack or DataBatch
   EXPECT_EQ(kind_of(bad), WireErrorKind::BadKind);
 }
 
@@ -295,29 +371,37 @@ TEST(WireDecode, RandomMutationsNeverCrash) {
   f.dst = "n1";
   f.tuple = Tuple("hop", {Value::addr("n1"), Value::list({Value::str("abc")}),
                           Value::integer(-1234567), Value::real(0.5)});
-  const std::string base = encode_frame(f);
+  Frame batch;
+  batch.kind = Frame::Kind::DataBatch;
+  batch.seq = 99;
+  batch.src = "n0";
+  batch.dst = "n1";
+  batch.tuples = {f.tuple, Tuple("p", {Value::integer(7)}),
+                  Tuple("q", {Value::addr("n1"), Value::str("xyz")})};
   std::mt19937_64 rng(42);
-  std::size_t rejected = 0;
-  for (int round = 0; round < 2000; ++round) {
-    std::string mutated = base;
-    const int mutations = 1 + static_cast<int>(rng() % 3);
-    for (int m = 0; m < mutations; ++m) {
-      const std::size_t pos = rng() % mutated.size();
-      switch (rng() % 3) {
-        case 0: mutated[pos] = static_cast<char>(rng() & 0xFF); break;
-        case 1: mutated.erase(pos, 1); break;
-        default: mutated.insert(pos, 1, static_cast<char>(rng() & 0xFF)); break;
+  for (const std::string& base : {encode_frame(f), encode_frame(batch)}) {
+    std::size_t rejected = 0;
+    for (int round = 0; round < 2000; ++round) {
+      std::string mutated = base;
+      const int mutations = 1 + static_cast<int>(rng() % 3);
+      for (int m = 0; m < mutations; ++m) {
+        const std::size_t pos = rng() % mutated.size();
+        switch (rng() % 3) {
+          case 0: mutated[pos] = static_cast<char>(rng() & 0xFF); break;
+          case 1: mutated.erase(pos, 1); break;
+          default: mutated.insert(pos, 1, static_cast<char>(rng() & 0xFF)); break;
+        }
+        if (mutated.empty()) mutated = "x";
       }
-      if (mutated.empty()) mutated = "x";
+      try {
+        const Frame out = decode_frame(mutated);  // decoding garbage is fine...
+        (void)out;
+      } catch (const WireError&) {
+        ++rejected;  // ...as long as rejection is always the typed error
+      }
     }
-    try {
-      const Frame out = decode_frame(mutated);  // decoding garbage is fine...
-      (void)out;
-    } catch (const WireError&) {
-      ++rejected;  // ...as long as rejection is always the typed error
-    }
+    EXPECT_GT(rejected, 0u);
   }
-  EXPECT_GT(rejected, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -363,16 +447,26 @@ std::string golden_dump() {
   data.dst = "n1";
   data.tuple = Tuple("hop", {Value::addr("n1"), Value::addr("n2"), Value::integer(2)});
   emit("frame_data", encode_frame(data));
-  Frame ack;
-  ack.kind = Frame::Kind::Ack;
-  ack.seq = 300;
-  ack.src = "n1";
-  ack.dst = "n0";
-  emit("frame_ack", encode_frame(ack));
+  emit("frame_ack", encode_frame(make_ack(300, "n1", "n0")));
+  Frame batch;
+  batch.kind = Frame::Kind::DataBatch;
+  batch.seq = 300;
+  batch.src = "n0";
+  batch.dst = "n1";
+  batch.tuples = {
+      Tuple("hop", {Value::addr("n1"), Value::addr("n2"), Value::integer(2)}),
+      Tuple("hop", {Value::addr("n1"), Value::addr("n3"), Value::integer(3)}),
+  };
+  emit("frame_batch", encode_frame(batch));
+  emit("frame_batch_empty", [&] {
+    Frame empty = batch;
+    empty.tuples.clear();
+    return encode_frame(empty);
+  }());
   return os.str();
 }
 
-TEST(WireGolden, Version1LayoutIsPinned) {
+TEST(WireGolden, Version2LayoutIsPinned) {
   const std::string path =
       std::string(FVN_SOURCE_DIR) + "/tests/golden/wire/frames.hex";
   std::ifstream in(path);
@@ -380,7 +474,7 @@ TEST(WireGolden, Version1LayoutIsPinned) {
   std::ostringstream os;
   os << in.rdbuf();
   EXPECT_EQ(golden_dump(), os.str())
-      << "wire format drifted from the version-1 golden; bump kWireVersion "
+      << "wire format drifted from the version-2 golden; bump kWireVersion "
          "and regenerate deliberately";
   // Every golden line must also decode back to something that re-encodes
   // identically (the dump is self-consistent, not just frozen).
