@@ -27,9 +27,25 @@
 //                     --engine=<interpreter|dataflow>, --metrics, --trace
 //   fvn_cli plan      <prog.ndlog> [--dot|--json]   compiled dataflow graph
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
+//   fvn_cli verify    <prog.ndlog> <facts.txt> --ltl <spec.ltl>
+//                     LTL model checking over every message interleaving
+//                     (fvn::mc x fvn::ltl product automaton, nested DFS):
+//                     --max-states=<n>   product-state budget (default 200000)
+//                     --trace <out.json> render the first counterexample lasso
+//                                        as a Chrome trace
+//                     exit 0 = every property holds (possibly bounded),
+//                     1 = a property is violated (counterexample printed),
+//                     2 = usage / parse error (LT0001)
+//
+// simulate/sim and dist additionally accept
+//   --monitor <spec.ltl>  compile each property into an online runtime
+//                     monitor over the live tuple-event stream
+//                     (install/retract/expire); verdicts print after the run
+//                     and a violated property makes the exit code 1.
 //
 // Exit codes everywhere: 0 success, 1 runtime failure (divergence, transport
-// unavailable, non-quiescence), 2 usage / unreadable input / parse error.
+// unavailable, non-quiescence, monitor violation), 2 usage / unreadable
+// input / parse error.
 //
 // `eval` is an alias for `run`, `sim` for `simulate`. Both accept the
 // observability flags:
@@ -46,9 +62,13 @@
 // and lines starting with `#` are ignored.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "logic/pvs_emit.hpp"
+#include "ltl/checker.hpp"
+#include "ltl/monitor.hpp"
+#include "mc/ndlog_ts.hpp"
 #include "ndlog/analysis.hpp"
 #include "ndlog/cost.hpp"
 #include "ndlog/eval.hpp"
@@ -95,8 +115,13 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|dist|plan|explain> "
+  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|dist|plan|explain|verify> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
+               "       fvn_cli verify <prog.ndlog> <facts.txt> --ltl <spec.ltl> "
+               "[--max-states=<n>] [--trace <out.json>]   "
+               "(exit 0 holds, 1 violated, 2 parse error)\n"
+               "       sim/dist take --monitor <spec.ltl> to run the same "
+               "properties as online monitors (violation => exit 1)\n"
                "       fvn_cli dist <prog.ndlog> <facts.txt> [--nodes=<n>] "
                "[--transport=<inproc|udp>] [--loss=<p>] [--seed=<s>] "
                "[--no-retransmit] [--no-batch] [--poll-ms=<ms>] [--engine=...] "
@@ -309,12 +334,108 @@ std::uint64_t parse_uint_flag(const std::string& flag, const std::string& value)
   }
 }
 
+/// Load and validate an `.ltl` spec against the program's catalog. Malformed
+/// specs render as an LT0001 diagnostic and exit 2 (UsageError); consistency
+/// warnings (LT0002..LT0005) print to stderr but do not block.
+fvn::ltl::Spec load_ltl_spec(const std::string& path,
+                             const fvn::ndlog::Program& program) {
+  const std::string source = slurp(path);
+  fvn::ndlog::DiagnosticSink sink;
+  fvn::ltl::Spec spec;
+  try {
+    spec = fvn::ltl::parse_spec(source, path);
+  } catch (const fvn::ndlog::ParseError& e) {
+    sink.error("LT0001", e.what(),
+               fvn::ndlog::SourceSpan::at({e.line(), e.column()}));
+    std::cerr << fvn::ndlog::render_human(sink.diagnostics(), path);
+    throw UsageError("cannot parse LTL spec " + path);
+  }
+  const auto catalog = fvn::ndlog::Catalog::from_program(program);
+  fvn::ltl::check_spec(spec, catalog, sink);
+  if (!sink.diagnostics().empty()) {
+    std::cerr << fvn::ndlog::render_human(sink.diagnostics(), path);
+  }
+  if (spec.properties.empty()) {
+    throw UsageError("LTL spec " + path + " declares no properties");
+  }
+  return spec;
+}
+
+/// `fvn_cli verify <prog.ndlog> <facts.txt> --ltl <spec.ltl>` — model-check
+/// every property of the spec over every message interleaving of the program
+/// on the given facts (DESIGN.md §14.3). Violations print a full lasso
+/// counterexample (per-step valuations and node tables) and optionally render
+/// it as a Chrome trace.
+int cmd_verify(const std::vector<std::string>& args) {
+  std::string spec_path;
+  std::string trace_path;
+  std::size_t max_states = 200000;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      if (a.size() > flag.size()) return a.substr(flag.size() + 1);  // --flag=v
+      if (i + 1 >= args.size()) throw UsageError(flag + " needs a value");
+      return args[++i];
+    };
+    if (a == "--ltl" || a.rfind("--ltl=", 0) == 0) {
+      spec_path = value_of("--ltl");
+    } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
+      trace_path = value_of("--trace");
+    } else if (a == "--max-states" || a.rfind("--max-states=", 0) == 0) {
+      max_states = static_cast<std::size_t>(
+          parse_uint_flag("--max-states", value_of("--max-states")));
+    } else if (a.rfind("--", 0) == 0) {
+      throw UsageError("unknown flag " + a);
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2 || spec_path.empty()) return usage();
+
+  auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
+  auto facts = load_facts(positional[1]);
+  auto spec = load_ltl_spec(spec_path, program);
+
+  fvn::mc::NdlogTransitionSystem ts(program);
+  const auto initial = ts.initial(facts);
+  fvn::ltl::CheckOptions options;
+  options.max_product_states = max_states;
+  const auto result = fvn::ltl::check_ltl(ts, initial, spec, options);
+
+  bool any_violated = false;
+  for (const auto& p : result.properties) {
+    if (p.holds) {
+      std::cout << "property " << p.name << ": " << p.formula << " — HOLDS"
+                << (p.exhausted ? "" : " (bounded: state budget exhausted)")
+                << " [" << p.product_states << " product states, "
+                << p.transitions << " transitions]\n";
+    } else {
+      any_violated = true;
+      // render_counterexample prints the "property ... VIOLATED" header.
+      std::cout << fvn::ltl::render_counterexample(p);
+    }
+  }
+  if (!trace_path.empty()) {
+    fvn::obs::Trace trace;
+    for (const auto& p : result.properties) {
+      if (!p.holds) {
+        fvn::ltl::counterexample_to_trace(p, trace);
+        break;
+      }
+    }
+    trace.write(trace_path);
+  }
+  return any_violated ? 1 : 0;
+}
+
 /// `fvn_cli dist <prog.ndlog> <facts.txt> [flags]` — run the program on the
 /// fvn::net Cluster: one thread per node, frames on a real transport. Prints
 /// each node's database (same shape as `simulate`) and a summary line.
 int cmd_dist(const std::vector<std::string>& args) {
   bool want_metrics = false;
   std::string trace_path;
+  std::string monitor_path;
   std::string engine_name = "interpreter";
   std::string transport_name = "inproc";
   bool cost_order = false;
@@ -342,6 +463,8 @@ int cmd_dist(const std::vector<std::string>& args) {
       poll_ms = parse_double_flag("--poll-ms", value_of("--poll-ms"));
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       trace_path = value_of("--trace");
+    } else if (a == "--monitor" || a.rfind("--monitor=", 0) == 0) {
+      monitor_path = value_of("--monitor");
     } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
       engine_name = value_of("--engine");
     } else if (a == "--cost-order") {
@@ -377,6 +500,8 @@ int cmd_dist(const std::vector<std::string>& args) {
 
   auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
   auto facts = load_facts(positional[1]);
+  std::optional<fvn::ltl::Spec> monitor_spec;
+  if (!monitor_path.empty()) monitor_spec = load_ltl_spec(monitor_path, program);
 
   fvn::obs::Registry registry;
   fvn::obs::Trace obs_trace;
@@ -393,6 +518,7 @@ int cmd_dist(const std::vector<std::string>& args) {
   if (poll_ms > 0.0) options.poll_interval_ms = poll_ms;
   if (want_metrics) options.metrics = &registry;
   if (!trace_path.empty()) options.trace = &obs_trace;
+  if (monitor_spec.has_value()) options.capture_tuple_events = true;
 
   fvn::net::Cluster cluster(program, options);
   cluster.inject_all(facts);
@@ -416,7 +542,19 @@ int cmd_dist(const std::vector<std::string>& args) {
             << (stats.quiesced ? "" : " (no quiescence before budget)") << "\n";
   if (!trace_path.empty()) obs_trace.write(trace_path);
   if (want_metrics) std::cerr << registry.render_summary();
-  return stats.quiesced ? 0 : 1;
+  bool monitors_ok = true;
+  if (monitor_spec.has_value()) {
+    // Replay the cluster's merged tuple-event stream through the compiled
+    // monitors (the same stream `sim --monitor` consumes live).
+    fvn::ltl::MonitorSet monitors(*monitor_spec);
+    for (const auto& e : fvn::ltl::events_from_trace(cluster.tuple_events())) {
+      monitors.on_event(e);
+    }
+    const auto verdicts = monitors.finish();
+    std::cout << fvn::ltl::render_verdicts(verdicts);
+    monitors_ok = monitors.all_satisfied();
+  }
+  return stats.quiesced && monitors_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -431,10 +569,12 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     return cmd_analyze(std::vector<std::string>(argv + 2, argv + argc));
   }
-  if (command == "plan" || command == "dist") {
+  if (command == "plan" || command == "dist" || command == "verify") {
     try {
       const std::vector<std::string> rest(argv + 2, argv + argc);
-      return command == "plan" ? cmd_plan(rest) : cmd_dist(rest);
+      return command == "plan"   ? cmd_plan(rest)
+             : command == "dist" ? cmd_dist(rest)
+                                 : cmd_verify(rest);
     } catch (const ndlog::ParseError& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 2;
@@ -452,6 +592,7 @@ int main(int argc, char** argv) {
   bool want_metrics = false;
   std::string trace_path;
   std::string engine_name;
+  std::string monitor_path;
   bool cost_order = false;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
@@ -463,6 +604,11 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
+    } else if (a == "--monitor") {
+      if (i + 1 >= argc) return usage();
+      monitor_path = argv[++i];
+    } else if (a.rfind("--monitor=", 0) == 0) {
+      monitor_path = a.substr(10);
     } else if (a == "--engine") {
       if (i + 1 >= argc) return usage();
       engine_name = argv[++i];
@@ -540,6 +686,26 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
       if (engine_name == "dataflow") sim_options.engine = runtime::EngineKind::Dataflow;
       sim_options.cost_order = cost_order;
+      std::optional<ltl::MonitorSet> ltl_monitors;
+      if (!monitor_path.empty()) {
+        const auto spec = load_ltl_spec(monitor_path, program);
+        ltl_monitors.emplace(spec);
+        // Live monitoring: the simulator calls this hook on every database
+        // mutation, in virtual-time order.
+        sim_options.tuple_events = [&ltl_monitors](std::string_view kind,
+                                                   const std::string& node,
+                                                   const ndlog::Tuple& tuple,
+                                                   double now) {
+          ltl::TupleEvent e;
+          e.kind = kind == "install"   ? ltl::TupleEvent::Kind::Install
+                   : kind == "retract" ? ltl::TupleEvent::Kind::Retract
+                                       : ltl::TupleEvent::Kind::Expire;
+          e.node = node;
+          e.tuple = tuple;
+          e.ts_us = static_cast<std::uint64_t>(now * 1e6);
+          ltl_monitors->on_event(e);
+        };
+      }
       runtime::Simulator sim(program, sim_options);
       sim.inject_all(facts);
       auto stats = sim.run();
@@ -552,9 +718,15 @@ int main(int argc, char** argv) {
                 << " converged_at=" << stats.last_change_time << "s"
                 << (stats.quiesced ? "" : " (budget exhausted)") << "\n";
       flush_obs();
+      bool monitors_ok = true;
+      if (ltl_monitors.has_value()) {
+        const auto verdicts = ltl_monitors->finish();
+        std::cout << ltl::render_verdicts(verdicts);
+        monitors_ok = ltl_monitors->all_satisfied();
+      }
       // Same convention as dist: a run that never quiesced is a runtime
-      // failure (1), not success.
-      return stats.quiesced ? 0 : 1;
+      // failure (1), not success. A fired monitor is a violation (1) too.
+      return stats.quiesced && monitors_ok ? 0 : 1;
     }
     if (command == "explain") {
       if (args.size() < 3) return usage();

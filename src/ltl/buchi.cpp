@@ -1,0 +1,313 @@
+#include "ltl/buchi.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace fvn::ltl {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Subformula interning: every distinct NNF subformula gets an integer id so
+// tableau node sets are std::set<int> with cheap comparison.
+// ---------------------------------------------------------------------------
+
+struct SubEntry {
+  Nnf::Kind kind = Nnf::Kind::True;
+  std::size_t ap = 0;   // Lit
+  bool positive = true; // Lit
+  int lhs = -1;
+  int rhs = -1;
+};
+
+class SubTable {
+ public:
+  int intern(const NnfPtr& f) {
+    SubEntry e;
+    e.kind = f->kind;
+    if (f->kind == Nnf::Kind::Lit) {
+      e.ap = f->ap;
+      e.positive = f->positive;
+    }
+    if (f->lhs) e.lhs = intern(f->lhs);
+    if (f->rhs) e.rhs = intern(f->rhs);
+    return intern_entry(e);
+  }
+
+  const SubEntry& at(int id) const { return entries_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Id of the complementary literal of `id` (interning it if new).
+  int complement(int id) {
+    SubEntry e = at(id);
+    e.positive = !e.positive;
+    return intern_entry(e);
+  }
+
+ private:
+  int intern_entry(const SubEntry& e) {
+    std::ostringstream key;
+    key << static_cast<int>(e.kind) << ':' << e.ap << ':' << e.positive << ':'
+        << e.lhs << ':' << e.rhs;
+    auto [it, inserted] = index_.emplace(key.str(), static_cast<int>(entries_.size()));
+    if (inserted) entries_.push_back(e);
+    return it->second;
+  }
+
+  std::vector<SubEntry> entries_;
+  std::map<std::string, int> index_;
+};
+
+// ---------------------------------------------------------------------------
+// GPVW tableau
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kInit = static_cast<std::size_t>(-1);
+
+struct TabNode {
+  std::set<int> old;
+  std::set<int> next;
+  std::set<std::size_t> incoming;  // source node indices; kInit for initial
+};
+
+struct Partial {
+  std::set<int> new_;
+  std::set<int> old;
+  std::set<int> next;
+  std::size_t src = kInit;
+};
+
+struct Tableau {
+  SubTable subs;
+  std::vector<TabNode> nodes;
+
+  void build(const NnfPtr& formula) {
+    const int root = subs.intern(formula);
+    std::map<std::pair<std::set<int>, std::set<int>>, std::size_t> index;
+    std::deque<std::size_t> unexpanded;
+    std::vector<Partial> work;
+
+    Partial seed;
+    seed.new_.insert(root);
+    work.push_back(std::move(seed));
+
+    for (;;) {
+      if (work.empty()) {
+        if (unexpanded.empty()) break;
+        const std::size_t q = unexpanded.front();
+        unexpanded.pop_front();
+        Partial p;
+        p.new_ = nodes[q].next;
+        p.src = q;
+        work.push_back(std::move(p));
+        continue;
+      }
+      Partial p = std::move(work.back());
+      work.pop_back();
+
+      if (p.new_.empty()) {
+        // Completed node: merge with an existing (old, next) twin or create.
+        auto key = std::make_pair(p.old, p.next);
+        auto it = index.find(key);
+        if (it == index.end()) {
+          const std::size_t id = nodes.size();
+          TabNode node;
+          node.old = std::move(p.old);
+          node.next = std::move(p.next);
+          node.incoming.insert(p.src);
+          nodes.push_back(std::move(node));
+          index.emplace(std::move(key), id);
+          unexpanded.push_back(id);
+        } else {
+          nodes[it->second].incoming.insert(p.src);
+        }
+        continue;
+      }
+
+      const int eta = *p.new_.begin();
+      p.new_.erase(p.new_.begin());
+      const SubEntry& e = subs.at(eta);
+      if (e.kind != Nnf::Kind::True && e.kind != Nnf::Kind::False &&
+          p.old.count(eta)) {
+        work.push_back(std::move(p));  // already expanded on this branch
+        continue;
+      }
+      switch (e.kind) {
+        case Nnf::Kind::False:
+          break;  // contradiction: drop this branch
+        case Nnf::Kind::True:
+          work.push_back(std::move(p));
+          break;
+        case Nnf::Kind::Lit: {
+          const int neg = subs.complement(eta);
+          if (p.old.count(neg)) break;  // p && !p: drop
+          p.old.insert(eta);
+          work.push_back(std::move(p));
+          break;
+        }
+        case Nnf::Kind::And:
+          p.old.insert(eta);
+          if (!p.old.count(e.lhs)) p.new_.insert(e.lhs);
+          if (!p.old.count(e.rhs)) p.new_.insert(e.rhs);
+          work.push_back(std::move(p));
+          break;
+        case Nnf::Kind::Or: {
+          p.old.insert(eta);
+          Partial q = p;
+          if (!p.old.count(e.lhs)) p.new_.insert(e.lhs);
+          if (!q.old.count(e.rhs)) q.new_.insert(e.rhs);
+          work.push_back(std::move(p));
+          work.push_back(std::move(q));
+          break;
+        }
+        case Nnf::Kind::Next:
+          p.old.insert(eta);
+          p.next.insert(e.lhs);
+          work.push_back(std::move(p));
+          break;
+        case Nnf::Kind::Until: {
+          // μ U ψ  =  ψ ∨ (μ ∧ X(μ U ψ))
+          p.old.insert(eta);
+          Partial q = p;
+          if (!p.old.count(e.lhs)) p.new_.insert(e.lhs);
+          p.next.insert(eta);
+          if (!q.old.count(e.rhs)) q.new_.insert(e.rhs);
+          work.push_back(std::move(p));
+          work.push_back(std::move(q));
+          break;
+        }
+        case Nnf::Kind::Release: {
+          // μ R ψ  =  (ψ ∧ μ) ∨ (ψ ∧ X(μ R ψ))
+          p.old.insert(eta);
+          Partial q = p;
+          if (!p.old.count(e.rhs)) p.new_.insert(e.rhs);
+          p.next.insert(eta);
+          if (!q.old.count(e.lhs)) q.new_.insert(e.lhs);
+          if (!q.old.count(e.rhs)) q.new_.insert(e.rhs);
+          work.push_back(std::move(p));
+          work.push_back(std::move(q));
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Buchi build_buchi(const NnfPtr& formula, std::size_t num_aps) {
+  Tableau tab;
+  tab.build(formula);
+
+  // Generalized acceptance: one set per Until subformula u = μ U ψ,
+  // F_u = { q : u ∉ old(q) or ψ ∈ old(q) }.
+  std::vector<std::pair<int, int>> untils;  // (until id, rhs id)
+  for (std::size_t id = 0; id < tab.subs.size(); ++id) {
+    const SubEntry& e = tab.subs.at(static_cast<int>(id));
+    if (e.kind == Nnf::Kind::Until) untils.emplace_back(static_cast<int>(id), e.rhs);
+  }
+
+  const std::size_t n = tab.nodes.size();
+  std::vector<std::vector<bool>> in_accept(untils.size(), std::vector<bool>(n, false));
+  for (std::size_t f = 0; f < untils.size(); ++f) {
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto& old = tab.nodes[q].old;
+      in_accept[f][q] = !old.count(untils[f].first) || old.count(untils[f].second) != 0;
+    }
+  }
+
+  // Per-node literal masks and successor lists (invert incoming edges).
+  std::vector<Valuation> must_true(n, 0), must_false(n, 0);
+  std::vector<std::vector<std::size_t>> succs(n);
+  std::vector<std::size_t> initial_nodes;
+  for (std::size_t q = 0; q < n; ++q) {
+    for (int id : tab.nodes[q].old) {
+      const SubEntry& e = tab.subs.at(id);
+      if (e.kind != Nnf::Kind::Lit) continue;
+      const Valuation bit = Valuation{1} << e.ap;
+      (e.positive ? must_true[q] : must_false[q]) |= bit;
+    }
+    for (std::size_t src : tab.nodes[q].incoming) {
+      if (src == kInit) {
+        initial_nodes.push_back(q);
+      } else {
+        succs[src].push_back(q);
+      }
+    }
+  }
+
+  // Degeneralize with a counter over the k acceptance sets: state (q, i)
+  // moves to level (i+1) mod k when q ∈ F_i, else stays; accepting states are
+  // (q, k-1) with q ∈ F_{k-1}. With k == 0 every state is accepting.
+  const std::size_t k = untils.size();
+  Buchi out;
+  out.num_aps = num_aps;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> state_index;
+  std::deque<std::pair<std::size_t, std::size_t>> frontier;
+  auto add_state = [&](std::size_t q, std::size_t level) {
+    auto key = std::make_pair(q, level);
+    auto it = state_index.find(key);
+    if (it != state_index.end()) return it->second;
+    const std::size_t id = out.states.size();
+    Buchi::State s;
+    s.must_true = must_true[q];
+    s.must_false = must_false[q];
+    s.accepting = k == 0 || (level == k - 1 && in_accept[k - 1][q]);
+    out.states.push_back(std::move(s));
+    state_index.emplace(key, id);
+    frontier.push_back(key);
+    return id;
+  };
+
+  for (std::size_t q : initial_nodes) out.initial.push_back(add_state(q, 0));
+  while (!frontier.empty()) {
+    const auto [q, level] = frontier.front();
+    frontier.pop_front();
+    const std::size_t id = state_index.at({q, level});
+    const std::size_t next_level =
+        (k != 0 && in_accept[level][q]) ? (level + 1) % k : level;
+    for (std::size_t q2 : succs[q]) {
+      // add_state may reallocate out.states; take the target id first.
+      const std::size_t target = add_state(q2, next_level);
+      out.states[id].succs.push_back(target);
+    }
+  }
+  return out;
+}
+
+std::string Buchi::to_dot(const ApSet& aps) const {
+  std::ostringstream os;
+  os << "digraph buchi {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const State& s = states[i];
+    os << "  q" << i << " [shape=" << (s.accepting ? "doublecircle" : "circle")
+       << " label=\"q" << i << "\\n";
+    bool first = true;
+    for (std::size_t a = 0; a < aps.aps.size(); ++a) {
+      const Valuation bit = Valuation{1} << a;
+      if (s.must_true & bit) {
+        if (!first) os << " & ";
+        os << aps.aps[a].text;
+        first = false;
+      } else if (s.must_false & bit) {
+        if (!first) os << " & ";
+        os << "!" << aps.aps[a].text;
+        first = false;
+      }
+    }
+    if (first) os << "true";
+    os << "\"];\n";
+  }
+  for (std::size_t i : initial) os << "  init -> q" << i << ";\n";
+  os << "  init [shape=point];\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j : states[i].succs) os << "  q" << i << " -> q" << j << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fvn::ltl

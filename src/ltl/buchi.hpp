@@ -1,0 +1,48 @@
+// LTL → Büchi automaton via the GPVW on-the-fly tableau construction
+// (Gerth/Peled/Vardi/Wolper, "Simple on-the-fly automatic verification of
+// linear temporal logic"), followed by counter-based degeneralization into a
+// plain (single acceptance set) Büchi automaton. See DESIGN.md §14.2.
+//
+// Convention: the automaton is *state-labeled*. A run q0, q1, q2, ... over a
+// word a0, a1, a2, ... requires a_i ⊨ label(q_i) for every i (the first
+// letter is read *in* the initial state) and q_{i+1} ∈ succs(q_i). The word
+// is accepted iff some run visits accepting states infinitely often. Labels
+// are conjunctions of literals stored as two bitmasks over the ApSet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.hpp"
+
+namespace fvn::ltl {
+
+struct Buchi {
+  struct State {
+    Valuation must_true = 0;   ///< APs required to hold in this state
+    Valuation must_false = 0;  ///< APs required to be false in this state
+    bool accepting = false;
+    std::vector<std::size_t> succs;
+
+    /// Does valuation `v` satisfy this state's label?
+    bool admits(Valuation v) const noexcept {
+      return (v & must_true) == must_true && (v & must_false) == 0;
+    }
+  };
+
+  std::vector<State> states;
+  std::vector<std::size_t> initial;
+  std::size_t num_aps = 0;
+
+  bool empty() const noexcept { return initial.empty(); }
+  /// Graphviz rendering (debugging / DESIGN examples).
+  std::string to_dot(const ApSet& aps) const;
+};
+
+/// Build the plain Büchi automaton accepting exactly the infinite words that
+/// satisfy `formula`. `num_aps` is the size of the interned ApSet (bitmask
+/// width). Unreachable tableau nodes are pruned.
+Buchi build_buchi(const NnfPtr& formula, std::size_t num_aps);
+
+}  // namespace fvn::ltl

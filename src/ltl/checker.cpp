@@ -1,0 +1,403 @@
+#include "ltl/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ndlog/diagnostics.hpp"  // json_escape
+
+namespace fvn::ltl {
+
+using mc::NetState;
+
+// ---------------------------------------------------------------------------
+// Valuator
+// ---------------------------------------------------------------------------
+
+Valuator::Valuator(const ApSet& aps) : aps_(&aps) {
+  for (std::size_t i = 0; i < aps.aps.size(); ++i) {
+    if (aps.aps[i].is_stable) stable_mask_ |= Valuation{1} << i;
+  }
+}
+
+Valuation Valuator::pattern_bits(const NetState& state) const {
+  Valuation v = 0;
+  for (std::size_t i = 0; i < aps_->aps.size(); ++i) {
+    const ApSet::Ap& ap = aps_->aps[i];
+    if (ap.is_stable) continue;
+    bool found = false;
+    for (const auto& [node, tuples] : state.stored) {
+      for (const auto& t : tuples) {
+        if (ap.pattern.matches(t)) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (found) v |= Valuation{1} << i;
+  }
+  return v;
+}
+
+namespace {
+
+/// Is relation `pred` identical (per node) between the two states?
+bool relation_equal(const NetState& a, const NetState& b, const std::string& pred) {
+  auto it_a = a.stored.begin();
+  auto it_b = b.stored.begin();
+  auto node_rel = [&pred](const std::set<ndlog::Tuple>& tuples) {
+    std::vector<const ndlog::Tuple*> out;
+    for (const auto& t : tuples) {
+      if (t.predicate() == pred) out.push_back(&t);
+    }
+    return out;
+  };
+  while (it_a != a.stored.end() || it_b != b.stored.end()) {
+    // A node missing from one side counts as an empty relation there.
+    if (it_b == b.stored.end() || (it_a != a.stored.end() && it_a->first < it_b->first)) {
+      if (!node_rel(it_a->second).empty()) return false;
+      ++it_a;
+      continue;
+    }
+    if (it_a == a.stored.end() || it_b->first < it_a->first) {
+      if (!node_rel(it_b->second).empty()) return false;
+      ++it_b;
+      continue;
+    }
+    const auto ra = node_rel(it_a->second);
+    const auto rb = node_rel(it_b->second);
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (!(*ra[i] == *rb[i])) return false;
+    }
+    ++it_a;
+    ++it_b;
+  }
+  return true;
+}
+
+}  // namespace
+
+Valuation Valuator::value(const NetState* prev, const NetState& state) const {
+  Valuation v = pattern_bits(state);
+  for (std::size_t i = 0; i < aps_->aps.size(); ++i) {
+    const ApSet::Ap& ap = aps_->aps[i];
+    if (!ap.is_stable) continue;
+    if (prev == nullptr || relation_equal(*prev, state, ap.pred)) {
+      v |= Valuation{1} << i;
+    }
+  }
+  return v;
+}
+
+std::string Valuator::render(Valuation v) const {
+  std::string out;
+  for (std::size_t i = 0; i < aps_->aps.size(); ++i) {
+    if (!out.empty()) out += " ";
+    if ((v & (Valuation{1} << i)) == 0) out += "!";
+    out += aps_->aps[i].text;
+  }
+  return out.empty() ? "(no atomic propositions)" : out;
+}
+
+// ---------------------------------------------------------------------------
+// Product construction + iterative nested DFS
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lazily expanded system state graph (stutter-extended: quiescent states
+/// self-loop) with memoized per-edge valuations.
+class SystemGraph {
+ public:
+  SystemGraph(const mc::NdlogTransitionSystem& ts, const Valuator& val)
+      : ts_(&ts), val_(&val) {}
+
+  std::size_t intern(NetState state) {
+    std::string key = state.encode();
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const std::size_t id = states_.size();
+    pattern_.push_back(val_->pattern_bits(state));
+    states_.push_back(std::move(state));
+    succs_.emplace_back();
+    expanded_.push_back(false);
+    index_.emplace(std::move(key), id);
+    return id;
+  }
+
+  const NetState& state(std::size_t id) const { return states_[id]; }
+  std::size_t size() const { return states_.size(); }
+
+  const std::vector<std::size_t>& successors(std::size_t id) {
+    if (!expanded_[id]) {
+      expanded_[id] = true;
+      if (states_[id].quiescent()) {
+        succs_[id].push_back(id);  // stutter self-loop
+      } else {
+        for (auto& next : ts_->successors(states_[id])) {
+          // intern() may reallocate succs_; take the target id first.
+          const std::size_t target = intern(std::move(next));
+          succs_[id].push_back(target);
+        }
+      }
+    }
+    return succs_[id];
+  }
+
+  Valuation edge_valuation(std::size_t from, std::size_t to) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+    auto it = edge_val_.find(key);
+    if (it != edge_val_.end()) return it->second;
+    Valuation v = pattern_[to];
+    if (val_->stable_mask() != 0) {
+      v = val_->value(&states_[from], states_[to]);
+    }
+    edge_val_.emplace(key, v);
+    return v;
+  }
+
+  Valuation initial_valuation(std::size_t id) const {
+    return pattern_[id] | val_->stable_mask();
+  }
+
+ private:
+  const mc::NdlogTransitionSystem* ts_;
+  const Valuator* val_;
+  std::vector<NetState> states_;
+  std::vector<Valuation> pattern_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<bool> expanded_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::uint64_t, Valuation> edge_val_;
+};
+
+struct NestedDfs {
+  SystemGraph& sys;
+  const Buchi& buchi;
+  const CheckOptions& options;
+  PropertyResult& result;
+
+  std::unordered_set<std::uint64_t> blue_visited;
+  std::unordered_set<std::uint64_t> red_visited;
+  std::unordered_map<std::uint64_t, std::size_t> stack_pos;  // key -> blue stack index
+  std::vector<std::uint64_t> lasso_stem;   // filled on success
+  std::vector<std::uint64_t> lasso_cycle;  // filled on success
+  bool budget_hit = false;
+
+  std::uint64_t key(std::size_t s, std::size_t q) const {
+    return static_cast<std::uint64_t>(s) * buchi.states.size() + q;
+  }
+  std::size_t sys_of(std::uint64_t k) const { return k / buchi.states.size(); }
+  std::size_t buchi_of(std::uint64_t k) const { return k % buchi.states.size(); }
+
+  std::vector<std::uint64_t> product_successors(std::uint64_t k) {
+    const std::size_t s = sys_of(k);
+    const std::size_t q = buchi_of(k);
+    std::vector<std::uint64_t> out;
+    for (std::size_t s2 : sys.successors(s)) {
+      const Valuation v = sys.edge_valuation(s, s2);
+      for (std::size_t q2 : buchi.states[q].succs) {
+        if (buchi.states[q2].admits(v)) out.push_back(key(s2, q2));
+      }
+    }
+    result.transitions += out.size();
+    return out;
+  }
+
+  struct Frame {
+    std::uint64_t key;
+    std::vector<std::uint64_t> succs;
+    std::size_t next = 0;
+  };
+
+  /// Red search from the accepting seed; true when it closes a cycle back to
+  /// the blue DFS stack (the seed is still on it).
+  bool red_dfs(std::uint64_t seed, std::vector<std::uint64_t>& red_path) {
+    std::vector<Frame> stack;
+    stack.push_back(Frame{seed, product_successors(seed), 0});
+    red_visited.insert(seed);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.succs.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const std::uint64_t next = top.succs[top.next++];
+      if (stack_pos.count(next)) {
+        // Cycle closed: seed ->* next, next is an ancestor of (or is) seed.
+        red_path.clear();
+        for (const Frame& f : stack) red_path.push_back(f.key);
+        red_path.push_back(next);
+        return true;
+      }
+      if (red_visited.insert(next).second) {
+        stack.push_back(Frame{next, product_successors(next), 0});
+      }
+    }
+    return false;
+  }
+
+  /// Blue search; true when a violation (accepting lasso) was found.
+  bool blue_dfs(std::uint64_t root) {
+    if (blue_visited.count(root)) return false;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, product_successors(root), 0});
+    blue_visited.insert(root);
+    stack_pos.emplace(root, 0);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (blue_visited.size() > options.max_product_states) {
+        budget_hit = true;
+        return false;
+      }
+      if (top.next < top.succs.size()) {
+        const std::uint64_t next = top.succs[top.next++];
+        if (blue_visited.insert(next).second) {
+          stack_pos.emplace(next, stack.size());
+          stack.push_back(Frame{next, product_successors(next), 0});
+        }
+        continue;
+      }
+      // Postorder: nested red search from accepting states.
+      const std::uint64_t done = top.key;
+      if (buchi.states[buchi_of(done)].accepting) {
+        std::vector<std::uint64_t> red_path;
+        if (red_dfs(done, red_path)) {
+          // red_path = done ->* x where x is on the blue stack.
+          const std::uint64_t x = red_path.back();
+          const std::size_t x_pos = stack_pos.at(x);
+          lasso_stem.clear();
+          for (std::size_t i = 0; i <= x_pos; ++i) lasso_stem.push_back(stack[i].key);
+          lasso_cycle.clear();
+          for (std::size_t i = x_pos + 1; i < stack.size(); ++i) {
+            lasso_cycle.push_back(stack[i].key);
+          }
+          // red_path[0] == done == stack.back().key: skip the duplicate.
+          for (std::size_t i = 1; i < red_path.size(); ++i) {
+            lasso_cycle.push_back(red_path[i]);
+          }
+          return true;
+        }
+      }
+      stack_pos.erase(done);
+      stack.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+PropertyResult check_property(const mc::NdlogTransitionSystem& ts,
+                              const NetState& initial, const Property& property,
+                              const CheckOptions& options) {
+  PropertyResult result;
+  result.name = property.name;
+  result.formula = property.formula->to_string();
+
+  // Automaton for the *negation*: an accepting run is a violation of φ.
+  const NnfPtr negated = to_nnf(property.formula, result.aps, /*negated=*/true);
+  const Buchi buchi = build_buchi(negated, result.aps.aps.size());
+  if (buchi.empty()) return result;  // ¬φ unsatisfiable: φ holds vacuously
+
+  Valuator valuator(result.aps);
+  SystemGraph sys(ts, valuator);
+  const std::size_t s0 = sys.intern(initial);
+  const Valuation v0 = sys.initial_valuation(s0);
+
+  NestedDfs dfs{sys, buchi, options, result, {}, {}, {}, {}, {}, false};
+  bool violated = false;
+  for (std::size_t q : buchi.initial) {
+    if (!buchi.states[q].admits(v0)) continue;
+    if (dfs.blue_dfs(dfs.key(s0, q))) {
+      violated = true;
+      break;
+    }
+    if (dfs.budget_hit) break;
+  }
+  result.product_states = dfs.blue_visited.size();
+  result.exhausted = !dfs.budget_hit;
+  if (!violated) return result;
+
+  result.holds = false;
+  // Decode the lasso into snapshot steps with entry valuations.
+  const NetState* prev = nullptr;
+  auto decode = [&](const std::vector<std::uint64_t>& keys,
+                    std::vector<LassoStep>& out) {
+    for (std::uint64_t k : keys) {
+      LassoStep step;
+      step.state = sys.state(dfs.sys_of(k));
+      step.valuation = valuator.value(prev, step.state);
+      out.push_back(std::move(step));
+      prev = &out.back().state;
+    }
+  };
+  decode(dfs.lasso_stem, result.stem);
+  decode(dfs.lasso_cycle, result.cycle);
+  return result;
+}
+
+CheckResult check_ltl(const mc::NdlogTransitionSystem& ts, const NetState& initial,
+                      const Spec& spec, const CheckOptions& options) {
+  CheckResult out;
+  for (const auto& property : spec.properties) {
+    out.properties.push_back(check_property(ts, initial, property, options));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Counterexample rendering
+// ---------------------------------------------------------------------------
+
+std::string render_counterexample(const PropertyResult& result) {
+  std::ostringstream os;
+  os << "property " << result.name << ": " << result.formula << " — VIOLATED\n";
+  const Valuator valuator(result.aps);
+  std::size_t index = 0;
+  auto emit = [&](const std::vector<LassoStep>& steps, const char* phase) {
+    for (const auto& step : steps) {
+      os << phase << " step " << index++ << "  [" << valuator.render(step.valuation)
+         << "]\n";
+      os << mc::render_state(step.state);
+    }
+  };
+  os << "stem (" << result.stem.size() << " steps):\n";
+  emit(result.stem, "stem");
+  os << "cycle (repeats forever; returns to step " << result.stem.size() - 1 << "):\n";
+  emit(result.cycle, "cycle");
+  return os.str();
+}
+
+void counterexample_to_trace(const PropertyResult& result, obs::Trace& trace) {
+  const Valuator valuator(result.aps);
+  std::size_t index = 0;
+  auto emit = [&](const std::vector<LassoStep>& steps, const char* phase) {
+    for (const auto& step : steps) {
+      const std::uint64_t ts_us = static_cast<std::uint64_t>(index) * 1000;
+      std::ostringstream args;
+      args << "{\"property\":\"" << ndlog::json_escape(result.name) << "\",\"phase\":\""
+           << phase << "\",\"valuation\":\""
+           << ndlog::json_escape(valuator.render(step.valuation)) << "\"}";
+      trace.instant_at(ts_us, "ltl step " + std::to_string(index), "ltl", args.str());
+      for (const auto& [node, tuples] : step.state.stored) {
+        std::string rows;
+        for (const auto& t : tuples) {
+          if (!rows.empty()) rows += ";";
+          rows += t.to_string();
+        }
+        trace.instant_at(ts_us, "node " + node, "ltl-state",
+                         "{\"node\":\"" + ndlog::json_escape(node) + "\",\"tuples\":\"" +
+                             ndlog::json_escape(rows) + "\"}");
+      }
+      ++index;
+    }
+  };
+  emit(result.stem, "stem");
+  emit(result.cycle, "cycle");
+}
+
+}  // namespace fvn::ltl

@@ -1,0 +1,696 @@
+#include "ltl/formula.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvn::ltl {
+
+using ndlog::ParseError;
+using ndlog::SourceLoc;
+using ndlog::SourceSpan;
+using ndlog::Value;
+
+// ---------------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------------
+
+bool PatternArg::matches(const Value& v) const {
+  if (wildcard) return true;
+  if (value.is_addr()) {
+    // Bare identifier constant: matches an Addr or a Str with the same text.
+    return (v.is_addr() || v.is_str()) && v.as_text() == value.as_addr();
+  }
+  if (value.is_numeric() && v.is_numeric()) {
+    return value.as_double() == v.as_double();
+  }
+  return value == v;
+}
+
+std::string PatternArg::to_string() const {
+  return wildcard ? "_" : value.to_string();
+}
+
+bool Pattern::matches(const ndlog::Tuple& tuple) const {
+  if (tuple.predicate() != predicate) return false;
+  if (args.size() > tuple.arity()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].matches(tuple.at(i))) return false;
+  }
+  return true;
+}
+
+std::string Pattern::to_string() const {
+  std::string out = predicate + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ",";
+    out += args[i].to_string();
+  }
+  return out + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Formula construction / rendering
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::True: return "true";
+    case Op::False: return "false";
+    case Op::Atom: return "atom";
+    case Op::Stable: return "stable";
+    case Op::Not: return "!";
+    case Op::And: return "&&";
+    case Op::Or: return "||";
+    case Op::Implies: return "->";
+    case Op::Next: return "X";
+    case Op::Eventually: return "F";
+    case Op::Always: return "G";
+    case Op::Until: return "U";
+    case Op::Release: return "R";
+  }
+  return "?";
+}
+
+FormulaPtr make_atom(Pattern pattern, SourceSpan span) {
+  auto f = std::make_shared<Formula>();
+  f->op = Op::Atom;
+  f->pattern = std::move(pattern);
+  f->span = span;
+  return f;
+}
+
+FormulaPtr make_stable(std::string pred, SourceSpan span) {
+  auto f = std::make_shared<Formula>();
+  f->op = Op::Stable;
+  f->pred = std::move(pred);
+  f->span = span;
+  return f;
+}
+
+FormulaPtr make_const(bool truth, SourceSpan span) {
+  auto f = std::make_shared<Formula>();
+  f->op = truth ? Op::True : Op::False;
+  f->span = span;
+  return f;
+}
+
+FormulaPtr make_unary(Op op, FormulaPtr operand, SourceSpan span) {
+  auto f = std::make_shared<Formula>();
+  f->op = op;
+  f->lhs = std::move(operand);
+  f->span = span;
+  return f;
+}
+
+FormulaPtr make_binary(Op op, FormulaPtr lhs, FormulaPtr rhs, SourceSpan span) {
+  auto f = std::make_shared<Formula>();
+  f->op = op;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  f->span = span;
+  return f;
+}
+
+std::string Formula::to_string() const {
+  switch (op) {
+    case Op::True: return "true";
+    case Op::False: return "false";
+    case Op::Atom: return pattern.to_string();
+    case Op::Stable: return "stable(" + pred + ")";
+    case Op::Not: return "!" + lhs->to_string();
+    case Op::Next: return "X " + lhs->to_string();
+    case Op::Eventually: return "F " + lhs->to_string();
+    case Op::Always: return "G " + lhs->to_string();
+    case Op::And:
+    case Op::Or:
+    case Op::Implies:
+    case Op::Until:
+    case Op::Release:
+      return "(" + lhs->to_string() + " " + std::string(ltl::to_string(op)) + " " +
+             rhs->to_string() + ")";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  Ident,    // lowercase initial
+  Var,      // uppercase initial or '_'
+  Number,
+  String,
+  LParen,
+  RParen,
+  Comma,
+  Period,
+  Colon,
+  At,
+  Bang,
+  AndAnd,
+  OrOr,
+  Arrow,
+  End,
+};
+
+struct Tok {
+  TokKind kind = TokKind::End;
+  std::string text;
+  double number = 0.0;
+  bool number_is_int = true;
+  std::int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Tok> run() {
+    std::vector<Tok> out;
+    for (;;) {
+      skip_ws_and_comments();
+      Tok t;
+      t.line = line_;
+      t.column = column_;
+      if (eof()) {
+        t.kind = TokKind::End;
+        out.push_back(t);
+        return out;
+      }
+      const char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_')) {
+          t.text += get();
+        }
+        t.kind = (std::isupper(static_cast<unsigned char>(t.text[0])) ||
+                  t.text[0] == '_')
+                     ? TokKind::Var
+                     : TokKind::Ident;
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && std::isdigit(next_char()))) {
+        lex_number(t);
+        out.push_back(std::move(t));
+        continue;
+      }
+      switch (c) {
+        case '"': lex_string(t); break;
+        case '(': get(); t.kind = TokKind::LParen; break;
+        case ')': get(); t.kind = TokKind::RParen; break;
+        case ',': get(); t.kind = TokKind::Comma; break;
+        case '.': get(); t.kind = TokKind::Period; break;
+        case ':': get(); t.kind = TokKind::Colon; break;
+        case '@': get(); t.kind = TokKind::At; break;
+        case '!': get(); t.kind = TokKind::Bang; break;
+        case '&':
+          get();
+          if (eof() || peek() != '&') throw err("expected '&&'");
+          get();
+          t.kind = TokKind::AndAnd;
+          break;
+        case '|':
+          get();
+          if (eof() || peek() != '|') throw err("expected '||'");
+          get();
+          t.kind = TokKind::OrOr;
+          break;
+        case '-':
+          get();
+          if (eof() || peek() != '>') throw err("expected '->'");
+          get();
+          t.kind = TokKind::Arrow;
+          break;
+        default:
+          throw err(std::string("unexpected character '") + c + "'");
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+  char next_char() const { return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0'; }
+  char get() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  ParseError err(const std::string& message) const {
+    return ParseError("ltl: " + message, line_, column_);
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) get();
+      if (!eof() && peek() == '/' && next_char() == '/') {
+        while (!eof() && peek() != '\n') get();
+        continue;
+      }
+      if (!eof() && peek() == '/' && next_char() == '*') {
+        const int open_line = line_;
+        const int open_col = column_;
+        get();
+        get();
+        while (!(peek_is('*') && next_char() == '/')) {
+          if (eof()) {
+            throw ParseError("ltl: unterminated block comment", open_line, open_col);
+          }
+          get();
+        }
+        get();
+        get();
+        continue;
+      }
+      return;
+    }
+  }
+  bool peek_is(char c) const { return !eof() && peek() == c; }
+
+  void lex_number(Tok& t) {
+    std::string text;
+    if (peek() == '-') text += get();
+    bool is_int = true;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.')) {
+      // A '.' followed by a non-digit terminates the property instead.
+      if (peek() == '.' && !std::isdigit(static_cast<unsigned char>(next_char()))) break;
+      if (peek() == '.') is_int = false;
+      text += get();
+    }
+    t.kind = TokKind::Number;
+    t.number = std::stod(text);
+    t.number_is_int = is_int;
+    if (is_int) t.int_value = std::stoll(text);
+  }
+
+  void lex_string(Tok& t) {
+    const int open_line = line_;
+    const int open_col = column_;
+    get();  // opening quote
+    t.kind = TokKind::String;
+    while (!eof() && peek() != '"') {
+      char c = get();
+      if (c == '\\' && !eof()) c = get();
+      t.text += c;
+    }
+    if (eof()) throw ParseError("ltl: unterminated string", open_line, open_col);
+    get();  // closing quote
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent; precedence ->  <  ||  <  &&  <  U/R  <  unary)
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Spec parse_spec(std::string name) {
+    Spec spec;
+    spec.name = std::move(name);
+    while (peek().kind != TokKind::End) {
+      Property prop;
+      prop.span = span_of(peek());
+      // Optional `name :` prefix (the name is a lowercase identifier that is
+      // immediately followed by a colon; otherwise it starts a pattern).
+      if (peek().kind == TokKind::Ident && peek(1).kind == TokKind::Colon) {
+        prop.name = get().text;
+        get();  // ':'
+      } else {
+        prop.name = "p" + std::to_string(spec.properties.size() + 1);
+      }
+      prop.formula = parse_formula();
+      expect(TokKind::Period, "'.' after property");
+      spec.properties.push_back(std::move(prop));
+    }
+    return spec;
+  }
+
+  FormulaPtr parse_single() {
+    FormulaPtr f = parse_formula();
+    if (peek().kind == TokKind::Period) get();
+    expect(TokKind::End, "end of input");
+    return f;
+  }
+
+ private:
+  const Tok& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Tok& get() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  static SourceSpan span_of(const Tok& t) {
+    return SourceSpan::token({t.line, t.column}, t.text.empty() ? 1 : t.text.size());
+  }
+  ParseError err(const std::string& message, const Tok& at) const {
+    return ParseError("ltl: " + message, at.line, at.column);
+  }
+  void expect(TokKind kind, const std::string& what) {
+    if (peek().kind != kind) throw err("expected " + what, peek());
+    get();
+  }
+
+  FormulaPtr parse_formula() { return parse_implies(); }
+
+  FormulaPtr parse_implies() {
+    FormulaPtr lhs = parse_or();
+    if (peek().kind == TokKind::Arrow) {
+      const Tok& t = get();
+      FormulaPtr rhs = parse_implies();  // right-assoc
+      return make_binary(Op::Implies, std::move(lhs), std::move(rhs), span_of(t));
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_or() {
+    FormulaPtr lhs = parse_and();
+    while (peek().kind == TokKind::OrOr) {
+      const Tok& t = get();
+      lhs = make_binary(Op::Or, std::move(lhs), parse_and(), span_of(t));
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_and() {
+    FormulaPtr lhs = parse_until();
+    while (peek().kind == TokKind::AndAnd) {
+      const Tok& t = get();
+      lhs = make_binary(Op::And, std::move(lhs), parse_until(), span_of(t));
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_until() {
+    FormulaPtr lhs = parse_unary();
+    if (peek().kind == TokKind::Var && (peek().text == "U" || peek().text == "R")) {
+      const Tok& t = get();
+      const Op op = t.text == "U" ? Op::Until : Op::Release;
+      return make_binary(op, std::move(lhs), parse_until(), span_of(t));  // right-assoc
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_unary() {
+    const Tok& t = peek();
+    if (t.kind == TokKind::Bang) {
+      get();
+      return make_unary(Op::Not, parse_unary(), span_of(t));
+    }
+    if (t.kind == TokKind::Var && t.text.size() == 1) {
+      Op op = Op::True;
+      switch (t.text[0]) {
+        case 'G': op = Op::Always; break;
+        case 'F': op = Op::Eventually; break;
+        case 'X': op = Op::Next; break;
+        default: op = Op::True;
+      }
+      if (op != Op::True) {
+        get();
+        return make_unary(op, parse_unary(), span_of(t));
+      }
+    }
+    return parse_atom();
+  }
+
+  FormulaPtr parse_atom() {
+    const Tok& t = peek();
+    if (t.kind == TokKind::LParen) {
+      get();
+      FormulaPtr f = parse_formula();
+      expect(TokKind::RParen, "')'");
+      return f;
+    }
+    if (t.kind != TokKind::Ident) {
+      throw err("expected an atom (pattern, stable(pred), true or false)", t);
+    }
+    if (t.text == "true") {
+      get();
+      return make_const(true, span_of(t));
+    }
+    if (t.text == "false") {
+      get();
+      return make_const(false, span_of(t));
+    }
+    if (t.text == "stable") {
+      get();
+      expect(TokKind::LParen, "'(' after stable");
+      const Tok& pred = peek();
+      if (pred.kind != TokKind::Ident) throw err("expected a predicate name", pred);
+      get();
+      expect(TokKind::RParen, "')'");
+      return make_stable(pred.text, span_of(t));
+    }
+    // Tuple pattern.
+    Pattern pattern;
+    pattern.predicate = get().text;
+    expect(TokKind::LParen, "'(' after predicate " + pattern.predicate);
+    if (peek().kind != TokKind::RParen) {
+      for (;;) {
+        pattern.args.push_back(parse_pattern_arg());
+        if (peek().kind != TokKind::Comma) break;
+        get();
+      }
+    }
+    expect(TokKind::RParen, "')'");
+    return make_atom(std::move(pattern), span_of(t));
+  }
+
+  PatternArg parse_pattern_arg() {
+    if (peek().kind == TokKind::At) get();  // '@' location marker: ignored
+    const Tok& t = peek();
+    PatternArg arg;
+    switch (t.kind) {
+      case TokKind::Var:  // uppercase / '_': wildcard
+        get();
+        return arg;
+      case TokKind::Ident:
+        get();
+        arg.wildcard = false;
+        arg.value = Value::addr(t.text);  // matches Addr or Str text
+        return arg;
+      case TokKind::Number:
+        get();
+        arg.wildcard = false;
+        arg.value = t.number_is_int ? Value::integer(t.int_value) : Value::real(t.number);
+        return arg;
+      case TokKind::String:
+        get();
+        arg.wildcard = false;
+        arg.value = Value::str(t.text);
+        return arg;
+      default:
+        throw err("expected a pattern argument", t);
+    }
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Spec parse_spec(std::string_view source, std::string name) {
+  Parser parser(Lexer(source).run());
+  return parser.parse_spec(std::move(name));
+}
+
+FormulaPtr parse_formula(std::string_view source) {
+  Parser parser(Lexer(source).run());
+  return parser.parse_single();
+}
+
+// ---------------------------------------------------------------------------
+// Spec / catalog consistency
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_formula(const FormulaPtr& f, const ndlog::Catalog& catalog,
+                   ndlog::DiagnosticSink& sink, bool& warned_next) {
+  if (!f) return;
+  switch (f->op) {
+    case Op::Atom: {
+      if (!catalog.contains(f->pattern.predicate)) {
+        sink.warning("LT0002",
+                     "pattern predicate '" + f->pattern.predicate +
+                         "' is not declared or derived by the program",
+                     f->span);
+      } else {
+        const auto& info = catalog.info(f->pattern.predicate);
+        if (info.arity != 0 && f->pattern.args.size() > info.arity) {
+          sink.warning("LT0003",
+                       "pattern " + f->pattern.to_string() + " has " +
+                           std::to_string(f->pattern.args.size()) +
+                           " arguments but '" + f->pattern.predicate +
+                           "' has arity " + std::to_string(info.arity),
+                       f->span);
+        }
+      }
+      break;
+    }
+    case Op::Stable:
+      if (!catalog.contains(f->pred)) {
+        sink.warning("LT0005",
+                     "stable() names predicate '" + f->pred +
+                         "' which the program never stores",
+                     f->span);
+      }
+      break;
+    case Op::Next:
+      if (!warned_next) {
+        warned_next = true;
+        sink.note("LT0004",
+                  "X is not stutter-invariant: the model checker steps per "
+                  "message delivery but the monitor steps per tuple event, so "
+                  "mc and monitor verdicts may disagree under X",
+                  f->span);
+      }
+      break;
+    default:
+      break;
+  }
+  check_formula(f->lhs, catalog, sink, warned_next);
+  check_formula(f->rhs, catalog, sink, warned_next);
+}
+
+}  // namespace
+
+void check_spec(const Spec& spec, const ndlog::Catalog& catalog,
+                ndlog::DiagnosticSink& sink) {
+  for (const auto& prop : spec.properties) {
+    bool warned_next = false;
+    check_formula(prop.formula, catalog, sink, warned_next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic propositions & NNF
+// ---------------------------------------------------------------------------
+
+std::size_t ApSet::intern(const Ap& ap) {
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    if (aps[i].text == ap.text) return i;
+  }
+  if (aps.size() >= 64) {
+    throw std::runtime_error("ltl: a property may use at most 64 distinct "
+                             "atomic propositions");
+  }
+  aps.push_back(ap);
+  return aps.size() - 1;
+}
+
+std::string Nnf::to_string(const ApSet& aps) const {
+  switch (kind) {
+    case Kind::True: return "true";
+    case Kind::False: return "false";
+    case Kind::Lit:
+      return (positive ? "" : "!") + aps.aps.at(ap).text;
+    case Kind::And:
+      return "(" + lhs->to_string(aps) + " && " + rhs->to_string(aps) + ")";
+    case Kind::Or:
+      return "(" + lhs->to_string(aps) + " || " + rhs->to_string(aps) + ")";
+    case Kind::Next: return "X " + lhs->to_string(aps);
+    case Kind::Until:
+      return "(" + lhs->to_string(aps) + " U " + rhs->to_string(aps) + ")";
+    case Kind::Release:
+      return "(" + lhs->to_string(aps) + " R " + rhs->to_string(aps) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+NnfPtr nnf_node(Nnf::Kind kind, NnfPtr lhs = nullptr, NnfPtr rhs = nullptr) {
+  auto n = std::make_shared<Nnf>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+NnfPtr nnf_lit(std::size_t ap, bool positive) {
+  auto n = std::make_shared<Nnf>();
+  n->kind = Nnf::Kind::Lit;
+  n->ap = ap;
+  n->positive = positive;
+  return n;
+}
+
+NnfPtr nnf_const(bool truth) {
+  return nnf_node(truth ? Nnf::Kind::True : Nnf::Kind::False);
+}
+
+}  // namespace
+
+NnfPtr to_nnf(const FormulaPtr& f, ApSet& aps, bool negated) {
+  using K = Nnf::Kind;
+  switch (f->op) {
+    case Op::True: return nnf_const(!negated);
+    case Op::False: return nnf_const(negated);
+    case Op::Atom: {
+      ApSet::Ap ap;
+      ap.is_stable = false;
+      ap.pattern = f->pattern;
+      ap.text = f->pattern.to_string();
+      return nnf_lit(aps.intern(ap), !negated);
+    }
+    case Op::Stable: {
+      ApSet::Ap ap;
+      ap.is_stable = true;
+      ap.pred = f->pred;
+      ap.text = "stable(" + f->pred + ")";
+      return nnf_lit(aps.intern(ap), !negated);
+    }
+    case Op::Not: return to_nnf(f->lhs, aps, !negated);
+    case Op::And:
+      return nnf_node(negated ? K::Or : K::And, to_nnf(f->lhs, aps, negated),
+                      to_nnf(f->rhs, aps, negated));
+    case Op::Or:
+      return nnf_node(negated ? K::And : K::Or, to_nnf(f->lhs, aps, negated),
+                      to_nnf(f->rhs, aps, negated));
+    case Op::Implies:
+      // a -> b == !a || b; negated: a && !b.
+      return nnf_node(negated ? K::And : K::Or, to_nnf(f->lhs, aps, !negated),
+                      to_nnf(f->rhs, aps, negated));
+    case Op::Next:
+      return nnf_node(K::Next, to_nnf(f->lhs, aps, negated));
+    case Op::Eventually:
+      // F a == true U a; !F a == false R !a.
+      return negated ? nnf_node(K::Release, nnf_const(false), to_nnf(f->lhs, aps, true))
+                     : nnf_node(K::Until, nnf_const(true), to_nnf(f->lhs, aps, false));
+    case Op::Always:
+      // G a == false R a; !G a == true U !a.
+      return negated ? nnf_node(K::Until, nnf_const(true), to_nnf(f->lhs, aps, true))
+                     : nnf_node(K::Release, nnf_const(false), to_nnf(f->lhs, aps, false));
+    case Op::Until:
+      return nnf_node(negated ? K::Release : K::Until, to_nnf(f->lhs, aps, negated),
+                      to_nnf(f->rhs, aps, negated));
+    case Op::Release:
+      return nnf_node(negated ? K::Until : K::Release, to_nnf(f->lhs, aps, negated),
+                      to_nnf(f->rhs, aps, negated));
+  }
+  return nnf_const(true);
+}
+
+}  // namespace fvn::ltl

@@ -1,5 +1,6 @@
 #include "mc/ndlog_ts.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <sstream>
 #include <unordered_map>
@@ -23,6 +24,25 @@ std::string NetState::encode() const {
   }
   os << "|";
   for (const auto& [dest, t] : inflight) os << dest << "<-" << t.to_string() << ";";
+  return os.str();
+}
+
+std::string render_state(const NetState& state, std::string_view indent) {
+  std::ostringstream os;
+  for (const auto& [node, tuples] : state.stored) {
+    os << indent << "node " << node << ":";
+    if (tuples.empty()) os << " (empty)";
+    os << "\n";
+    for (const auto& t : tuples) os << indent << indent << t.to_string() << "\n";
+  }
+  if (state.inflight.empty()) {
+    os << indent << "in flight: (none)\n";
+  } else {
+    os << indent << "in flight:\n";
+    for (const auto& [dest, t] : state.inflight) {
+      os << indent << indent << dest << " <- " << t.to_string() << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -166,27 +186,14 @@ std::vector<std::string> NdlogTransitionSystem::successor_keys(const NetState& s
   return out;
 }
 
-ExplorationResult<std::string> NdlogTransitionSystem::check_invariant_all_interleavings(
+ExplorationResult<NetState> NdlogTransitionSystem::check_invariant_all_interleavings(
     const NetState& initial_state, const std::function<bool(const NetState&)>& invariant,
     std::size_t max_states) const {
-  // Keep a decode table: encoded key -> state.
-  auto table = std::make_shared<std::unordered_map<std::string, NetState>>();
-  (*table)[initial_state.encode()] = initial_state;
-  auto successors_fn = [this, table](const std::string& key) {
-    const NetState& s = table->at(key);
-    std::vector<std::string> out;
-    for (auto& next : this->successors(s)) {
-      std::string k = next.encode();
-      table->emplace(k, std::move(next));
-      out.push_back(std::move(k));
-    }
-    return out;
-  };
-  auto invariant_fn = [table, &invariant](const std::string& key) {
-    return invariant(table->at(key));
-  };
-  return check_invariant<std::string>({initial_state.encode()}, successors_fn,
-                                      invariant_fn, max_states);
+  // States are explored as full snapshots so the counterexample trace renders
+  // every intermediate routing table (not just encoded transition labels).
+  auto successors_fn = [this](const NetState& s) { return this->successors(s); };
+  return check_invariant<NetState, NetStateHash>({initial_state}, successors_fn,
+                                                 invariant, max_states);
 }
 
 NdlogTransitionSystem::QuiescenceReport NdlogTransitionSystem::check_quiescent_states(
@@ -194,6 +201,7 @@ NdlogTransitionSystem::QuiescenceReport NdlogTransitionSystem::check_quiescent_s
     std::size_t max_states) const {
   QuiescenceReport report;
   std::unordered_map<std::string, NetState> table;
+  std::unordered_map<std::string, std::string> parent;  // child key -> parent key
   std::deque<std::string> frontier;
   std::string first_quiescent_stores;
 
@@ -221,7 +229,17 @@ NdlogTransitionSystem::QuiescenceReport NdlogTransitionSystem::check_quiescent_s
       ++report.quiescent_states;
       if (!property(state)) {
         report.all_satisfy = false;
-        if (report.violating_state.empty()) report.violating_state = key;
+        if (report.violating_state.empty()) {
+          report.violating_state = key;
+          // Reconstruct the snapshot trace back to the initial state.
+          std::string cursor = key;
+          report.violating_trace.push_back(table.at(cursor));
+          while (parent.count(cursor)) {
+            cursor = parent.at(cursor);
+            report.violating_trace.push_back(table.at(cursor));
+          }
+          std::reverse(report.violating_trace.begin(), report.violating_trace.end());
+        }
       }
       const std::string stores = stores_of(state);
       if (first_quiescent_stores.empty()) {
@@ -234,6 +252,7 @@ NdlogTransitionSystem::QuiescenceReport NdlogTransitionSystem::check_quiescent_s
     for (auto& next : successors(state)) {
       std::string next_key = next.encode();
       if (visited.insert(next_key).second) {
+        parent.emplace(next_key, key);
         table.emplace(next_key, std::move(next));
         frontier.push_back(std::move(next_key));
       }

@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mc/checker.hpp"
@@ -29,6 +30,17 @@ struct NetState {
   bool operator==(const NetState& other) const = default;
 };
 
+/// Hash over the canonical encoding (consistent with operator==).
+struct NetStateHash {
+  std::size_t operator()(const NetState& state) const {
+    return std::hash<std::string>{}(state.encode());
+  }
+};
+
+/// Human rendering: one block per node listing its stored tuples, then the
+/// in-flight messages. Counterexample traces print one of these per step.
+std::string render_state(const NetState& state, std::string_view indent = "  ");
+
 /// Transition system for one (localized) NDlog program.
 class NdlogTransitionSystem {
  public:
@@ -47,8 +59,11 @@ class NdlogTransitionSystem {
   /// String-keyed successor map for the generic checker.
   std::vector<std::string> successor_keys(const NetState& state) const;
 
-  /// Find a state by exploring; predicate-driven (BFS, bounded).
-  ExplorationResult<std::string> check_invariant_all_interleavings(
+  /// Find a state by exploring; predicate-driven (BFS, bounded). The
+  /// counterexample carries *full state snapshots* (per-node tables plus
+  /// in-flight messages), not just encoded transition labels, so temporal
+  /// counterexamples can render each intermediate routing table.
+  ExplorationResult<NetState> check_invariant_all_interleavings(
       const NetState& initial_state,
       const std::function<bool(const NetState&)>& invariant,
       std::size_t max_states = 50000) const;
@@ -60,6 +75,9 @@ class NdlogTransitionSystem {
     bool all_satisfy = true;      // every quiescent state satisfies the predicate
     bool confluent = true;        // all quiescent states have identical stores
     std::string violating_state;  // encoded witness, when !all_satisfy
+    /// Full snapshot trace from the initial state to the first violating
+    /// quiescent state (empty when all_satisfy).
+    std::vector<NetState> violating_trace;
   };
 
   /// Explore every message interleaving to quiescence and check an

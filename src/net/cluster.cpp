@@ -1,5 +1,6 @@
 #include "net/cluster.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -99,6 +100,11 @@ void Cluster::inject_all(const std::vector<Tuple>& facts) {
 
 NodeObs Cluster::make_obs(const std::string& name) {
   NodeObs obs;
+  if (options_.capture_tuple_events) {
+    auto& slot = tuple_traces_[name];
+    if (!slot) slot = std::make_unique<obs::Trace>();
+    obs.tuple_trace = slot.get();
+  }
   if (options_.metrics == nullptr) return obs;
   obs::Registry& m = *options_.metrics;
   const std::string base = "net/node/" + name + "/";
@@ -269,6 +275,22 @@ ndlog::Database Cluster::merged_database() const {
       for (const auto& t : db.relation(pred)) out.insert(t);
     }
   }
+  return out;
+}
+
+std::vector<obs::TraceEvent> Cluster::tuple_events() const {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& [name, trace] : tuple_traces_) {
+    for (const auto& e : trace->events()) out.push_back(e);
+  }
+  // Node clocks share an epoch only approximately (each node's steady_clock
+  // epoch is its construction instant, all within the same pre-thread setup),
+  // so a timestamp merge gives the closest single-trace approximation of the
+  // interleaving. stable_sort keeps each node's own stream in order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
   return out;
 }
 

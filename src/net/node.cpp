@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/json.hpp"
+
 namespace fvn::net {
 
 using ndlog::Rule;
@@ -86,6 +88,15 @@ void Node::note_erase(const Tuple& tuple) {
   if (flow_) flow_->on_erase(tuple, db_);
 }
 
+void Node::tuple_event(const char* kind, const Tuple& tuple) {
+  if (obs_.tuple_trace == nullptr) return;
+  obs_.tuple_trace->instant_at(
+      static_cast<std::uint64_t>(now_ms() * 1000.0),
+      std::string(kind) + " " + tuple.predicate(), "tuple",
+      "{\"node\":\"" + obs::json_escape(name_) + "\",\"tuple\":\"" +
+          obs::json_escape(tuple.to_string()) + "\"}");
+}
+
 bool Node::install(const Tuple& tuple) {
   auto it = by_key_.find(tuple);
   bool changed = false;
@@ -93,16 +104,19 @@ bool Node::install(const Tuple& tuple) {
     by_key_.insert(tuple);
     db_.insert(tuple);
     note_insert(tuple);
+    tuple_event("install", tuple);
     changed = true;
   } else if (!(*it == tuple)) {
     // Keyed overwrite (P2 materialize semantics), exactly as the simulator.
     db_.erase(*it);
     note_erase(*it);
+    tuple_event("retract", *it);
     auto slot = by_key_.extract(it);
     slot.value() = tuple;  // same key fields: the set's order is undisturbed
     by_key_.insert(std::move(slot));
     db_.insert(tuple);
     note_insert(tuple);
+    tuple_event("install", tuple);
     ++stats_.overwrites;
     changed = true;
   }
@@ -154,6 +168,7 @@ bool Node::run_agg_rules() {
           if (d.retract.has_value() && location_of(*d.retract) == name_ &&
               db_.erase(*d.retract)) {
             note_erase(*d.retract);
+            tuple_event("retract", *d.retract);
             by_key_.erase(*d.retract);
           }
           if (!d.assert_now.has_value()) continue;
@@ -178,6 +193,7 @@ bool Node::run_agg_rules() {
         if (location_of(old_row) != name_) continue;  // remote copies are theirs
         if (db_.erase(old_row)) {
           note_erase(old_row);
+          tuple_event("retract", old_row);
           by_key_.erase(old_row);
         }
       }
@@ -209,7 +225,10 @@ bool Node::run_agg_rules() {
     for (const auto& old_row : prev) {
       if (outputs.count(old_row)) continue;
       if (location_of(old_row) != name_) continue;
-      if (db_.erase(old_row)) by_key_.erase(old_row);
+      if (db_.erase(old_row)) {
+        tuple_event("retract", old_row);
+        by_key_.erase(old_row);
+      }
     }
     std::vector<Tuple> added;
     for (const auto& row : outputs) {

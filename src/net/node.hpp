@@ -58,6 +58,7 @@
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fvn::net {
 
@@ -95,6 +96,13 @@ struct NodeObs {
   obs::Histogram* batch_size = nullptr;
   obs::Timer* encode = nullptr;
   obs::Timer* decode = nullptr;
+  /// Engine-agnostic tuple lifecycle stream: when set, the node records every
+  /// database mutation as a cat "tuple" instant named "install <pred>" /
+  /// "retract <pred>" with args {"node":...,"tuple":...} — the same shape
+  /// runtime::Simulator emits, so LTL runtime monitors consume either engine's
+  /// trace unchanged. Must point at a per-node Trace (obs::Trace is not
+  /// thread-safe); the Cluster owns one per node and merges after join.
+  obs::Trace* tuple_trace = nullptr;
 };
 
 /// Plain counters, safe to read after the node's thread has been joined.
@@ -230,6 +238,10 @@ class Node {
   const PredInfo& pred_info(const std::string& predicate) const;
   void note_insert(const ndlog::Tuple& tuple);
   void note_erase(const ndlog::Tuple& tuple);
+  /// Structured tuple-event emission into obs_.tuple_trace (no-op when null);
+  /// `kind` is "install" or "retract" (no soft state in the cluster, so no
+  /// "expire").
+  void tuple_event(const char* kind, const ndlog::Tuple& tuple);
 
   std::string name_;
   const ndlog::Program* program_;

@@ -145,6 +145,17 @@ void Simulator::note_erase(NodeState& state, const Tuple& tuple) {
   if (plan_) flow(state).on_erase(tuple, state.db);
 }
 
+void Simulator::tuple_event(std::string_view kind, const std::string& node,
+                            const Tuple& tuple, double now) {
+  if (options_.tuple_events) options_.tuple_events(kind, node, tuple, now);
+  if (options_.obs_trace != nullptr) {
+    options_.obs_trace->instant_at(
+        sim_ts(now), std::string(kind) + " " + tuple.predicate(), "tuple",
+        "{\"node\":\"" + obs::json_escape(node) + "\",\"tuple\":\"" +
+            obs::json_escape(tuple.to_string()) + "\"}");
+  }
+}
+
 bool Simulator::install(NodeState& state, const std::string& node, const Tuple& tuple,
                         double now) {
   std::optional<double> lifetime;
@@ -163,6 +174,7 @@ bool Simulator::install(NodeState& state, const std::string& node, const Tuple& 
     // Key overwrite (P2 materialize semantics).
     state.db.erase(it->second);
     note_erase(state, it->second);
+    tuple_event("retract", node, it->second, now);
     state.expires_at.erase(it->second);
     it->second = tuple;
     state.db.insert(tuple);
@@ -199,6 +211,7 @@ bool Simulator::install(NodeState& state, const std::string& node, const Tuple& 
       options_.obs_trace->counter_at(sim_ts(now), "sim/installs", "sim",
                                      static_cast<double>(stats_.tuples_derived));
     }
+    tuple_event("install", node, tuple, now);
     for (const auto& m : monitors_) {
       if (!m(node, tuple, now)) ++stats_.monitor_violations;
     }
@@ -308,6 +321,7 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
         state.by_key.erase(key_of(old_row));
         state.expires_at.erase(old_row);
         stats_.last_change_time = now;
+        tuple_event("retract", node, old_row, now);
       }
     }
     std::vector<Tuple> added;
@@ -349,6 +363,7 @@ void Simulator::run_agg_rules_dataflow(const std::string& node, double now) {
         state.by_key.erase(key_of(old_row));
         state.expires_at.erase(old_row);
         stats_.last_change_time = now;
+        tuple_event("retract", node, old_row, now);
       }
     }
     std::vector<Tuple> added;
@@ -441,7 +456,10 @@ SimStats Simulator::run() {
         // Only expire if this event corresponds to the latest refresh.
         if (it != state.expires_at.end() && it->second <= e.time + 1e-12) {
           state.expires_at.erase(it);
-          if (state.db.erase(e.tuple)) note_erase(state, e.tuple);
+          if (state.db.erase(e.tuple)) {
+            note_erase(state, e.tuple);
+            tuple_event("expire", e.node, e.tuple, e.time);
+          }
           state.by_key.erase(key_of(e.tuple));
           ++stats_.expirations;
           stats_.last_change_time = e.time;
@@ -465,6 +483,7 @@ SimStats Simulator::run() {
           state.by_key.erase(key_of(e.tuple));
           state.expires_at.erase(e.tuple);
           stats_.last_change_time = e.time;
+          tuple_event("retract", e.node, e.tuple, e.time);
         }
         break;
       }

@@ -23,6 +23,7 @@
 #include <queue>
 #include <random>
 #include <set>
+#include <string_view>
 
 #include "dataflow/engine.hpp"
 #include "dataflow/plan.hpp"
@@ -86,6 +87,15 @@ struct SimOptions {
   /// exported Chrome trace shows protocol time, not host time.
   obs::Registry* metrics = nullptr;
   obs::Trace* obs_trace = nullptr;
+  /// Live engine-agnostic tuple lifecycle hook: called after every database
+  /// mutation with kind "install" / "retract" / "expire", the owning node,
+  /// the tuple and the virtual time. Null (the default) costs nothing. LTL
+  /// runtime monitors (`sim --monitor`, bench_ltl) attach here; the same
+  /// stream is exported as cat "tuple" obs instants when obs_trace is set,
+  /// with args {"node":...,"tuple":...} — the shape fvn::net emits too.
+  std::function<void(std::string_view kind, const std::string& node,
+                     const ndlog::Tuple& tuple, double now)>
+      tuple_events;
   /// Rule executor. Both engines are operationally equivalent (identical
   /// fixpoints, message streams and convergence times — pinned by the
   /// differential tests); Dataflow compiles each rule once and pushes one
@@ -214,6 +224,10 @@ class Simulator {
   /// Mirror hooks — no-ops in interpreter mode.
   void note_insert(NodeState& state, const ndlog::Tuple& tuple);
   void note_erase(NodeState& state, const ndlog::Tuple& tuple);
+  /// Structured tuple-event emission (SimOptions::tuple_events + cat "tuple"
+  /// obs instants); `kind` is "install", "retract" or "expire".
+  void tuple_event(std::string_view kind, const std::string& node,
+                   const ndlog::Tuple& tuple, double now);
 
   ndlog::Program program_;
   ndlog::Catalog catalog_;

@@ -1,0 +1,388 @@
+// fvn::ltl unit tests: spec parsing and diagnostics, NNF rewriting, Büchi
+// construction, LTL model checking over the NDlog transition system, and the
+// compiled runtime monitor (including the recorded-trace decoder).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/protocols.hpp"
+#include "ltl/buchi.hpp"
+#include "ltl/checker.hpp"
+#include "ltl/formula.hpp"
+#include "ltl/monitor.hpp"
+#include "mc/ndlog_ts.hpp"
+#include "ndlog/parser.hpp"
+#include "obs/trace.hpp"
+
+namespace fvn {
+namespace {
+
+using ndlog::Tuple;
+using ndlog::Value;
+using namespace fvn::ltl;
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(LtlParser, SpecWithNamedAndUnnamedProperties) {
+  const auto spec = parse_spec(
+      "// comment\n"
+      "reach: F bestPath(@n0, n2, _, _).\n"
+      "G !path(@n0, n0, _, _).\n",
+      "t.ltl");
+  ASSERT_EQ(spec.properties.size(), 2u);
+  EXPECT_EQ(spec.properties[0].name, "reach");
+  EXPECT_EQ(spec.properties[0].formula->op, Op::Eventually);
+  EXPECT_EQ(spec.properties[1].name, "p2");  // auto-named by 1-based index
+  EXPECT_EQ(spec.properties[1].formula->op, Op::Always);
+}
+
+TEST(LtlParser, PrecedenceUnaryBindsTighterThanBinary) {
+  // F binds to the atom only; && then joins the two temporal subformulas.
+  const auto f = parse_formula("F p(a) && G q(b)");
+  ASSERT_EQ(f->op, Op::And);
+  EXPECT_EQ(f->lhs->op, Op::Eventually);
+  EXPECT_EQ(f->rhs->op, Op::Always);
+}
+
+TEST(LtlParser, UntilIsRightAssociative) {
+  const auto f = parse_formula("p(a) U q(b) U r(c)");
+  ASSERT_EQ(f->op, Op::Until);
+  EXPECT_EQ(f->lhs->op, Op::Atom);
+  EXPECT_EQ(f->rhs->op, Op::Until);
+}
+
+TEST(LtlParser, PatternArgsConstantsAndWildcards) {
+  const auto f = parse_formula("bestPath(@n0, n2, X, _)");
+  ASSERT_EQ(f->op, Op::Atom);
+  const Pattern& p = f->pattern;
+  EXPECT_EQ(p.predicate, "bestPath");
+  ASSERT_EQ(p.args.size(), 4u);
+  EXPECT_FALSE(p.args[0].wildcard);  // @n0 with a concrete name is ground
+  EXPECT_FALSE(p.args[1].wildcard);  // n2 constant
+  EXPECT_TRUE(p.args[2].wildcard);   // upper-case variable
+  EXPECT_TRUE(p.args[3].wildcard);   // _
+}
+
+TEST(LtlParser, PatternMatchingSemantics) {
+  const auto f = parse_formula("link(n0, n1)");
+  const Pattern& p = f->pattern;
+  // Trailing arguments beyond the pattern are unconstrained.
+  EXPECT_TRUE(p.matches(
+      Tuple("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(7)})));
+  EXPECT_FALSE(p.matches(
+      Tuple("link", {Value::addr("n0"), Value::addr("n9"), Value::integer(7)})));
+  EXPECT_FALSE(p.matches(Tuple("hop", {Value::addr("n0"), Value::addr("n1")})));
+  // Identifier constants match both Addr and Str spellings of the same text.
+  EXPECT_TRUE(p.matches(Tuple("link", {Value::str("n0"), Value::str("n1")})));
+}
+
+TEST(LtlParser, CanonicalApIdentityMergesWildcardSpellings) {
+  ApSet aps;
+  to_nnf(parse_formula("p(X, _) || p(_, Y)"), aps);
+  EXPECT_EQ(aps.aps.size(), 1u);  // both render as p(_,_)
+}
+
+TEST(LtlParser, ParseErrorsCarryPositions) {
+  try {
+    parse_spec("reach: F bestPath(@n0\n", "bad.ltl");
+    FAIL() << "expected ParseError";
+  } catch (const ndlog::ParseError& e) {
+    EXPECT_GE(e.line(), 1);
+    EXPECT_GE(e.column(), 1);
+  }
+  EXPECT_THROW(parse_spec("p: F .\n"), ndlog::ParseError);
+  EXPECT_THROW(parse_spec("p: G q(a)\n"), ndlog::ParseError);  // missing dot
+}
+
+TEST(LtlParser, CheckSpecDiagnostics) {
+  const auto program = core::path_vector_program();
+  const auto catalog = ndlog::Catalog::from_program(program);
+  const auto spec = parse_spec(
+      "a: F nosuch(n0).\n"                    // LT0002 unknown predicate
+      "b: G link(@n0, n1, 1, extra).\n"       // LT0003 arity overflow
+      "c: X bestPath(@n0, n1, _, _).\n"       // LT0004 X stutter note
+      "d: F G stable(nosuchrel).\n",          // LT0005 unknown stable target
+      "diag.ltl");
+  ndlog::DiagnosticSink sink;
+  check_spec(spec, catalog, sink);
+  auto has = [&](const char* code) {
+    for (const auto& d : sink.diagnostics())
+      if (d.code == code) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("LT0002"));
+  EXPECT_TRUE(has("LT0003"));
+  EXPECT_TRUE(has("LT0004"));
+  EXPECT_TRUE(has("LT0005"));
+  EXPECT_EQ(sink.count(ndlog::Severity::Error), 0u);  // warnings never block
+}
+
+// ---------------------------------------------------------------------------
+// NNF + Büchi
+// ---------------------------------------------------------------------------
+
+TEST(LtlNnf, NegationPushesThroughTemporalOperators) {
+  ApSet aps;
+  // ¬(F p) = G ¬p = false R ¬p.
+  const auto nnf = to_nnf(parse_formula("F p(a)"), aps, /*negated=*/true);
+  ASSERT_EQ(nnf->kind, Nnf::Kind::Release);
+  EXPECT_EQ(nnf->lhs->kind, Nnf::Kind::False);
+  ASSERT_EQ(nnf->rhs->kind, Nnf::Kind::Lit);
+  EXPECT_FALSE(nnf->rhs->positive);
+}
+
+TEST(LtlNnf, ImplicationRewrites) {
+  ApSet aps;
+  // p -> q  ==  ¬p ∨ q.
+  const auto nnf = to_nnf(parse_formula("p(a) -> q(b)"), aps);
+  ASSERT_EQ(nnf->kind, Nnf::Kind::Or);
+  EXPECT_FALSE(nnf->lhs->positive);
+  EXPECT_TRUE(nnf->rhs->positive);
+}
+
+TEST(LtlBuchi, EventuallyAutomatonShape) {
+  ApSet aps;
+  const auto nnf = to_nnf(parse_formula("F p(a)"), aps);
+  const Buchi b = build_buchi(nnf, aps.aps.size());
+  ASSERT_FALSE(b.states.empty());
+  ASSERT_FALSE(b.initial.empty());
+  bool any_accepting = false;
+  for (const auto& s : b.states) any_accepting |= s.accepting;
+  EXPECT_TRUE(any_accepting);
+  // Some state must require p (the obligation is eventually discharged).
+  bool requires_p = false;
+  for (const auto& s : b.states) requires_p |= (s.must_true & 1) != 0;
+  EXPECT_TRUE(requires_p);
+  EXPECT_FALSE(b.to_dot(aps).empty());
+}
+
+TEST(LtlBuchi, AdmitsRespectsLiteralMasks) {
+  ApSet aps;
+  const auto nnf = to_nnf(parse_formula("G p(a)"), aps);
+  const Buchi b = build_buchi(nnf, aps.aps.size());
+  // G p: every (non-trivial) state requires p; valuation 0 must be rejected
+  // somewhere on every path. The initial states all require p.
+  for (std::size_t i : b.initial) {
+    EXPECT_TRUE(b.states[i].admits(1));
+    EXPECT_FALSE(b.states[i].admits(0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model checker over the NDlog transition system
+// ---------------------------------------------------------------------------
+
+std::vector<Tuple> line2_links() {
+  return {Tuple("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(1)}),
+          Tuple("link", {Value::addr("n1"), Value::addr("n0"), Value::integer(1)})};
+}
+
+TEST(LtlChecker, LivenessHoldsOnReachable) {
+  mc::NdlogTransitionSystem ts(core::reachable_program());
+  const auto spec = parse_spec(
+      "reach: F reachable(@n0, n1).\n"
+      "converges: F G stable(reachable).\n");
+  const auto result = check_ltl(ts, ts.initial(line2_links()), spec);
+  ASSERT_EQ(result.properties.size(), 2u);
+  EXPECT_TRUE(result.all_hold());
+  EXPECT_TRUE(result.exhausted());
+  for (const auto& p : result.properties) {
+    EXPECT_GT(p.product_states, 0u);
+    EXPECT_TRUE(p.stem.empty());
+  }
+}
+
+TEST(LtlChecker, ViolationYieldsLassoWithSnapshots) {
+  mc::NdlogTransitionSystem ts(core::reachable_program());
+  const auto spec = parse_spec("bad: G !reachable(@n0, n1).\n");
+  const auto result = check_ltl(ts, ts.initial(line2_links()), spec);
+  ASSERT_EQ(result.properties.size(), 1u);
+  const auto& p = result.properties[0];
+  EXPECT_FALSE(p.holds);
+  ASSERT_FALSE(p.stem.empty());
+  ASSERT_FALSE(p.cycle.empty());
+  // The lasso closes: the cycle ends back at the loop head.
+  EXPECT_EQ(p.cycle.back().state, p.stem.back().state);
+  // Snapshots are full states: the final stem state stores the offending
+  // tuple at n0.
+  const auto& last = p.stem.back().state;
+  bool found = false;
+  for (const auto& [node, tuples] : last.stored) {
+    for (const auto& t : tuples) {
+      if (t.predicate() == "reachable") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Rendering includes per-node tables and marks the cycle.
+  const std::string text = render_counterexample(p);
+  EXPECT_NE(text.find("node n0"), std::string::npos);
+  EXPECT_NE(text.find("cycle"), std::string::npos);
+  EXPECT_NE(text.find("reachable(n0,n1)"), std::string::npos);
+}
+
+TEST(LtlChecker, CounterexampleExportsAsChromeTrace) {
+  mc::NdlogTransitionSystem ts(core::reachable_program());
+  const auto spec = parse_spec("bad: G !reachable(@n0, n1).\n");
+  const auto result = check_ltl(ts, ts.initial(line2_links()), spec);
+  obs::Trace trace;
+  counterexample_to_trace(result.properties[0], trace);
+  bool saw_ltl = false, saw_state = false;
+  for (const auto& e : trace.events()) {
+    if (e.cat == "ltl") saw_ltl = true;
+    if (e.cat == "ltl-state") saw_state = true;
+  }
+  EXPECT_TRUE(saw_ltl);
+  EXPECT_TRUE(saw_state);
+}
+
+TEST(LtlChecker, BudgetExhaustionIsReported) {
+  mc::NdlogTransitionSystem ts(core::path_vector_program());
+  const auto spec = parse_spec("conv: F G stable(bestPath).\n");
+  CheckOptions options;
+  options.max_product_states = 3;
+  const auto result =
+      check_ltl(ts, ts.initial(core::link_facts(core::line_topology(3))), spec);
+  const auto bounded = check_ltl(
+      ts, ts.initial(core::link_facts(core::line_topology(3))), spec, options);
+  EXPECT_TRUE(result.exhausted());
+  EXPECT_FALSE(bounded.exhausted());
+  EXPECT_TRUE(bounded.all_hold());  // no violation found within the budget
+}
+
+TEST(LtlChecker, StableIsTrueInitiallyAndAfterQuiescence) {
+  // On an empty-step system (no facts) stable() holds immediately: the
+  // stutter self-loop keeps every relation unchanged forever.
+  mc::NdlogTransitionSystem ts(core::reachable_program());
+  const auto spec = parse_spec("s: G stable(reachable).\n");
+  const auto result = check_ltl(ts, ts.initial({}), spec);
+  EXPECT_TRUE(result.all_hold());
+}
+
+TEST(LtlChecker, GoldenCounterexampleIsStable) {
+  // The rendered lasso for the smallest violated property is pinned byte for
+  // byte: any change to the search order, state encoding, or renderer shows
+  // up as a golden diff. One directed link => a deterministic 3-step stem.
+  mc::NdlogTransitionSystem ts(core::reachable_program());
+  const auto spec = parse_spec("never_reaches: G !reachable(@n0, n1).\n");
+  const std::vector<Tuple> facts = {
+      Tuple("link", {Value::addr("n0"), Value::addr("n1"), Value::integer(1)})};
+  const auto result = check_ltl(ts, ts.initial(facts), spec);
+  ASSERT_FALSE(result.all_hold());
+  const std::string text = render_counterexample(result.properties[0]);
+
+  const auto golden_path = std::filesystem::path(FVN_SOURCE_DIR) / "tests" /
+                           "golden" / "ltl" / "reachable_never.txt";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << golden_path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(text, os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime monitor
+// ---------------------------------------------------------------------------
+
+TupleEvent ev(TupleEvent::Kind kind, const char* node, Tuple tuple,
+              std::uint64_t ts_us = 0) {
+  TupleEvent e;
+  e.kind = kind;
+  e.node = node;
+  e.tuple = std::move(tuple);
+  e.ts_us = ts_us;
+  return e;
+}
+
+Tuple p_a() { return Tuple("p", {Value::addr("a")}); }
+
+TEST(LtlMonitor, SafetyViolationFiresMidTrace) {
+  const auto spec = parse_spec("never: G !p(a).\n");
+  MonitorSet monitors(spec);
+  monitors.on_event(ev(TupleEvent::Kind::Install, "n0",
+                       Tuple("q", {Value::addr("x")})));
+  EXPECT_TRUE(monitors.all_satisfied());
+  monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+  const auto verdicts = monitors.finish();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].satisfied);
+  EXPECT_TRUE(verdicts[0].fired);
+  EXPECT_EQ(verdicts[0].violation_event, 2u);  // 1-based ordinal
+  EXPECT_NE(render_verdicts(verdicts).find("VIOLATED"), std::string::npos);
+  EXPECT_NE(render_verdicts(verdicts).find("fired at event 2"), std::string::npos);
+}
+
+TEST(LtlMonitor, LivenessSatisfiedOnceWitnessed) {
+  const auto spec = parse_spec("reach: F p(a).\n");
+  MonitorSet monitors(spec);
+  // Unsatisfied at end of an empty trace: the stutter extension never
+  // produces p(a).
+  EXPECT_FALSE(monitors.all_satisfied());
+  monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+  // Even after a retraction, F p was witnessed — still satisfied.
+  monitors.on_event(ev(TupleEvent::Kind::Retract, "n0", p_a()));
+  const auto verdicts = monitors.finish();
+  EXPECT_TRUE(verdicts[0].satisfied);
+  EXPECT_FALSE(verdicts[0].fired);
+}
+
+TEST(LtlMonitor, PersistenceTracksFinalState) {
+  // F G p(a): satisfied iff p(a) is stored at end of trace (stutter
+  // extension holds it forever).
+  const auto spec = parse_spec("hold: F G p(a).\n");
+  {
+    MonitorSet monitors(spec);
+    monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+    EXPECT_TRUE(monitors.all_satisfied());
+  }
+  {
+    MonitorSet monitors(spec);
+    monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+    monitors.on_event(ev(TupleEvent::Kind::Retract, "n0", p_a()));
+    EXPECT_FALSE(monitors.all_satisfied());
+  }
+}
+
+TEST(LtlMonitor, ExpiryCountsAsRemoval) {
+  const auto spec = parse_spec("hold: F G p(a).\n");
+  MonitorSet monitors(spec);
+  monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+  monitors.on_event(ev(TupleEvent::Kind::Expire, "n0", p_a()));
+  EXPECT_FALSE(monitors.all_satisfied());
+}
+
+TEST(LtlMonitor, StablePredicateOverEvents) {
+  // F G stable(p): satisfied at end of any finite trace (stutter extension
+  // stops changing p), but an event stream where p keeps changing only
+  // becomes stable at the end.
+  const auto spec = parse_spec("conv: F G stable(p).\n");
+  MonitorSet monitors(spec);
+  monitors.on_event(ev(TupleEvent::Kind::Install, "n0", p_a()));
+  monitors.on_event(ev(TupleEvent::Kind::Retract, "n0", p_a()));
+  EXPECT_TRUE(monitors.all_satisfied());
+}
+
+TEST(LtlMonitor, EventsFromTraceRoundTrip) {
+  obs::Trace trace;
+  trace.instant_at(1000, "install p", "tuple",
+                   "{\"node\":\"n0\",\"tuple\":\"p(a)\"}");
+  trace.instant_at(2000, "retract p", "tuple",
+                   "{\"node\":\"n1\",\"tuple\":\"p(b)\"}");
+  trace.instant_at(2500, "expire p", "tuple",
+                   "{\"node\":\"n1\",\"tuple\":\"p(c)\"}");
+  trace.instant_at(3000, "unrelated", "sim", "{}");  // skipped: wrong category
+  const auto events = events_from_trace(trace.events());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TupleEvent::Kind::Install);
+  EXPECT_EQ(events[0].node, "n0");
+  EXPECT_EQ(events[0].tuple.to_string(), "p(a)");
+  EXPECT_EQ(events[0].ts_us, 1000u);
+  EXPECT_EQ(events[1].kind, TupleEvent::Kind::Retract);
+  EXPECT_EQ(events[2].kind, TupleEvent::Kind::Expire);
+}
+
+}  // namespace
+}  // namespace fvn

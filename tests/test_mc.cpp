@@ -184,7 +184,23 @@ TEST(NdlogTs, ViolationProducesTrace) {
   };
   auto result = ts.check_invariant_all_interleavings(ts.initial(links), invariant, 20000);
   EXPECT_FALSE(result.property_holds);
-  EXPECT_GE(result.counterexample.size(), 2u);
+  ASSERT_GE(result.counterexample.size(), 2u);
+  // The trace carries *full state snapshots*, not encoded keys: the first
+  // step is the initial state (all facts in flight, no stores) and the last
+  // step stores the offending 2-hop path at some node.
+  EXPECT_TRUE(result.counterexample.front().stored.empty());
+  EXPECT_FALSE(result.counterexample.front().inflight.empty());
+  bool two_hop_stored = false;
+  for (const auto& [node, tuples] : result.counterexample.back().stored) {
+    for (const auto& t : tuples) {
+      if (t.predicate() == "path" && t.at(2).as_list().size() >= 3) two_hop_stored = true;
+    }
+  }
+  EXPECT_TRUE(two_hop_stored);
+  // Every snapshot renders as per-node tables.
+  const std::string text = render_state(result.counterexample.back());
+  EXPECT_NE(text.find("node "), std::string::npos);
+  EXPECT_NE(text.find("path(n"), std::string::npos);
 }
 
 TEST(NdlogTs, InterleavingCountIsSubstantial) {
@@ -241,6 +257,12 @@ TEST(NdlogTs, QuiescenceViolationReported) {
   auto report = ts.check_quiescent_states(ts.initial(links), impossible, 50000);
   EXPECT_FALSE(report.all_satisfy);
   EXPECT_FALSE(report.violating_state.empty());
+  // The violating trace is a full snapshot path from the initial state to
+  // the violating quiescent state.
+  ASSERT_GE(report.violating_trace.size(), 2u);
+  EXPECT_TRUE(report.violating_trace.front().stored.empty());
+  EXPECT_TRUE(report.violating_trace.back().quiescent());
+  EXPECT_EQ(report.violating_trace.back().encode(), report.violating_state);
 }
 
 }  // namespace
