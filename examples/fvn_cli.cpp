@@ -6,7 +6,12 @@
 //   fvn_cli lint      [--json] <prog.ndlog>...      all diagnostics (ND0001..)
 //   fvn_cli analyze   [--json|--dot] <prog.ndlog>...  semantic analysis:
 //                     divergence prediction + CALM convergence (ND0014..18);
+//                     --cost adds the ND0019..ND0021 cost model;
+//                     --parallel adds the shard-parallel certificate
+//                     (ND0022..ND0025: shard keys, misaligned joins,
+//                     aggregate/negation barriers);
 //                     --dot prints the dependency graph with strata/SCCs
+//                     (with --cost/--parallel: the respective annotated graph)
 //   fvn_cli translate <prog.ndlog>                  PVS-style theory (arc 4)
 //   fvn_cli linear    <prog.ndlog>                  linear-logic view (§4.2)
 //   fvn_cli run       <prog.ndlog> <facts.txt>      centralized evaluation
@@ -24,8 +29,13 @@
 //                                            baseline for batched channels)
 //                     --poll-ms=<ms>         coordinator quiescence-scan
 //                                            timeout (default 0.25)
+//                     --workers=<n>          shard-parallel node evaluation
+//                                            (certified programs only; serial
+//                                            fallback is reported on stderr)
 //                     --engine=<interpreter|dataflow>, --metrics, --trace
 //   fvn_cli plan      <prog.ndlog> [--dot|--json]   compiled dataflow graph
+//                     --parallel  append the certified shard plan for the
+//                                 localized program (ND0022 key table)
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
 //   fvn_cli verify    <prog.ndlog> <facts.txt> --ltl <spec.ltl>
 //                     LTL model checking over every message interleaving
@@ -57,6 +67,11 @@
 //   --engine=<interpreter|dataflow>  rule executor (default interpreter);
 //                        dataflow runs the compiled element strands and
 //                        exposes per-element counters under --metrics
+//   --workers=<n>        shard-parallel delta rounds (both engines): delivered
+//                        batches are evaluated by n workers when the static
+//                        certificate (analyze --parallel) admits it;
+//                        uncertified programs fall back to serial with a
+//                        stderr notice. Fixpoints are bit-identical either way.
 //
 // facts.txt: one ground fact per line, e.g. `link(@n0,n1,1)`; blank lines
 // and lines starting with `#` are ignored.
@@ -73,6 +88,7 @@
 #include "ndlog/cost.hpp"
 #include "ndlog/eval.hpp"
 #include "ndlog/lint.hpp"
+#include "ndlog/parallel.hpp"
 #include "ndlog/parser.hpp"
 #include "ndlog/provenance.hpp"
 #include "ndlog/query.hpp"
@@ -124,17 +140,21 @@ int usage() {
                "properties as online monitors (violation => exit 1)\n"
                "       fvn_cli dist <prog.ndlog> <facts.txt> [--nodes=<n>] "
                "[--transport=<inproc|udp>] [--loss=<p>] [--seed=<s>] "
-               "[--no-retransmit] [--no-batch] [--poll-ms=<ms>] [--engine=...] "
-               "[--metrics] [--trace <out.json>]\n"
+               "[--no-retransmit] [--no-batch] [--poll-ms=<ms>] [--workers=<n>] "
+               "[--engine=...] [--metrics] [--trace <out.json>]\n"
                "       fvn_cli lint [--json] <prog.ndlog>...   "
                "(exit 0 clean, 1 warnings, 2 errors)\n"
-               "       fvn_cli analyze [--json|--dot|--metrics|--cost] <prog.ndlog>...   "
+               "       fvn_cli analyze [--json|--dot|--metrics|--cost|--parallel] "
+               "<prog.ndlog>...   "
                "(semantic passes ND0014..ND0018; --cost adds the ND0019..ND0021 "
-               "cost model; same exit convention)\n"
-               "       fvn_cli plan <prog.ndlog> [--dot|--json] [--cost-order]   "
-               "(localize + compile to dataflow strands)\n"
+               "cost model; --parallel adds the ND0022..ND0025 shard-parallel "
+               "certificate; same exit convention)\n"
+               "       fvn_cli plan <prog.ndlog> [--dot|--json] [--cost-order] "
+               "[--parallel]   (localize + compile to dataflow strands; "
+               "--parallel appends the certified shard plan)\n"
                "       eval = run, sim = simulate; both take --metrics and "
-               "--trace <out.json>; sim takes --engine=<interpreter|dataflow>\n";
+               "--trace <out.json>; sim takes --engine=<interpreter|dataflow> "
+               "and --workers=<n>\n";
   return 2;
 }
 
@@ -145,6 +165,7 @@ int cmd_plan(const std::vector<std::string>& args) {
   bool dot = false;
   bool json = false;
   bool cost_order = false;
+  bool parallel = false;
   std::vector<std::string> files;
   for (const auto& a : args) {
     if (a == "--dot") {
@@ -153,21 +174,39 @@ int cmd_plan(const std::vector<std::string>& args) {
       json = true;
     } else if (a == "--cost-order") {
       cost_order = true;
+    } else if (a == "--parallel") {
+      parallel = true;
     } else {
       files.push_back(a);
     }
   }
   if (files.size() != 1 || (dot && json)) return usage();
   auto program = fvn::ndlog::parse_program(slurp(files[0]), files[0]);
+  auto localized = fvn::runtime::localize(program);
   fvn::dataflow::PlanOptions plan_options;
   plan_options.cost_order = cost_order;
-  auto plan = fvn::dataflow::compile(fvn::runtime::localize(program), plan_options);
+  auto plan = fvn::dataflow::compile(localized, plan_options);
+  // --parallel: certify the *localized* program — the exact form the worker
+  // pools execute — and render the shard plan next to the strand plan.
+  std::optional<fvn::ndlog::parallel::Report> shard_plan;
+  if (parallel) {
+    fvn::ndlog::DiagnosticSink scratch;
+    shard_plan = fvn::ndlog::parallel::analyze(localized, scratch);
+  }
   if (dot) {
-    std::cout << plan.to_dot();
+    std::cout << (shard_plan ? fvn::ndlog::parallel::to_dot(localized, *shard_plan)
+                             : plan.to_dot());
   } else if (json) {
-    std::cout << plan.to_json() << "\n";
+    if (shard_plan) {
+      std::cout << "{\"plan\":" << plan.to_json()
+                << ",\"parallel\":" << fvn::ndlog::parallel::to_json(*shard_plan)
+                << "}\n";
+    } else {
+      std::cout << plan.to_json() << "\n";
+    }
   } else {
     std::cout << plan.summary();
+    if (shard_plan) std::cout << fvn::ndlog::parallel::to_human(*shard_plan);
   }
   return 0;
 }
@@ -232,6 +271,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
   bool dot = false;
   bool want_metrics = false;
   bool want_cost = false;
+  bool want_parallel = false;
   std::vector<std::string> files;
   for (const auto& a : args) {
     if (a == "--json") {
@@ -242,6 +282,8 @@ int cmd_analyze(const std::vector<std::string>& args) {
       want_metrics = true;
     } else if (a == "--cost") {
       want_cost = true;
+    } else if (a == "--parallel") {
+      want_parallel = true;
     } else {
       files.push_back(a);
     }
@@ -259,6 +301,8 @@ int cmd_analyze(const std::vector<std::string>& args) {
     std::string summary_json;
     std::string cost_json;
     std::string cost_human;
+    std::string parallel_json;
+    std::string parallel_human;
     try {
       auto program = fvn::ndlog::parse_program(slurp(file), file);
       fvn::ndlog::check_arities(program, sink);
@@ -274,11 +318,19 @@ int cmd_analyze(const std::vector<std::string>& args) {
           auto cost_report = fvn::ndlog::cost::analyze(program, report, sink);
           cost_json = fvn::ndlog::cost::to_json(cost_report);
           if (!json && !dot) cost_human = fvn::ndlog::cost::to_human(cost_report);
-          if (dot) {
+          if (dot && !want_parallel) {
             std::cout << fvn::ndlog::cost::to_dot(program, cost_report);
           }
-        } else if (dot) {
+        } else if (dot && !want_parallel) {
           std::cout << fvn::ndlog::semantic_dot(program, report);
+        }
+        if (want_parallel) {
+          auto parallel_report = fvn::ndlog::parallel::analyze(program, sink);
+          parallel_json = fvn::ndlog::parallel::to_json(parallel_report);
+          if (!json && !dot) {
+            parallel_human = fvn::ndlog::parallel::to_human(parallel_report);
+          }
+          if (dot) std::cout << fvn::ndlog::parallel::to_dot(program, parallel_report);
         }
       }
       fvn::ndlog::dedupe_localized_diagnostics(program, sink);
@@ -296,10 +348,12 @@ int cmd_analyze(const std::vector<std::string>& args) {
                << "\",\"diagnostics\":" << fvn::ndlog::render_json(sink.diagnostics());
       if (!summary_json.empty()) json_out << ",\"summary\":" << summary_json;
       if (!cost_json.empty()) json_out << ",\"cost\":" << cost_json;
+      if (!parallel_json.empty()) json_out << ",\"parallel\":" << parallel_json;
       json_out << "}";
     } else if (!dot) {
       std::cout << fvn::ndlog::render_human(sink.diagnostics(), file);
       if (!cost_human.empty()) std::cout << cost_human;
+      if (!parallel_human.empty()) std::cout << parallel_human;
     }
   }
   if (json) {
@@ -445,6 +499,7 @@ int cmd_dist(const std::vector<std::string>& args) {
   bool retransmit = true;
   bool batch = true;
   double poll_ms = -1.0;  // < 0 = keep the ClusterOptions default
+  std::uint64_t workers = 0;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -478,6 +533,8 @@ int cmd_dist(const std::vector<std::string>& args) {
     } else if (a == "--nodes" || a.rfind("--nodes=", 0) == 0) {
       expected_nodes =
           static_cast<std::int64_t>(parse_uint_flag("--nodes", value_of("--nodes")));
+    } else if (a == "--workers" || a.rfind("--workers=", 0) == 0) {
+      workers = parse_uint_flag("--workers", value_of("--workers"));
     } else if (a.rfind("--", 0) == 0) {
       throw UsageError("unknown flag " + a);
     } else {
@@ -515,6 +572,7 @@ int cmd_dist(const std::vector<std::string>& args) {
   options.faults.seed = seed;
   options.reliability.enabled = retransmit;
   options.reliability.batch = batch;
+  options.workers = static_cast<std::size_t>(workers);
   if (poll_ms > 0.0) options.poll_interval_ms = poll_ms;
   if (want_metrics) options.metrics = &registry;
   if (!trace_path.empty()) options.trace = &obs_trace;
@@ -540,6 +598,15 @@ int cmd_dist(const std::vector<std::string>& args) {
             << " acked=" << stats.acked << " bytes=" << stats.transport.bytes_sent
             << " wall_ms=" << stats.wall_ms
             << (stats.quiesced ? "" : " (no quiescence before budget)") << "\n";
+  if (workers >= 1) {
+    if (stats.parallel_active) {
+      std::cerr << "parallel: workers=" << workers
+                << " rounds=" << stats.parallel_rounds << "\n";
+    } else {
+      std::cerr << "parallel: serial fallback ("
+                << stats.parallel_fallback_reason << ")\n";
+    }
+  }
   if (!trace_path.empty()) obs_trace.write(trace_path);
   if (want_metrics) std::cerr << registry.render_summary();
   bool monitors_ok = true;
@@ -594,6 +661,7 @@ int main(int argc, char** argv) {
   std::string engine_name;
   std::string monitor_path;
   bool cost_order = false;
+  std::uint64_t workers = 0;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -616,6 +684,20 @@ int main(int argc, char** argv) {
       engine_name = a.substr(9);
     } else if (a == "--cost-order") {
       cost_order = true;
+    } else if (a == "--workers" || a.rfind("--workers=", 0) == 0) {
+      std::string value;
+      if (a.size() > 9) {
+        value = a.substr(10);
+      } else {
+        if (i + 1 >= argc) return usage();
+        value = argv[++i];
+      }
+      try {
+        workers = parse_uint_flag("--workers", value);
+      } catch (const UsageError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       args.push_back(a);
     }
@@ -686,6 +768,7 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
       if (engine_name == "dataflow") sim_options.engine = runtime::EngineKind::Dataflow;
       sim_options.cost_order = cost_order;
+      sim_options.workers = static_cast<std::size_t>(workers);
       std::optional<ltl::MonitorSet> ltl_monitors;
       if (!monitor_path.empty()) {
         const auto spec = load_ltl_spec(monitor_path, program);
@@ -717,6 +800,16 @@ int main(int argc, char** argv) {
                 << " messages=" << stats.messages_sent
                 << " converged_at=" << stats.last_change_time << "s"
                 << (stats.quiesced ? "" : " (budget exhausted)") << "\n";
+      if (workers >= 1) {
+        if (stats.parallel_active) {
+          std::cerr << "parallel: workers=" << workers
+                    << " batches=" << stats.parallel_batches
+                    << " rounds=" << stats.parallel_rounds << "\n";
+        } else {
+          std::cerr << "parallel: serial fallback ("
+                    << stats.parallel_fallback_reason << ")\n";
+        }
+      }
       flush_obs();
       bool monitors_ok = true;
       if (ltl_monitors.has_value()) {

@@ -191,25 +191,23 @@ void Engine::run_strand(const Strand& strand, const StrandObs& obs, const Tuple&
 
 void Engine::process(const Tuple& delta, const Database& db, std::vector<Tuple>& out) {
   ++stats_.deltas_processed;
-  auto it = plan_->strands_by_predicate.find(delta.predicate());
-  if (it == plan_->strands_by_predicate.end()) return;
-  for (std::size_t si : it->second) {
+  const int id = plan_->pred_id(delta.predicate());
+  if (id < 0) return;
+  for (std::size_t si : plan_->strands_by_id[static_cast<std::size_t>(id)]) {
     run_strand(plan_->strands[si], strand_obs_[si], delta, db, &out, nullptr, +1);
   }
 }
 
 void Engine::touch(const Tuple& tuple, int sign, const Database& db) {
-  for (std::size_t ai = 0; ai < plan_->aggregates.size(); ++ai) {
+  const int id = plan_->pred_id(tuple.predicate());
+  if (id < 0) return;
+  const auto uid = static_cast<std::size_t>(id);
+  for (std::size_t ai : plan_->aggregates_by_id[uid]) agg_[ai].dirty = true;
+  for (const auto& [ai, si] : plan_->agg_strands_by_id[uid]) {
     const AggregateRulePlan& ap = plan_->aggregates[ai];
-    if (ap.body_predicates.count(tuple.predicate()) == 0) continue;
-    agg_[ai].dirty = true;
     if (!ap.incremental) continue;
-    for (std::size_t si = 0; si < ap.strands.size(); ++si) {
-      const Strand& strand = ap.strands[si];
-      if (strand.delta_predicate != tuple.predicate()) continue;
-      run_strand(strand, agg_obs_[ai][si], tuple, db, nullptr, &agg_[ai].groups, sign,
-                 &agg_[ai].dirty_keys);
-    }
+    run_strand(ap.strands[si], agg_obs_[ai][si], tuple, db, nullptr, &agg_[ai].groups,
+               sign, &agg_[ai].dirty_keys);
   }
 }
 

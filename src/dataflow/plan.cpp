@@ -405,6 +405,28 @@ Plan compile(const Program& localized, const PlanOptions& options) {
   for (std::size_t si = 0; si < plan.strands.size(); ++si) {
     plan.strands_by_predicate[plan.strands[si].delta_predicate].push_back(si);
   }
+  const auto intern = [&plan](const std::string& name) -> std::uint32_t {
+    const auto [it, inserted] = plan.predicate_ids.emplace(
+        name, static_cast<std::uint32_t>(plan.predicate_ids.size()));
+    if (inserted) {
+      plan.strands_by_id.emplace_back();
+      plan.aggregates_by_id.emplace_back();
+      plan.agg_strands_by_id.emplace_back();
+    }
+    return it->second;
+  };
+  for (std::size_t si = 0; si < plan.strands.size(); ++si) {
+    plan.strands_by_id[intern(plan.strands[si].delta_predicate)].push_back(si);
+  }
+  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+    for (const auto& pred : plan.aggregates[ai].body_predicates) {
+      plan.aggregates_by_id[intern(pred)].push_back(ai);
+    }
+    for (std::size_t si = 0; si < plan.aggregates[ai].strands.size(); ++si) {
+      plan.agg_strands_by_id[intern(plan.aggregates[ai].strands[si].delta_predicate)]
+          .emplace_back(ai, si);
+    }
+  }
   return plan;
 }
 

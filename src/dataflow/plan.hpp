@@ -7,9 +7,12 @@
 // which is what makes interpreter/dataflow differential runs bit-identical.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dataflow/element.hpp"
@@ -70,6 +73,26 @@ struct Plan {
   std::vector<AggregateRulePlan> aggregates; // rule order
   /// delta predicate -> strand indices, preserving global strand order.
   std::map<std::string, std::vector<std::size_t>> strands_by_predicate;
+
+  /// Interned dispatch tables. Every predicate the engine can be handed a
+  /// delta for — normal-strand delta predicates, aggregate body predicates,
+  /// aggregate maintenance-strand deltas — gets a dense id at compile time.
+  /// The engine's hot path then costs one hash probe per delta instead of a
+  /// std::map string walk plus per-aggregate set<string> membership scans.
+  std::unordered_map<std::string, std::uint32_t> predicate_ids;
+  /// id -> normal strand indices (same contents/order as strands_by_predicate).
+  std::vector<std::vector<std::size_t>> strands_by_id;
+  /// id -> aggregate indices whose body reads the predicate (dirty marking).
+  std::vector<std::vector<std::size_t>> aggregates_by_id;
+  /// id -> (aggregate index, maintenance strand index) pairs whose delta is
+  /// the predicate, in (aggregate, strand) order — incremental plans only.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> agg_strands_by_id;
+
+  /// Interned id for a predicate, or -1 when the plan never dispatches on it.
+  int pred_id(const std::string& predicate) const {
+    auto it = predicate_ids.find(predicate);
+    return it == predicate_ids.end() ? -1 : static_cast<int>(it->second);
+  }
 
   std::size_t element_count() const;
   /// Graphviz rendering: one cluster per strand.

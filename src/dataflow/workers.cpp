@@ -1,0 +1,216 @@
+#include "dataflow/workers.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace fvn::dataflow {
+
+using ndlog::Tuple;
+using ndlog::TupleSet;
+
+ShardRouter::ShardRouter(const ndlog::parallel::Report& report,
+                         const ndlog::Catalog& catalog) {
+  for (const auto& name : catalog.predicates()) {
+    auto it = report.keys.find(name);
+    columns_[name] = it != report.keys.end()
+                         ? it->second.column
+                         : static_cast<int>(catalog.info(name).loc_index);
+  }
+}
+
+std::size_t ShardRouter::shard_of(const Tuple& tuple, std::size_t workers) const {
+  if (workers <= 1) return 0;
+  auto it = columns_.find(tuple.predicate());
+  const int col = it == columns_.end() ? -1 : it->second;
+  if (col < 0 || static_cast<std::size_t>(col) >= tuple.arity()) return 0;
+  return ndlog::ValueHash{}(tuple.at(static_cast<std::size_t>(col))) % workers;
+}
+
+int ShardRouter::column_of(const std::string& predicate) const {
+  auto it = columns_.find(predicate);
+  return it == columns_.end() ? -1 : it->second;
+}
+
+std::uint64_t WorkerPool::bell_ticket(Doorbell& bell) {
+  return bell.signal.load(std::memory_order_acquire);
+}
+
+void WorkerPool::bell_ring(Doorbell& bell) {
+  {
+    // The increment happens under the mutex so a waiter between its ticket
+    // check and cv.wait cannot miss it (same argument as the transport's
+    // doorbell — see net/transport.hpp).
+    std::lock_guard<std::mutex> lock(bell.mutex);
+    bell.signal.fetch_add(1, std::memory_order_acq_rel);
+  }
+  bell.cv.notify_all();
+}
+
+void WorkerPool::bell_wait(Doorbell& bell, std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(bell.mutex);
+  bell.cv.wait(lock, [&] {
+    return bell.signal.load(std::memory_order_acquire) != ticket;
+  });
+}
+
+WorkerPool::WorkerPool(Config config) : config_(std::move(config)) {
+  const std::size_t count = std::max<std::size_t>(1, config_.workers);
+  if (config_.plan == nullptr && config_.program != nullptr) {
+    for (const auto& rule : config_.program->rules) {
+      if (rule.is_fact()) continue;
+      if (rule.head.has_aggregate()) continue;  // aggregates stay serial
+      normal_rules_.push_back(&rule);
+    }
+  }
+  // The prewarm universe: in plan mode exactly the IndexJoin probe sites; in
+  // interpreter mode eval_rule_delta picks probe columns dynamically, so
+  // cover every column of every predicate (a superset is merely a few empty
+  // indexes).
+  std::set<std::pair<std::string, std::size_t>> sites;
+  if (config_.plan != nullptr) {
+    for (const auto& strand : config_.plan->strands) {
+      for (const auto& element : strand.elements) {
+        if (element.kind != Element::Kind::IndexJoin || element.probe_pos < 0) continue;
+        sites.emplace(element.predicate, static_cast<std::size_t>(element.probe_pos));
+      }
+    }
+  } else if (config_.catalog != nullptr) {
+    for (const auto& name : config_.catalog->predicates()) {
+      const auto& info = config_.catalog->info(name);
+      for (std::size_t col = 0; col < info.arity; ++col) sites.emplace(name, col);
+    }
+  }
+  prewarm_sites_.assign(sites.begin(), sites.end());
+
+  workers_.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    auto worker = std::make_unique<Worker>();
+    if (config_.plan != nullptr) {
+      // Per-worker engine: Engine keeps mutable register/stat state, and the
+      // obs registry is not thread-safe, so workers run metrics-free.
+      worker->engine = std::make_unique<Engine>(*config_.plan, *config_.builtins,
+                                                /*metrics=*/nullptr);
+    } else {
+      worker->rules = std::make_unique<ndlog::RuleEngine>(*config_.builtins);
+    }
+    workers_.push_back(std::move(worker));
+  }
+  if (workers_.size() >= 2) {
+    for (auto& worker : workers_) {
+      worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+    }
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) bell_ring(worker->bell);
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void WorkerPool::prewarm(const ndlog::Database& db) const {
+  // Single-worker pools evaluate rounds inline on the calling thread, where
+  // lazy index creation is as safe as in the serial engine — skip the walk
+  // (it is a per-round cost, and the workers=1 overhead budget is tight).
+  if (workers_.size() < 2) return;
+  for (const auto& [predicate, column] : prewarm_sites_) {
+    db.ensure_index(predicate, column);
+  }
+}
+
+void WorkerPool::evaluate(Worker& worker, const RoundItem& item) {
+  const Tuple& delta = *item.delta;
+  if (worker.engine) {
+    worker.scratch.clear();
+    worker.engine->process(delta, *item.db, worker.scratch);
+    for (auto& t : worker.scratch) worker.out.emplace_back(item.tag, std::move(t));
+    return;
+  }
+  TupleSet delta_set{delta};
+  for (const ndlog::Rule* rule : normal_rules_) {
+    const auto atoms = ndlog::RuleEngine::positive_atoms(*rule);
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (atoms[i]->atom.predicate != delta.predicate()) continue;
+      worker.rules->eval_rule_delta(*rule, *item.db, i, delta_set, [&](Tuple t) {
+        worker.out.emplace_back(item.tag, std::move(t));
+      });
+    }
+  }
+}
+
+void WorkerPool::push_to(Worker& worker, const RoundItem* item) {
+  const RoundItem* p = item;
+  while (!worker.queue.try_push(p)) {
+    // Ring full: the worker is lagging — wake it and let it drain. The round
+    // sizes in practice fit the ring, so this is a cold path.
+    bell_ring(worker.bell);
+    std::this_thread::yield();
+  }
+}
+
+void WorkerPool::worker_loop(Worker& worker) {
+  const RoundItem* item = nullptr;
+  for (;;) {
+    const std::uint64_t ticket = bell_ticket(worker.bell);
+    if (worker.queue.try_pop(item)) {
+      if (item == nullptr) {
+        // End-of-round sentinel: the fetch_sub's acq_rel publishes this
+        // worker's out buffer to the executive's remaining_ acquire load.
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          bell_ring(done_);
+        }
+        continue;
+      }
+      evaluate(worker, *item);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    bell_wait(worker.bell, ticket);
+  }
+}
+
+void WorkerPool::process_round(const std::vector<RoundItem>& items,
+                               std::vector<std::pair<std::size_t, Tuple>>& out) {
+  ++rounds_;
+  if (workers_.size() < 2) {
+    Worker& only = *workers_.front();
+    for (const auto& item : items) evaluate(only, item);
+    for (auto& entry : only.out) out.push_back(std::move(entry));
+    only.out.clear();
+    return;
+  }
+  std::vector<bool> active(workers_.size(), false);
+  std::int64_t active_count = 0;
+  for (const auto& item : items) {
+    const std::size_t w = config_.router.shard_of(*item.delta, workers_.size());
+    if (!active[w]) {
+      active[w] = true;
+      ++active_count;
+    }
+    push_to(*workers_[w], &item);
+  }
+  if (active_count == 0) return;
+  remaining_.store(active_count, std::memory_order_release);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!active[w]) continue;
+    push_to(*workers_[w], nullptr);
+    bell_ring(workers_[w]->bell);
+  }
+  for (;;) {
+    const std::uint64_t ticket = bell_ticket(done_);
+    if (remaining_.load(std::memory_order_acquire) == 0) break;
+    bell_wait(done_, ticket);
+  }
+  // Shard-major merge: worker order, per-worker push order — a deterministic
+  // function of the items' order and shard keys.
+  for (auto& worker : workers_) {
+    for (auto& entry : worker->out) out.push_back(std::move(entry));
+    worker->out.clear();
+  }
+}
+
+}  // namespace fvn::dataflow

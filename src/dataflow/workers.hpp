@@ -1,0 +1,165 @@
+// Shard-parallel delta evaluation (DESIGN.md §16). A WorkerPool evaluates
+// one *round* of delta tuples across N worker threads and hands the derived
+// tuples back to the executive in a deterministic order; the executive
+// (runtime::Simulator or net::Node) keeps sole ownership of installs, keyed
+// overwrite, aggregate flushes and message routing, all of which stay serial
+// at the round barrier.
+//
+// Safety rests on the static certificate from fvn::ndlog::parallel: every
+// rule group either carries a shard key (all joins of the group align on the
+// key column, so two deltas in different shards can never contribute to the
+// same derivation chain of a round) or was forced Serial, in which case the
+// executive must not construct a pool at all. Within a round the database is
+// frozen — workers only read it (the executive pre-warms every index a probe
+// can touch via prewarm(), so concurrent lookup() calls are pure reads) —
+// and each worker appends derivations to its private output buffer. The
+// merge concatenates those buffers shard-major, and items are routed to
+// shards in input order, so the merged order is a pure function of the input
+// order: re-running a round yields byte-identical output, which is what
+// keeps parallel fixpoints comparable with serial ones tuple for tuple.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dataflow/engine.hpp"
+#include "dataflow/plan.hpp"
+#include "ndlog/catalog.hpp"
+#include "ndlog/database.hpp"
+#include "ndlog/eval.hpp"
+#include "ndlog/parallel.hpp"
+#include "net/spsc_ring.hpp"
+
+namespace fvn::dataflow {
+
+/// Maps each delta tuple to its shard, per the static certificate: the
+/// certified shard-key column where fvn::ndlog::parallel chose one, the
+/// predicate's location column otherwise (every predicate of a localized
+/// program has one, so every tuple routes deterministically).
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+  ShardRouter(const ndlog::parallel::Report& report, const ndlog::Catalog& catalog);
+
+  /// Shard index in [0, workers) for this delta. Out-of-range or unknown
+  /// routing columns collapse to shard 0 (never happens on certified
+  /// programs; keeps the router total anyway).
+  std::size_t shard_of(const ndlog::Tuple& tuple, std::size_t workers) const;
+
+  /// Routing column for `predicate` (-1 when the predicate is unknown).
+  int column_of(const std::string& predicate) const;
+
+ private:
+  std::map<std::string, int> columns_;
+};
+
+/// One delta of a round: the tuple, the (frozen) database it evaluates
+/// against, and an executive-chosen tag threaded through to the output so
+/// derivations can be attributed to their origin (the simulator tags by
+/// batch position to recover the owning node).
+struct RoundItem {
+  const ndlog::Tuple* delta = nullptr;
+  const ndlog::Database* db = nullptr;
+  std::size_t tag = 0;
+};
+
+/// A fixed set of worker threads evaluating delta rounds. One pool per
+/// executive thread (per simulator, per cluster node) — process_round() is
+/// not reentrant. With workers == 1 the pool spawns no threads at all and
+/// evaluates rounds inline on the caller, so the single-worker overhead is
+/// one virtual-free function call per delta (the bench gate relies on this).
+class WorkerPool {
+ public:
+  struct Config {
+    std::size_t workers = 1;
+    /// Compiled mode: each worker owns an Engine over this plan. Null =
+    /// interpreter mode (each worker owns a RuleEngine over `program`).
+    const Plan* plan = nullptr;
+    /// Localized program (interpreter mode rule list; must outlive the pool).
+    const ndlog::Program* program = nullptr;
+    const ndlog::BuiltinRegistry* builtins = nullptr;
+    /// Index pre-warm universe (interpreter mode probes any column).
+    const ndlog::Catalog* catalog = nullptr;
+    ShardRouter router;
+  };
+
+  explicit WorkerPool(Config config);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Build every index a worker probe can touch on `db` (no-ops once built).
+  /// The executive must call this for each database a round's items point at
+  /// *before* process_round — lookup() builds indexes lazily under const,
+  /// which is a data race once readers are concurrent.
+  void prewarm(const ndlog::Database& db) const;
+
+  /// Evaluate one round: shard `items` across the workers, run every delta
+  /// through the rule strands against its (frozen) database, and append the
+  /// derived head tuples to `out` as (item tag, tuple) pairs in shard-major,
+  /// per-shard-input order — deterministic for a given input order.
+  void process_round(const std::vector<RoundItem>& items,
+                     std::vector<std::pair<std::size_t, ndlog::Tuple>>& out);
+
+  std::size_t workers() const noexcept { return workers_.size(); }
+  /// Rounds evaluated so far (executive thread only).
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  const ShardRouter& router() const noexcept { return config_.router; }
+
+ private:
+  /// Same lost-wakeup-free doorbell as net::Transport's: ring() bumps the
+  /// ticket under the mutex, wait() sleeps until the ticket moves past the
+  /// value read before the caller's last empty poll.
+  struct Doorbell {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<std::uint64_t> signal{0};
+  };
+
+  struct Worker {
+    /// Exactly one of engine/rules is set (plan vs interpreter mode).
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<ndlog::RuleEngine> rules;
+    /// Round inbox: item pointers, terminated by a nullptr sentinel. Writes
+    /// by the executive are published to the worker by the ring's
+    /// release/acquire pair.
+    net::SpscRing<const RoundItem*, 4096> queue;
+    Doorbell bell;
+    /// Private output buffer; read by the executive only after the round's
+    /// completion handshake (remaining_ acq_rel) orders it.
+    std::vector<std::pair<std::size_t, ndlog::Tuple>> out;
+    std::vector<ndlog::Tuple> scratch;
+    std::thread thread;
+  };
+
+  static std::uint64_t bell_ticket(Doorbell& bell);
+  static void bell_ring(Doorbell& bell);
+  static void bell_wait(Doorbell& bell, std::uint64_t ticket);
+
+  void worker_loop(Worker& worker);
+  void evaluate(Worker& worker, const RoundItem& item);
+  void push_to(Worker& worker, const RoundItem* item);
+
+  Config config_;
+  /// Interpreter mode: non-fact, non-aggregate rules in program order (the
+  /// exact list the serial executives iterate, so emission order matches).
+  std::vector<const ndlog::Rule*> normal_rules_;
+  /// (predicate, column) pairs prewarm() touches.
+  std::vector<std::pair<std::string, std::size_t>> prewarm_sites_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  /// Workers still owing an end-of-round sentinel acknowledgement.
+  std::atomic<std::int64_t> remaining_{0};
+  Doorbell done_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace fvn::dataflow

@@ -53,21 +53,28 @@ const TupleSet& Database::relation(const std::string& predicate) const {
   return it == relations_.end() ? kEmpty : it->second;
 }
 
+void Database::ensure_index(const std::string& predicate,
+                            std::size_t position) const {
+  const auto key = std::make_pair(predicate, position);
+  if (indexes_.find(key) != indexes_.end()) return;
+  ColumnIndex index;
+  auto rel = relations_.find(predicate);
+  if (rel != relations_.end()) {
+    for (const auto& t : rel->second) {
+      if (position < t.arity()) index[t.at(position)].push_back(&t);
+    }
+  }
+  indexes_.emplace(key, std::move(index));
+}
+
 const std::vector<const Tuple*>& Database::lookup(const std::string& predicate,
                                                   std::size_t position,
                                                   const Value& value) const {
   const auto key = std::make_pair(predicate, position);
   auto idx = indexes_.find(key);
   if (idx == indexes_.end()) {
-    // Build lazily from the current relation contents.
-    ColumnIndex index;
-    auto rel = relations_.find(predicate);
-    if (rel != relations_.end()) {
-      for (const auto& t : rel->second) {
-        if (position < t.arity()) index[t.at(position)].push_back(&t);
-      }
-    }
-    idx = indexes_.emplace(key, std::move(index)).first;
+    ensure_index(predicate, position);  // lazily, from current contents
+    idx = indexes_.find(key);
   }
   auto bucket = idx->second.find(value);
   return bucket == idx->second.end() ? kNoMatches : bucket->second;

@@ -32,6 +32,12 @@ class Database {
   const std::vector<const Tuple*>& lookup(const std::string& predicate,
                                           std::size_t position,
                                           const Value& value) const;
+  /// Build the (predicate, position) index now if it does not exist yet
+  /// (no-op otherwise). lookup() builds indexes lazily under const, which is
+  /// a data race for concurrent readers; the parallel worker pool pre-warms
+  /// every index its probes can touch before a round fans out, after which
+  /// concurrent lookup() calls are pure reads.
+  void ensure_index(const std::string& predicate, std::size_t position) const;
   /// True if an index exists for (predicate, position) — test/bench hook.
   bool has_index(const std::string& predicate, std::size_t position) const;
   /// All predicates with at least one tuple.

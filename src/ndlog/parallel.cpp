@@ -1,0 +1,628 @@
+// Implementation of the parallel-safety analyzer (see parallel.hpp and
+// DESIGN.md §16). Structure:
+//
+//   1. core gate      — stratify + semantic hazards decide `certified`
+//   2. grouping       — per stratum, union-find rules over shared
+//                       same-stratum derived predicates
+//   3. key search     — per group, backtracking over candidate shard columns
+//                       (non-location attributes first, location last);
+//                       shipped atoms and shipped heads are exempt because
+//                       the message layer serializes them at round barriers
+//   4. aggregates     — ND0024 when an aggregate reads a predicate sharded
+//                       by an attribute absent from its group-by
+//   5. rendering      — human / JSON / DOT
+#include "ndlog/parallel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "ndlog/analysis.hpp"
+#include "ndlog/catalog.hpp"
+#include "ndlog/semantic.hpp"
+
+namespace fvn::ndlog::parallel {
+namespace {
+
+/// Variable name at `col` of a body atom, or "" when out of range / not a
+/// plain variable.
+std::string var_at(const Atom& atom, int col) {
+  if (col < 0 || static_cast<std::size_t>(col) >= atom.args.size()) return {};
+  const TermPtr& t = atom.args[static_cast<std::size_t>(col)];
+  if (!t || t->kind != Term::Kind::Var) return {};
+  return t->name;
+}
+
+/// Variable name at `col` of a head atom ("" for aggregates / non-vars).
+std::string head_var_at(const HeadAtom& head, int col) {
+  if (col < 0 || static_cast<std::size_t>(col) >= head.args.size()) return {};
+  const HeadArg& a = head.args[static_cast<std::size_t>(col)];
+  if (a.is_agg() || !a.term || a.term->kind != Term::Kind::Var) return {};
+  return a.term->name;
+}
+
+/// Location variable of the head ("" when absent or not a plain variable).
+std::string head_location_var(const HeadAtom& head) {
+  return head_var_at(head, head.loc_index);
+}
+
+/// Variables bound by the head's plain (non-aggregate) arguments — the
+/// aggregate's group-by set when the head aggregates.
+std::set<std::string> group_by_vars(const HeadAtom& head) {
+  std::set<std::string> vars;
+  for (const HeadArg& a : head.args) {
+    if (a.is_agg() || !a.term) continue;
+    std::vector<std::string> names;
+    a.term->collect_vars(names);
+    vars.insert(names.begin(), names.end());
+  }
+  return vars;
+}
+
+/// Per-rule facts the key search needs, computed once.
+struct RuleSite {
+  std::vector<const BodyAtom*> positives;
+  std::string eval_site;  ///< location var where the (localized) join runs
+  std::string ship_site;  ///< engaged for two-site rules
+  bool localizable = true;
+  bool head_local = true;  ///< head installs at eval_site (not shipped)
+};
+
+RuleSite rule_site(const Rule& rule) {
+  RuleSite site;
+  for (const BodyElem& elem : rule.body) {
+    if (const auto* ba = std::get_if<BodyAtom>(&elem); ba && !ba->negated) {
+      site.positives.push_back(ba);
+    }
+  }
+  const LocalizationCheck check = check_localizable(rule);
+  site.localizable = check.localizable();
+  if (check.status == LocalizationCheck::Status::Rewritable) {
+    site.eval_site = check.join_site;
+    site.ship_site = check.ship_site;
+  } else {
+    const std::set<std::string> sites = body_location_vars(rule);
+    site.eval_site =
+        sites.empty() ? head_location_var(rule.head) : *sites.begin();
+  }
+  const std::string head_loc = head_location_var(rule.head);
+  site.head_local = head_loc.empty() || head_loc == site.eval_site;
+  return site;
+}
+
+/// One alignment failure, remembered for the ND0023 diagnostic.
+struct Misalignment {
+  std::size_t rule_index = 0;
+  const Atom* atom = nullptr;  ///< offending body atom (null: the head)
+  std::string predicate;
+  int column = -1;  ///< 0-based candidate column that failed
+  std::string expected;
+  std::string found;
+};
+
+/// Check one rule under a (possibly partial) key assignment: every non-exempt
+/// occurrence of an assigned predicate must carry the same variable at its
+/// key column. Shipped atoms under a location key and shipped heads are
+/// exempt — the message layer delivers them at a round barrier.
+std::optional<Misalignment> check_rule(const Rule& rule, std::size_t rule_index,
+                                       const RuleSite& site,
+                                       const Catalog& catalog,
+                                       const std::map<std::string, int>& keys) {
+  std::string shard_var;
+  const Atom* first_atom = nullptr;
+  int first_col = -1;
+  std::string first_pred;
+  auto constrain = [&](const Atom* atom, const std::string& pred, int col,
+                       const std::string& var) -> std::optional<Misalignment> {
+    if (shard_var.empty()) {
+      shard_var = var;
+      first_atom = atom;
+      first_col = col;
+      first_pred = pred;
+      return std::nullopt;
+    }
+    if (shard_var == var) return std::nullopt;
+    return Misalignment{rule_index, atom ? atom : first_atom,
+                        atom ? pred : first_pred, atom ? col : first_col,
+                        shard_var, var};
+  };
+
+  auto head_it = keys.find(rule.head.predicate);
+  if (head_it != keys.end() && site.head_local) {
+    const std::string v = head_var_at(rule.head, head_it->second);
+    if (v.empty()) {
+      return Misalignment{rule_index, nullptr, rule.head.predicate,
+                          head_it->second, "<variable>", "<non-variable>"};
+    }
+    if (auto m = constrain(nullptr, rule.head.predicate, head_it->second, v)) {
+      return m;
+    }
+  }
+  for (const BodyAtom* ba : site.positives) {
+    auto it = keys.find(ba->atom.predicate);
+    if (it == keys.end()) continue;
+    const bool shipped = !site.ship_site.empty() &&
+                         location_var_of(ba->atom) == site.ship_site;
+    const int loc =
+        catalog.contains(ba->atom.predicate)
+            ? static_cast<int>(catalog.info(ba->atom.predicate).loc_index)
+            : 0;
+    if (shipped && it->second == loc) continue;  // re-keyed by the rewrite
+    const std::string v = var_at(ba->atom, it->second);
+    if (v.empty()) {
+      return Misalignment{rule_index, &ba->atom, ba->atom.predicate,
+                          it->second, shard_var.empty() ? "<variable>" : shard_var,
+                          "<non-variable>"};
+    }
+    if (auto m = constrain(&ba->atom, ba->atom.predicate, it->second, v)) {
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Candidate shard columns for `pred` over its occurrences in `rules`:
+/// every occurrence must carry a plain variable there, and materialized
+/// predicates only admit columns inside their P2 key set (cross-shard
+/// installs must never share an overwrite key). Ordered non-location
+/// attributes first, the location column last.
+std::vector<int> candidate_columns(const std::string& pred,
+                                   const Program& program,
+                                   const std::vector<std::size_t>& rules,
+                                   const Catalog& catalog) {
+  if (!catalog.contains(pred)) return {};
+  const PredicateInfo& info = catalog.info(pred);
+  const Materialize* mat = program.materialization_of(pred);
+  std::vector<int> cols;
+  auto usable = [&](int col) {
+    if (mat && !mat->key_fields.empty()) {
+      const auto field = static_cast<std::size_t>(col) + 1;
+      if (std::find(mat->key_fields.begin(), mat->key_fields.end(), field) ==
+          mat->key_fields.end()) {
+        return false;
+      }
+    }
+    for (std::size_t ri : rules) {
+      const Rule& rule = program.rules[ri];
+      if (rule.head.predicate == pred && head_var_at(rule.head, col).empty()) {
+        return false;
+      }
+      for (const BodyElem& elem : rule.body) {
+        const auto* ba = std::get_if<BodyAtom>(&elem);
+        if (!ba || ba->negated || ba->atom.predicate != pred) continue;
+        if (var_at(ba->atom, col).empty()) return false;
+      }
+    }
+    return true;
+  };
+  const int loc = static_cast<int>(info.loc_index);
+  for (int col = 0; col < static_cast<int>(info.arity); ++col) {
+    if (col != loc && usable(col)) cols.push_back(col);
+  }
+  if (loc >= 0 && loc < static_cast<int>(info.arity) && usable(loc)) {
+    cols.push_back(loc);
+  }
+  return cols;
+}
+
+/// Backtracking search for a consistent key assignment over the group's
+/// predicates. Returns the assignment on success; `first_failure` remembers
+/// the earliest misalignment for ND0023.
+bool search_keys(const Program& program, const Catalog& catalog,
+                 const std::vector<std::string>& preds,
+                 const std::vector<std::vector<int>>& candidates,
+                 const std::vector<std::size_t>& rules,
+                 const std::map<std::size_t, RuleSite>& sites, std::size_t i,
+                 std::map<std::string, int>& assignment,
+                 std::optional<Misalignment>& first_failure) {
+  if (i == preds.size()) return true;
+  for (int col : candidates[i]) {
+    assignment[preds[i]] = col;
+    bool ok = true;
+    for (std::size_t ri : rules) {
+      auto m = check_rule(program.rules[ri], ri, sites.at(ri), catalog,
+                          assignment);
+      if (m) {
+        if (!first_failure) first_failure = m;
+        ok = false;
+        break;
+      }
+    }
+    if (ok && search_keys(program, catalog, preds, candidates, rules, sites,
+                          i + 1, assignment, first_failure)) {
+      return true;
+    }
+    assignment.erase(preds[i]);
+  }
+  return false;
+}
+
+std::string key_to_string(const std::string& pred, const ShardKey& key) {
+  std::ostringstream os;
+  os << pred << "=col" << (key.column + 1) << (key.location ? "(@)" : "");
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view to_string(GroupMode mode) noexcept {
+  switch (mode) {
+    case GroupMode::ShardedByAttribute: return "attribute";
+    case GroupMode::ShardedByLocation: return "location";
+    case GroupMode::Serial: return "serial";
+  }
+  return "serial";
+}
+
+Report analyze(const Program& program, DiagnosticSink& sink) {
+  Report report;
+  DiagnosticSink scratch;
+
+  check_arities(program, scratch);
+  if (scratch.has_errors()) {
+    report.fallback_reason = "core checks failed (" +
+                             scratch.first_error()->code + "): serial fallback";
+    return report;
+  }
+  const auto strat = stratify(program, scratch);
+  if (!strat) {
+    report.fallback_reason =
+        "not stratifiable (ND0005): rounds need stratum barriers";
+    return report;
+  }
+  report.stratum_count = strat->stratum_count;
+  report.certified = true;
+
+  const Catalog catalog = Catalog::from_program(program);
+  const std::set<std::string> derived = derived_predicates(program);
+  report.replicated = base_predicates(program);
+
+  // Semantic hazards: predicted divergence and order-sensitive negation
+  // revoke the certificate (the parallel schedule is a different delivery
+  // order, so an order-dependent fixpoint may drift from the serial one).
+  // ND0017 key-projection races do not revoke it: every install is
+  // serialized at round barriers in a deterministic shard-major order, and
+  // the differential suite pins the fixpoints (DESIGN.md §16.4).
+  DiagnosticSink sem_sink;
+  const SemanticReport sem = analyze_semantics(program, sem_sink);
+  if (!sem.divergent_predicates.empty()) {
+    std::ostringstream os;
+    os << "predicted divergence (ND0015):";
+    for (const auto& p : sem.divergent_predicates) os << " " << p;
+    report.certified = false;
+    report.fallback_reason = os.str();
+  }
+  for (const Diagnostic& d : sem_sink.diagnostics()) {
+    if (d.code == "ND0016" && report.certified) {
+      report.certified = false;
+      report.fallback_reason =
+          "order-sensitive negation (ND0016) over " + d.predicate;
+    }
+  }
+
+  // Negation barriers (ND0025). Stratification already guarantees negated
+  // predicates live in strictly earlier strata; a negation over a *base*
+  // predicate only reads externally injected state, frozen during a round.
+  // A negation over a derived predicate would need the incremental runtime
+  // to phase strata, which it does not — certificate revoked.
+  for (std::size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const Rule& rule = program.rules[ri];
+    for (const BodyElem& elem : rule.body) {
+      const auto* ba = std::get_if<BodyAtom>(&elem);
+      if (!ba || !ba->negated) continue;
+      ++report.negation_barriers;
+      const bool over_derived = derived.count(ba->atom.predicate) != 0;
+      sink.note("ND0025",
+                "negation !" + ba->atom.predicate +
+                    " is evaluated only at stratum barriers" +
+                    (over_derived ? "; derived operand revokes the certificate"
+                                  : " (base relation: frozen during a round)"),
+                ba->atom.span())
+          .in_rule(static_cast<int>(ri), rule.head.predicate);
+      if (over_derived && report.certified) {
+        report.certified = false;
+        report.fallback_reason = "negation over derived predicate '" +
+                                 ba->atom.predicate + "' (rule " +
+                                 rule.display_name() + ")";
+      }
+    }
+  }
+
+  // Group rules per stratum: connected components over shared same-stratum
+  // derived predicates.
+  for (int s = 0; s < strat->stratum_count; ++s) {
+    if (static_cast<std::size_t>(s) >= strat->rules_by_stratum.size()) break;
+    std::vector<std::size_t> rules;
+    for (std::size_t ri : strat->rules_by_stratum[static_cast<std::size_t>(s)]) {
+      if (!program.rules[ri].is_fact()) rules.push_back(ri);
+    }
+    if (rules.empty()) continue;
+    std::sort(rules.begin(), rules.end());
+
+    // In-stratum derived predicates each rule touches.
+    auto in_stratum = [&](const std::string& pred) {
+      auto it = strat->stratum_of.find(pred);
+      return derived.count(pred) != 0 && it != strat->stratum_of.end() &&
+             it->second == s;
+    };
+    std::map<std::string, std::size_t> pred_slot;  // pred -> component id
+    std::vector<std::size_t> parent;
+    std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    std::vector<std::vector<std::string>> rule_preds(rules.size());
+    for (std::size_t k = 0; k < rules.size(); ++k) {
+      const Rule& rule = program.rules[rules[k]];
+      std::set<std::string> touched;
+      if (in_stratum(rule.head.predicate)) touched.insert(rule.head.predicate);
+      for (const BodyElem& elem : rule.body) {
+        const auto* ba = std::get_if<BodyAtom>(&elem);
+        if (ba && !ba->negated && in_stratum(ba->atom.predicate)) {
+          touched.insert(ba->atom.predicate);
+        }
+      }
+      rule_preds[k].assign(touched.begin(), touched.end());
+      for (const std::string& p : touched) {
+        if (!pred_slot.count(p)) {
+          pred_slot[p] = parent.size();
+          parent.push_back(parent.size());
+        }
+      }
+      for (std::size_t j = 1; j < rule_preds[k].size(); ++j) {
+        parent[find(pred_slot[rule_preds[k][0]])] =
+            find(pred_slot[rule_preds[k][j]]);
+      }
+    }
+    std::map<std::size_t, RuleGroup> components;  // root -> group
+    for (std::size_t k = 0; k < rules.size(); ++k) {
+      // Rules with no in-stratum predicate cannot occur (the head is always
+      // in-stratum); guard anyway for synthetic programs.
+      const std::size_t root =
+          rule_preds[k].empty() ? rules.size() + k
+                                : find(pred_slot[rule_preds[k][0]]);
+      RuleGroup& group = components[root];
+      group.stratum = s;
+      group.rules.push_back(rules[k]);
+      group.predicates.insert(rule_preds[k].begin(), rule_preds[k].end());
+    }
+    std::vector<RuleGroup> ordered;
+    ordered.reserve(components.size());
+    for (auto& [root, group] : components) ordered.push_back(std::move(group));
+    std::sort(ordered.begin(), ordered.end(),
+              [](const RuleGroup& a, const RuleGroup& b) {
+                return a.rules.front() < b.rules.front();
+              });
+    for (RuleGroup& group : ordered) report.groups.push_back(std::move(group));
+  }
+
+  // Key search per group.
+  for (RuleGroup& group : report.groups) {
+    std::map<std::size_t, RuleSite> sites;
+    bool localizable = true;
+    for (std::size_t ri : group.rules) {
+      sites[ri] = rule_site(program.rules[ri]);
+      if (!sites[ri].localizable) localizable = false;
+    }
+    if (!localizable) {
+      group.mode = GroupMode::Serial;
+      group.detail = "contains a non-localizable rule";
+      continue;
+    }
+    const std::vector<std::string> preds(group.predicates.begin(),
+                                         group.predicates.end());
+    std::vector<std::vector<int>> candidates;
+    candidates.reserve(preds.size());
+    bool feasible = true;
+    for (const std::string& p : preds) {
+      candidates.push_back(candidate_columns(p, program, group.rules, catalog));
+      if (candidates.back().empty()) feasible = false;
+    }
+    std::map<std::string, int> assignment;
+    std::optional<Misalignment> failure;
+    const bool found =
+        feasible && search_keys(program, catalog, preds, candidates,
+                                group.rules, sites, 0, assignment, failure);
+    if (!found) {
+      group.mode = GroupMode::Serial;
+      group.detail = "no consistent shard key; group runs on shard 0";
+    } else {
+      bool all_location = true;
+      std::vector<std::string> parts;
+      for (const std::string& p : preds) {
+        ShardKey key;
+        key.column = assignment[p];
+        key.location = catalog.contains(p) &&
+                       key.column == static_cast<int>(catalog.info(p).loc_index);
+        if (!key.location) all_location = false;
+        report.keys[p] = key;
+        parts.push_back(key_to_string(p, key));
+      }
+      group.mode = all_location ? GroupMode::ShardedByLocation
+                                : GroupMode::ShardedByAttribute;
+      std::ostringstream os;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        os << (i ? ", " : "") << parts[i];
+      }
+      group.detail = os.str();
+    }
+    // ND0023: the search stepped past (or exhausted) attribute candidates.
+    // Name the first misaligned atom with a reorder hint.
+    if (failure && (group.mode != GroupMode::ShardedByAttribute)) {
+      const Rule& rule = program.rules[failure->rule_index];
+      std::ostringstream msg;
+      msg << "key-misaligned join blocks attribute sharding: ";
+      if (failure->atom) {
+        msg << "atom " << failure->atom->to_string() << " in rule "
+            << rule.display_name();
+      } else {
+        msg << "the head of rule " << rule.display_name();
+      }
+      msg << " carries " << failure->found << " at candidate shard column "
+          << (failure->column + 1) << " of " << failure->predicate
+          << " where the group's shard variable is " << failure->expected
+          << "; falling back to "
+          << (group.mode == GroupMode::Serial ? "serial evaluation"
+                                              : "location sharding");
+      SourceSpan span = failure->atom ? failure->atom->span() : rule.span();
+      sink.warning("ND0023", msg.str(), span)
+          .in_rule(static_cast<int>(failure->rule_index), rule.head.predicate)
+          .hint = "re-key " + failure->predicate +
+                  " on a join attribute shared with the rest of the group, "
+                  "or reorder the join so the probe stays shard-local";
+    }
+  }
+
+  // ND0024: aggregates whose input is sharded by an attribute absent from
+  // the group-by need a cross-shard merge; the runtime evaluates them at the
+  // serial barrier between rounds.
+  for (std::size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const Rule& rule = program.rules[ri];
+    if (rule.is_fact() || !rule.head.has_aggregate()) continue;
+    const std::set<std::string> keep = group_by_vars(rule.head);
+    for (const BodyElem& elem : rule.body) {
+      const auto* ba = std::get_if<BodyAtom>(&elem);
+      if (!ba || ba->negated) continue;
+      auto it = report.keys.find(ba->atom.predicate);
+      if (it == report.keys.end() || it->second.location) continue;
+      const std::string v = var_at(ba->atom, it->second.column);
+      if (!v.empty() && keep.count(v)) continue;
+      std::ostringstream msg;
+      msg << "aggregate over " << ba->atom.predicate << " (sharded by column "
+          << (it->second.column + 1)
+          << ") groups across shards; the rule is evaluated at the serial "
+             "barrier";
+      if (sem.order_sensitive_predicates.count(rule.head.predicate)) {
+        msg << " (input is order-sensitive per the CALM analysis)";
+      }
+      sink.warning("ND0024", msg.str(), ba->atom.span())
+          .in_rule(static_cast<int>(ri), rule.head.predicate);
+      if (std::find(report.serial_rules.begin(), report.serial_rules.end(),
+                    ri) == report.serial_rules.end()) {
+        report.serial_rules.push_back(ri);
+      }
+      break;  // one ND0024 per rule
+    }
+  }
+  std::sort(report.serial_rules.begin(), report.serial_rules.end());
+
+  if (report.certified) {
+    std::ostringstream os;
+    os << "parallel evaluation certified: " << report.stratum_count
+       << (report.stratum_count == 1 ? " stratum, " : " strata, ")
+       << report.groups.size()
+       << (report.groups.size() == 1 ? " group" : " groups");
+    if (!report.keys.empty()) {
+      os << "; shard keys:";
+      for (const auto& [pred, key] : report.keys) {
+        os << " " << key_to_string(pred, key);
+      }
+    }
+    sink.note("ND0022", os.str());
+  }
+  return report;
+}
+
+std::string to_human(const Report& report) {
+  std::ostringstream os;
+  os << "parallel: "
+     << (report.certified ? "certified" : "not certified — serial fallback")
+     << "\n";
+  if (!report.certified) {
+    os << "  reason: " << report.fallback_reason << "\n";
+  }
+  for (const RuleGroup& group : report.groups) {
+    os << "  stratum " << group.stratum << " [" << to_string(group.mode)
+       << "]";
+    os << " rules";
+    for (std::size_t ri : group.rules) os << " #" << ri;
+    if (!group.detail.empty()) os << ": " << group.detail;
+    os << "\n";
+  }
+  if (!report.replicated.empty()) {
+    os << "  replicated:";
+    for (const auto& p : report.replicated) os << " " << p;
+    os << "\n";
+  }
+  if (!report.serial_rules.empty()) {
+    os << "  serial barrier rules:";
+    for (std::size_t ri : report.serial_rules) os << " #" << ri;
+    os << "\n";
+  }
+  if (report.negation_barriers != 0) {
+    os << "  negation barriers: " << report.negation_barriers << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"certified\":" << (report.certified ? "true" : "false")
+     << ",\"fallback_reason\":\"" << json_escape(report.fallback_reason)
+     << "\",\"strata\":" << report.stratum_count << ",\"groups\":[";
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const RuleGroup& group = report.groups[i];
+    os << (i ? "," : "") << "{\"stratum\":" << group.stratum << ",\"mode\":\""
+       << to_string(group.mode) << "\",\"rules\":[";
+    for (std::size_t j = 0; j < group.rules.size(); ++j) {
+      os << (j ? "," : "") << group.rules[j];
+    }
+    os << "],\"predicates\":[";
+    std::size_t j = 0;
+    for (const auto& p : group.predicates) {
+      os << (j++ ? "," : "") << "\"" << json_escape(p) << "\"";
+    }
+    os << "],\"detail\":\"" << json_escape(group.detail) << "\"}";
+  }
+  os << "],\"keys\":{";
+  std::size_t i = 0;
+  for (const auto& [pred, key] : report.keys) {
+    os << (i++ ? "," : "") << "\"" << json_escape(pred)
+       << "\":{\"column\":" << (key.column + 1)
+       << ",\"location\":" << (key.location ? "true" : "false") << "}";
+  }
+  os << "},\"replicated\":[";
+  i = 0;
+  for (const auto& p : report.replicated) {
+    os << (i++ ? "," : "") << "\"" << json_escape(p) << "\"";
+  }
+  os << "],\"serial_rules\":[";
+  for (std::size_t j = 0; j < report.serial_rules.size(); ++j) {
+    os << (j ? "," : "") << report.serial_rules[j];
+  }
+  os << "],\"negation_barriers\":" << report.negation_barriers << "}";
+  return os.str();
+}
+
+std::string to_dot(const Program& program, const Report& report) {
+  std::ostringstream os;
+  os << "digraph parallel {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const RuleGroup& group = report.groups[i];
+    os << "  subgraph cluster_" << i << " {\n    label=\"stratum "
+       << group.stratum << " / " << to_string(group.mode) << "\";\n";
+    for (const auto& p : group.predicates) {
+      os << "    \"" << p << "\"";
+      auto it = report.keys.find(p);
+      if (it != report.keys.end()) {
+        os << " [label=\"" << p << "\\nkey col " << (it->second.column + 1)
+           << (it->second.location ? " (@)" : "") << "\"]";
+      }
+      os << ";\n";
+    }
+    os << "  }\n";
+  }
+  for (const auto& p : report.replicated) {
+    os << "  \"" << p << "\" [style=dashed];\n";
+  }
+  for (const DependencyEdge& edge : dependency_edges(program)) {
+    os << "  \"" << edge.head << "\" -> \"" << edge.body << "\"";
+    if (edge.negated) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fvn::ndlog::parallel

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "ndlog/parallel.hpp"
 #include "runtime/localize.hpp"
 
 namespace fvn::net {
@@ -51,6 +52,21 @@ Cluster::Cluster(ndlog::Program program, ClusterOptions options,
     plan_options.incremental_aggregates = options_.incremental_aggregates;
     plan_options.cost_order = options_.cost_order;
     plan_.emplace(dataflow::compile(program_, plan_options));
+  }
+  if (options_.workers >= 1) {
+    // Shard-parallel mode needs the static certificate over the localized
+    // program (the form the per-node engines run). Taken once here; run()
+    // hands every node a private pool when it holds.
+    ndlog::DiagnosticSink parallel_sink;
+    const auto report = ndlog::parallel::analyze(program_, parallel_sink);
+    if (report.certified) {
+      parallel_certified_ = true;
+      router_ = dataflow::ShardRouter(report, catalog_);
+    } else {
+      parallel_fallback_ = report.fallback_reason.empty()
+                               ? "program not certified"
+                               : report.fallback_reason;
+    }
   }
   for (const auto& rule : program_.rules) {
     if (!rule.is_fact()) continue;
@@ -142,9 +158,23 @@ ClusterStats Cluster::run() {
   // thread starts; afterwards node threads only touch their own state.
   for (const auto& [name, facts] : seeds_) transport_->add_node(name);
   for (const auto& [name, facts] : seeds_) {
+    dataflow::WorkerPool* pool = nullptr;
+    if (parallel_certified_) {
+      // One pool per node: worker engines keep per-round mutable state, so
+      // pools are never shared across node threads.
+      dataflow::WorkerPool::Config cfg;
+      cfg.workers = options_.workers;
+      cfg.plan = plan_ ? &*plan_ : nullptr;
+      cfg.program = &program_;
+      cfg.builtins = builtins_;
+      cfg.catalog = &catalog_;
+      cfg.router = router_;
+      pools_.push_back(std::make_unique<dataflow::WorkerPool>(std::move(cfg)));
+      pool = pools_.back().get();
+    }
     auto node = std::make_unique<Node>(name, program_, catalog_, *builtins_,
                                        plan_ ? &*plan_ : nullptr, *transport_,
-                                       options_.reliability, make_obs(name));
+                                       options_.reliability, make_obs(name), pool);
     for (const auto& fact : facts) node->seed(fact);
     nodes_.emplace(name, std::move(node));
   }
@@ -247,6 +277,9 @@ ClusterStats Cluster::run() {
     stats.ack_bytes += ns.ack_bytes;
   }
   stats.transport = transport_->stats();
+  stats.parallel_active = parallel_certified_;
+  stats.parallel_fallback_reason = parallel_fallback_;
+  for (const auto& pool : pools_) stats.parallel_rounds += pool->rounds();
   if (options_.trace != nullptr) {
     options_.trace->instant("net/quiesced", "net",
                             std::string("{\"quiesced\":") +

@@ -71,6 +71,13 @@ struct ClusterOptions {
   bool incremental_aggregates = true;
   /// Dataflow engine: compile with cost-guided join ordering.
   bool cost_order = false;
+  /// Shard-parallel evaluation (both engines). 0 = untouched serial nodes.
+  /// >= 1 asks fvn::ndlog::parallel to certify the (localized) program; when
+  /// certified, every node gets a private worker pool of this size and
+  /// evaluates delivered batches in shard-keyed rounds (1 = round machinery
+  /// without extra threads). Uncertified programs transparently run serial;
+  /// ClusterStats::parallel_fallback_reason says why.
+  std::size_t workers = 0;
   /// Observability sinks (null = off). With `metrics`, per-node series
   /// net/node/<n>/{sent,received,retransmitted,acked,installed,bytes_sent,
   /// bytes_received,ack_bytes,tuples_shipped,mailbox_depth,batch_size,
@@ -109,6 +116,12 @@ struct ClusterStats {
   std::size_t coordinator_polls = 0;
   double wall_ms = 0.0;
   bool quiesced = false;
+  /// Shard-parallel execution (ClusterOptions::workers): whether the
+  /// certificate admitted it, why not when it didn't, and the total worker
+  /// rounds evaluated across all nodes.
+  bool parallel_active = false;
+  std::string parallel_fallback_reason;
+  std::uint64_t parallel_rounds = 0;
 };
 
 /// Distributed executor for one hard-state NDlog program. One-shot: run()
@@ -160,6 +173,13 @@ class Cluster {
   std::map<std::string, std::vector<ndlog::Tuple>> seeds_;  // node -> facts
   std::unique_ptr<Transport> transport_;
   std::map<std::string, std::unique_ptr<Node>> nodes_;
+  /// Shard-parallel mode: the certificate verdict (taken once, in the
+  /// constructor) and one worker pool per node, created before the node
+  /// threads start and destroyed after they join.
+  bool parallel_certified_ = false;
+  std::string parallel_fallback_;
+  dataflow::ShardRouter router_;
+  std::vector<std::unique_ptr<dataflow::WorkerPool>> pools_;
   /// Per-node tuple-event traces (capture_tuple_events only), created before
   /// the node threads start and read only after they join.
   std::map<std::string, std::unique_ptr<obs::Trace>> tuple_traces_;

@@ -14,7 +14,7 @@ using ndlog::TupleSet;
 Node::Node(std::string name, const ndlog::Program& program,
            const ndlog::Catalog& catalog, const ndlog::BuiltinRegistry& builtins,
            const dataflow::Plan* plan, Transport& transport,
-           ReliabilityOptions reliability, NodeObs obs)
+           ReliabilityOptions reliability, NodeObs obs, dataflow::WorkerPool* pool)
     : name_(std::move(name)),
       program_(&program),
       catalog_(&catalog),
@@ -24,6 +24,7 @@ Node::Node(std::string name, const ndlog::Program& program,
       obs_(obs),
       engine_(builtins),
       plan_(plan),
+      pool_(pool),
       epoch_(std::chrono::steady_clock::now()) {
   if (plan_ != nullptr) {
     // Per-node engine with a null registry: obs::Registry is not thread-safe
@@ -174,7 +175,13 @@ bool Node::run_agg_rules() {
           if (!d.assert_now.has_value()) continue;
           const std::string dest = location_of(*d.assert_now);
           if (dest == name_) {
-            if (install(*d.assert_now)) run_rules(*d.assert_now);
+            if (install(*d.assert_now)) {
+              if (agg_collect_ != nullptr) {
+                agg_collect_->push_back(std::move(*d.assert_now));
+              } else {
+                run_rules(*d.assert_now);
+              }
+            }
           } else {
             ship(std::move(*d.assert_now), dest);
           }
@@ -205,7 +212,13 @@ bool Node::run_agg_rules() {
       for (auto& t : added) {
         const std::string dest = location_of(t);
         if (dest == name_) {
-          if (install(t)) run_rules(t);
+          if (install(t)) {
+            if (agg_collect_ != nullptr) {
+              agg_collect_->push_back(std::move(t));
+            } else {
+              run_rules(t);
+            }
+          }
         } else {
           ship(std::move(t), dest);
         }
@@ -238,7 +251,13 @@ bool Node::run_agg_rules() {
     for (auto& t : added) {
       const std::string dest = location_of(t);
       if (dest == name_) {
-        if (install(t)) run_rules(t);
+        if (install(t)) {
+          if (agg_collect_ != nullptr) {
+            agg_collect_->push_back(std::move(t));
+          } else {
+            run_rules(t);
+          }
+        }
       } else {
         ship(std::move(t), dest);
       }
@@ -366,6 +385,10 @@ void Node::send_ack(const std::string& dest, std::uint64_t cumulative_seq) {
 }
 
 void Node::deliver_tuples(std::vector<Tuple>&& tuples) {
+  if (pool_ != nullptr) {
+    deliver_tuples_parallel(std::move(tuples));
+    return;
+  }
   for (auto& t : tuples) {
     const bool transient = pred_info(t.predicate()).transient;
     deliver(std::move(t), transient);
@@ -373,6 +396,48 @@ void Node::deliver_tuples(std::vector<Tuple>&& tuples) {
   // One aggregate flush per delivered batch instead of per tuple — with
   // batching this is where most of the cluster's rule-evaluation time went.
   flush_agg_rules();
+}
+
+void Node::deliver_tuples_parallel(std::vector<Tuple>&& tuples) {
+  // Round 0: serial installs in batch order (the exact order the serial
+  // path would use); survivors plus transients form the delta frontier.
+  std::vector<Tuple> frontier;
+  for (auto& t : tuples) {
+    if (pred_info(t.predicate()).transient) {
+      frontier.push_back(std::move(t));
+    } else if (install(t)) {
+      frontier.push_back(std::move(t));
+    }
+  }
+  while (!frontier.empty()) {
+    // Freeze the database for this round: build every probeable index now,
+    // then the workers' concurrent lookups are pure reads.
+    pool_->prewarm(db_);
+    std::vector<dataflow::RoundItem> items;
+    items.reserve(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      items.push_back(dataflow::RoundItem{&frontier[i], &db_, i});
+    }
+    std::vector<std::pair<std::size_t, Tuple>> produced;
+    pool_->process_round(items, produced);
+
+    // Barrier: installs, ships and aggregate flushes serialize again, in
+    // the pool's deterministic shard-major merge order.
+    std::vector<Tuple> next;
+    for (auto& [tag, t] : produced) {
+      (void)tag;  // single node: every delta is ours
+      const std::string& dest = location_of(t);
+      if (dest == name_) {
+        if (install(t)) next.push_back(std::move(t));
+      } else {
+        ship(std::move(t), dest);
+      }
+    }
+    agg_collect_ = &next;
+    flush_agg_rules();
+    agg_collect_ = nullptr;
+    frontier = std::move(next);
+  }
 }
 
 void Node::handle_batch(Frame&& frame) {
@@ -477,12 +542,20 @@ bool Node::sweep() {
 void Node::run(const std::atomic<bool>& stop) {
   try {
     rx_cursor_ = transport_->rx_cursor(name_);
-    for (auto& fact : seeds_) {
-      deliver(std::move(fact), /*transient=*/false);
-      activity_.fetch_add(1, std::memory_order_acq_rel);
+    if (pool_ != nullptr) {
+      // The seed batch goes through the same round machinery as delivered
+      // batches (deliver_tuples_parallel flushes aggregates per round).
+      activity_.fetch_add(seeds_.size(), std::memory_order_acq_rel);
+      std::vector<Tuple> seeds = std::move(seeds_);
+      deliver_tuples_parallel(std::move(seeds));
+    } else {
+      for (auto& fact : seeds_) {
+        deliver(std::move(fact), /*transient=*/false);
+        activity_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      flush_agg_rules();
     }
     seeds_.clear();
-    flush_agg_rules();
     flush_channels();  // the seeds' derivations ship before the first sweep
     std::uint32_t idle_streak = 0;
     while (!stop.load(std::memory_order_acquire)) {

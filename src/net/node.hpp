@@ -53,6 +53,7 @@
 
 #include "dataflow/engine.hpp"
 #include "dataflow/plan.hpp"
+#include "dataflow/workers.hpp"
 #include "ndlog/catalog.hpp"
 #include "ndlog/eval.hpp"
 #include "net/transport.hpp"
@@ -133,11 +134,16 @@ struct NodeStats {
 /// owns the lifecycle.
 class Node {
  public:
-  /// `program`, `catalog`, `builtins`, `plan` and `transport` must outlive
-  /// the node; `plan` is null in interpreter mode.
+  /// `program`, `catalog`, `builtins`, `plan`, `transport` and `pool` must
+  /// outlive the node; `plan` is null in interpreter mode. `pool` (may be
+  /// null = serial) is this node's private shard-parallel worker pool: the
+  /// Cluster only hands one over when fvn::ndlog::parallel certified the
+  /// program, and the node then evaluates each delivered batch in
+  /// shard-keyed rounds instead of per-tuple cascades.
   Node(std::string name, const ndlog::Program& program, const ndlog::Catalog& catalog,
        const ndlog::BuiltinRegistry& builtins, const dataflow::Plan* plan,
-       Transport& transport, ReliabilityOptions reliability, NodeObs obs);
+       Transport& transport, ReliabilityOptions reliability, NodeObs obs,
+       dataflow::WorkerPool* pool = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -215,6 +221,11 @@ class Node {
   void handle_frame(const std::string& bytes);
   void handle_batch(Frame&& frame);
   void deliver_tuples(std::vector<ndlog::Tuple>&& tuples);
+  /// Shard-parallel variant (pool_ != null): install the batch serially,
+  /// then evaluate the surviving deltas in worker rounds with installs,
+  /// aggregate flushes and ships serialized at each round barrier — the
+  /// simulator's deliver_parallel_batch, restricted to one node.
+  void deliver_tuples_parallel(std::vector<ndlog::Tuple>&& tuples);
   void send_ack(const std::string& dest, std::uint64_t cumulative_seq);
   void retransmit_due();
   void ship(ndlog::Tuple tuple, const std::string& dest);
@@ -256,6 +267,11 @@ class Node {
   std::vector<const ndlog::Rule*> normal_rules_;
   std::vector<const ndlog::Rule*> agg_rules_;
   const dataflow::Plan* plan_;
+  dataflow::WorkerPool* pool_;  // null = serial evaluation
+  /// Non-null only inside deliver_tuples_parallel: run_agg_rules appends
+  /// locally installed aggregate rows here (next round's deltas) instead of
+  /// cascading through run_rules immediately.
+  std::vector<ndlog::Tuple>* agg_collect_ = nullptr;
 
   ndlog::Database db_;
   /// One entry per keyed-overwrite slot; the element is the installed tuple.

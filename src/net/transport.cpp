@@ -231,16 +231,11 @@ TransportStats Transport::stats() {
 InProcTransport::InProcTransport(FaultOptions faults) : Transport(faults) {}
 
 void InProcTransport::Channel::push(std::string frame) {
-  if (!overflowing_.load(std::memory_order_relaxed)) {
-    // Only the consumer clears overflowing_, and only after draining the
-    // deque — so reading false here proves the overflow is empty and the
-    // ring push preserves FIFO.
-    const std::size_t t = tail_.load(std::memory_order_relaxed);
-    if (t - head_.load(std::memory_order_acquire) < kCapacity) {
-      slots[t & (kCapacity - 1)] = std::move(frame);
-      tail_.store(t + 1, std::memory_order_release);
-      return;
-    }
+  // Only the consumer clears overflowing_, and only after draining the
+  // deque — so reading false here proves the overflow is empty and the
+  // ring push preserves FIFO.
+  if (!overflowing_.load(std::memory_order_relaxed) && ring.try_push(frame)) {
+    return;
   }
   std::lock_guard<std::mutex> lock(overflow_mutex_);
   overflowing_.store(true, std::memory_order_release);
@@ -250,12 +245,7 @@ void InProcTransport::Channel::push(std::string frame) {
 bool InProcTransport::Channel::pop(std::string& frame) {
   // Ring first: while overflowing_, every ring frame predates every overflow
   // frame, so this order is exactly per-channel FIFO.
-  const std::size_t h = head_.load(std::memory_order_relaxed);
-  if (h != tail_.load(std::memory_order_acquire)) {
-    frame = std::move(slots[h & (kCapacity - 1)]);
-    head_.store(h + 1, std::memory_order_release);
-    return true;
-  }
+  if (ring.try_pop(frame)) return true;
   if (!overflowing_.load(std::memory_order_acquire)) return false;
   std::lock_guard<std::mutex> lock(overflow_mutex_);
   if (overflow_.empty()) {
@@ -269,9 +259,7 @@ bool InProcTransport::Channel::pop(std::string& frame) {
 }
 
 bool InProcTransport::Channel::looks_empty() {
-  return head_.load(std::memory_order_acquire) ==
-             tail_.load(std::memory_order_acquire) &&
-         !overflowing_.load(std::memory_order_acquire);
+  return ring.looks_empty() && !overflowing_.load(std::memory_order_acquire);
 }
 
 void InProcTransport::add_node(const std::string& name) {

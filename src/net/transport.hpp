@@ -49,6 +49,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/spsc_ring.hpp"
+
 namespace fvn::net {
 
 /// Thrown when a transport cannot be constructed (e.g. no socket support) or
@@ -233,25 +235,18 @@ class InProcTransport final : public Transport {
   bool impl_quiet() override;
 
  private:
-  /// One directed (src,dst) channel. Invariants:
-  ///   * single producer (src's thread via send/pump), single consumer
-  ///     (dst's thread via recv) — the only writers of tail_ and head_;
-  ///   * a slot is published by the tail_ release-store and consumed before
-  ///     the head_ release-store, so slot contents never race;
-  ///   * `overflowing_` is set only by the producer (under overflow_mutex_)
-  ///     and cleared only by the consumer (under overflow_mutex_, once the
-  ///     deque is drained). While it is set the producer appends to the
-  ///     overflow deque instead of the ring, so every overflow frame is newer
-  ///     than every ring frame and draining ring-then-overflow preserves
-  ///     per-channel FIFO;
-  ///   * capacity is a power of two; indices grow monotonically and are
-  ///     masked on access, so head_ <= tail_ <= head_ + kCapacity.
+  /// One directed (src,dst) channel: an SpscRing (see spsc_ring.hpp for the
+  /// single-producer/single-consumer memory-ordering argument) plus an
+  /// overflow deque. `overflowing_` is set only by the producer (under
+  /// overflow_mutex_) and cleared only by the consumer (under
+  /// overflow_mutex_, once the deque is drained). While it is set the
+  /// producer appends to the overflow deque instead of the ring, so every
+  /// overflow frame is newer than every ring frame and draining
+  /// ring-then-overflow preserves per-channel FIFO.
   struct Channel {
     static constexpr std::size_t kCapacity = 256;
 
-    std::vector<std::string> slots = std::vector<std::string>(kCapacity);
-    std::atomic<std::size_t> head_{0};  // consumer cursor
-    std::atomic<std::size_t> tail_{0};  // producer cursor
+    SpscRing<std::string, kCapacity> ring;
     std::atomic<bool> overflowing_{false};
     std::mutex overflow_mutex_;
     std::deque<std::string> overflow_;

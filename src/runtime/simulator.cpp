@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ndlog/parallel.hpp"
 #include "obs/json.hpp"
 #include "runtime/localize.hpp"
 
@@ -51,6 +52,28 @@ Simulator::Simulator(ndlog::Program program, SimOptions options,
     plan_options.cost_order = options_.cost_order;
     plan_.emplace(dataflow::compile(program_, plan_options));
   }
+  if (options_.workers >= 1) {
+    // Shard-parallel mode rides on the static certificate over the
+    // *localized* program (the form the per-node engines actually run).
+    ndlog::DiagnosticSink parallel_sink;
+    const auto report = ndlog::parallel::analyze(program_, parallel_sink);
+    if (report.certified) {
+      dataflow::WorkerPool::Config cfg;
+      cfg.workers = options_.workers;
+      cfg.plan = plan_ ? &*plan_ : nullptr;
+      cfg.program = &program_;
+      cfg.builtins = builtins_;
+      cfg.catalog = &catalog_;
+      cfg.router = dataflow::ShardRouter(report, catalog_);
+      pool_ = std::make_unique<dataflow::WorkerPool>(std::move(cfg));
+      stats_.parallel_active = true;
+    } else {
+      // Transparent fallback: run serial, but tell the caller why.
+      stats_.parallel_fallback_reason = report.fallback_reason.empty()
+                                            ? "program not certified"
+                                            : report.fallback_reason;
+    }
+  }
   for (const auto& rule : program_.rules) {
     if (rule.is_fact()) {
       // Program-embedded ground facts are injected at t=0.
@@ -66,6 +89,7 @@ Simulator::Simulator(ndlog::Program program, SimOptions options,
     for (const auto& elem : rule.body) {
       if (const auto* ba = std::get_if<ndlog::BodyAtom>(&elem)) {
         if (ba->atom.predicate == "periodic") uses_periodic_ = true;
+        if (rule.head.has_aggregate()) agg_body_preds_.insert(ba->atom.predicate);
       }
     }
   }
@@ -78,9 +102,22 @@ void Simulator::set_link_delay(const std::string& from, const std::string& to,
   link_delays_[{from, to}] = delay;
 }
 
+const Simulator::PredInfo& Simulator::pred_info(const std::string& predicate) const {
+  auto it = pred_cache_.find(predicate);
+  if (it != pred_cache_.end()) return it->second;
+  PredInfo info;
+  if (catalog_.contains(predicate)) {
+    const auto& mat = catalog_.info(predicate);
+    info.loc_index = mat.loc_index;
+    info.lifetime = mat.lifetime_seconds;
+    info.transient = mat.lifetime_seconds.has_value() && *mat.lifetime_seconds == 0.0;
+    if (!mat.key_fields.empty()) info.key_fields = &mat.key_fields;
+  }
+  return pred_cache_.emplace(predicate, info).first->second;
+}
+
 std::string Simulator::location_of(const Tuple& tuple) const {
-  const std::size_t idx =
-      catalog_.contains(tuple.predicate()) ? catalog_.loc_index(tuple.predicate()) : 0;
+  const std::size_t idx = pred_info(tuple.predicate()).loc_index;
   if (idx >= tuple.arity() || !tuple.at(idx).is_addr()) {
     throw ndlog::AnalysisError("tuple " + tuple.to_string() +
                                " has no address at its location attribute");
@@ -120,10 +157,9 @@ void Simulator::add_monitor(Monitor monitor) { monitors_.push_back(std::move(mon
 
 std::string Simulator::key_of(const Tuple& tuple) const {
   std::string key = tuple.predicate();
-  if (!catalog_.contains(tuple.predicate())) return key + "|" + tuple.to_string();
-  const auto& info = catalog_.info(tuple.predicate());
-  if (info.key_fields.empty()) return key + "|" + tuple.to_string();
-  for (std::size_t f : info.key_fields) {
+  const PredInfo& info = pred_info(tuple.predicate());
+  if (info.key_fields == nullptr) return key + "|" + tuple.to_string();
+  for (std::size_t f : *info.key_fields) {
     if (f >= 1 && f <= tuple.arity()) key += "|" + tuple.at(f - 1).to_string();
   }
   return key;
@@ -158,10 +194,7 @@ void Simulator::tuple_event(std::string_view kind, const std::string& node,
 
 bool Simulator::install(NodeState& state, const std::string& node, const Tuple& tuple,
                         double now) {
-  std::optional<double> lifetime;
-  if (catalog_.contains(tuple.predicate())) {
-    lifetime = catalog_.info(tuple.predicate()).lifetime_seconds;
-  }
+  const std::optional<double> lifetime = pred_info(tuple.predicate()).lifetime;
   const std::string key = key_of(tuple);
   auto it = state.by_key.find(key);
   bool changed = false;
@@ -292,10 +325,11 @@ void Simulator::run_rules(const std::string& node, const Tuple& delta, double no
   }
 }
 
-void Simulator::run_agg_rules(const std::string& node, double now) {
+void Simulator::run_agg_rules(const std::string& node, double now,
+                              std::vector<Tuple>* collect) {
   if (agg_rules_.empty()) return;
   if (plan_) {
-    run_agg_rules_dataflow(node, now);
+    run_agg_rules_dataflow(node, now, collect);
     return;
   }
   NodeState& state = node_states_[node];
@@ -322,6 +356,9 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
         state.expires_at.erase(old_row);
         stats_.last_change_time = now;
         tuple_event("retract", node, old_row, now);
+        if (pool_ != nullptr && agg_body_preds_.count(old_row.predicate()) != 0) {
+          state.agg_stale = true;  // a chained aggregate reads this output
+        }
       }
     }
     std::vector<Tuple> added;
@@ -332,7 +369,13 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
     for (const auto& t : added) {
       const std::string dest = location_of(t);
       if (dest == node) {
-        if (install(state, node, t, now)) run_rules(node, t, now);
+        if (install(state, node, t, now)) {
+          if (collect != nullptr) {
+            collect->push_back(t);  // next parallel round picks it up
+          } else {
+            run_rules(node, t, now);
+          }
+        }
       } else {
         send(node, t, now);
       }
@@ -340,7 +383,8 @@ void Simulator::run_agg_rules(const std::string& node, double now) {
   }
 }
 
-void Simulator::run_agg_rules_dataflow(const std::string& node, double now) {
+void Simulator::run_agg_rules_dataflow(const std::string& node, double now,
+                                       std::vector<Tuple>* collect) {
   // Mirrors the interpreter's run_agg_rules exactly — same rule order, same
   // diff-against-cache flow, same emission order (the engine builds the
   // output set by the same sorted-group insertion sequence eval_agg_rule
@@ -364,6 +408,9 @@ void Simulator::run_agg_rules_dataflow(const std::string& node, double now) {
         state.expires_at.erase(old_row);
         stats_.last_change_time = now;
         tuple_event("retract", node, old_row, now);
+        if (pool_ != nullptr && agg_body_preds_.count(old_row.predicate()) != 0) {
+          state.agg_stale = true;  // a chained aggregate reads this output
+        }
       }
     }
     std::vector<Tuple> added;
@@ -374,11 +421,146 @@ void Simulator::run_agg_rules_dataflow(const std::string& node, double now) {
     for (const auto& t : added) {
       const std::string dest = location_of(t);
       if (dest == node) {
-        if (install(state, node, t, now)) run_rules(node, t, now);
+        if (install(state, node, t, now)) {
+          if (collect != nullptr) {
+            collect->push_back(t);  // next parallel round picks it up
+          } else {
+            run_rules(node, t, now);
+          }
+        }
       } else {
         send(node, t, now);
       }
     }
+  }
+}
+
+bool Simulator::is_transient(const Tuple& tuple) const {
+  if (tuple.predicate() == "periodic") return true;
+  return pred_info(tuple.predicate()).transient;
+}
+
+void Simulator::deliver_parallel_batch(Event first) {
+  const double now = first.time;
+  struct Pending {
+    std::string node;
+    Tuple tuple;
+  };
+  // Coalesce every delivery scheduled at this instant: deliveries at
+  // different nodes are independent in the serial schedule too (they touch
+  // disjoint databases; cross-node traffic re-enters the event queue), and
+  // same-node deliveries join the node's delta frontier.
+  std::vector<Event> events;
+  events.push_back(std::move(first));
+  while (!queue_.empty() && queue_.top().kind == Event::Kind::Deliver &&
+         queue_.top().time == now &&
+         stats_.events_processed < options_.max_events) {
+    Event e = queue_.top();
+    queue_.pop();
+    ++stats_.events_processed;
+    stats_.end_time = now;
+    if (options_.metrics != nullptr) {
+      options_.metrics->histogram("sim/queue_depth").observe(queue_.size() + 1);
+      options_.metrics->counter("sim/node/" + e.node + "/received").add(1);
+    }
+    if (options_.obs_trace != nullptr) {
+      options_.obs_trace->counter_at(sim_ts(now), "sim/queue_depth", "sim",
+                                     static_cast<double>(queue_.size() + 1));
+    }
+    events.push_back(std::move(e));
+  }
+  ++stats_.parallel_batches;
+
+  // Round 0 frontier: install every non-transient delivery (serialized, in
+  // event order — exactly the serial loop's install order), keep what
+  // changed the database plus the transients as deltas. A node joins
+  // `agg_pending` only when a predicate some aggregate body reads changed
+  // there (install or flagged erase): the aggregate pass is a full recompute
+  // in interpreter mode, and for any other node it would just rediscover the
+  // cached outputs.
+  std::vector<Pending> frontier;
+  std::set<std::string> touched;
+  std::set<std::string> agg_pending;
+  const auto agg_relevant = [this](const Tuple& t) {
+    return agg_body_preds_.count(t.predicate()) != 0;
+  };
+  for (auto& e : events) {
+    NodeState& state = node_states_[e.node];
+    if (is_transient(e.tuple)) {
+      touched.insert(e.node);
+      frontier.push_back(Pending{e.node, std::move(e.tuple)});
+    } else if (install(state, e.node, e.tuple, now)) {
+      touched.insert(e.node);
+      if (agg_relevant(e.tuple)) agg_pending.insert(e.node);
+      frontier.push_back(Pending{e.node, std::move(e.tuple)});
+    }
+    if (state.agg_stale) {
+      state.agg_stale = false;
+      agg_pending.insert(e.node);
+    }
+  }
+
+  // Round-local buffers hoisted out of the loop: rounds are short near the
+  // fixpoint tail, so per-round allocations show up in the workers=1 budget.
+  std::vector<dataflow::RoundItem> items;
+  std::vector<std::pair<std::size_t, Tuple>> produced;
+  std::vector<Pending> next;
+  std::set<std::string> next_touched;
+  std::set<std::string> next_agg_pending;
+  std::vector<Tuple> agg_added;
+  while (!frontier.empty() || !agg_pending.empty()) {
+    ++stats_.parallel_rounds;
+    next.clear();
+    next_touched.clear();
+    next_agg_pending.clear();
+    if (!frontier.empty()) {
+      // Freeze: pre-warm every index a worker probe can touch, then fan out.
+      for (const auto& node : touched) pool_->prewarm(node_states_[node].db);
+      items.clear();
+      items.reserve(frontier.size());
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        items.push_back(dataflow::RoundItem{&frontier[i].tuple,
+                                            &node_states_[frontier[i].node].db, i});
+      }
+      produced.clear();
+      pool_->process_round(items, produced);
+
+      // Barrier: installs, sends and aggregate flushes are serial again, in
+      // the pool's deterministic merge order.
+      for (auto& [tag, t] : produced) {
+        const std::string& node = frontier[tag].node;
+        const std::string dest = location_of(t);
+        if (dest == node) {
+          if (install(node_states_[node], node, t, now)) {
+            next_touched.insert(node);
+            if (agg_relevant(t)) next_agg_pending.insert(node);
+            next.push_back(Pending{node, std::move(t)});
+          }
+        } else {
+          send(node, t, now);
+        }
+      }
+    }
+    // One aggregate pass per agg-relevant node per round (collect mode: new
+    // aggregate rows become next-round deltas instead of cascading here).
+    for (const auto& node : agg_pending) {
+      agg_added.clear();
+      run_agg_rules(node, now, &agg_added);
+      for (auto& t : agg_added) {
+        next_touched.insert(node);
+        if (agg_relevant(t)) next_agg_pending.insert(node);
+        next.push_back(Pending{node, std::move(t)});
+      }
+      NodeState& state = node_states_[node];
+      if (state.agg_stale) {
+        // The pass retracted a row another aggregate reads: revisit.
+        state.agg_stale = false;
+        next_agg_pending.insert(node);
+      }
+    }
+    std::swap(frontier, next);
+    std::swap(touched, next_touched);
+    std::swap(agg_pending, next_agg_pending);
   }
 }
 
@@ -440,12 +622,11 @@ SimStats Simulator::run() {
         if (options_.metrics != nullptr) {
           options_.metrics->counter("sim/node/" + e.node + "/received").add(1);
         }
-        const bool transient =
-            e.tuple.predicate() == "periodic" ||
-            (catalog_.contains(e.tuple.predicate()) &&
-             catalog_.info(e.tuple.predicate()).lifetime_seconds.has_value() &&
-             *catalog_.info(e.tuple.predicate()).lifetime_seconds == 0.0);
-        deliver(e.node, e.tuple, e.time, transient);
+        if (pool_ != nullptr) {
+          deliver_parallel_batch(std::move(e));
+          break;
+        }
+        deliver(e.node, e.tuple, e.time, is_transient(e.tuple));
         break;
       }
       case Event::Kind::Periodic:
@@ -459,6 +640,9 @@ SimStats Simulator::run() {
           if (state.db.erase(e.tuple)) {
             note_erase(state, e.tuple);
             tuple_event("expire", e.node, e.tuple, e.time);
+            if (pool_ != nullptr && agg_body_preds_.count(e.tuple.predicate()) != 0) {
+              state.agg_stale = true;
+            }
           }
           state.by_key.erase(key_of(e.tuple));
           ++stats_.expirations;
@@ -484,6 +668,9 @@ SimStats Simulator::run() {
           state.expires_at.erase(e.tuple);
           stats_.last_change_time = e.time;
           tuple_event("retract", e.node, e.tuple, e.time);
+          if (pool_ != nullptr && agg_body_preds_.count(e.tuple.predicate()) != 0) {
+            state.agg_stale = true;
+          }
         }
         break;
       }

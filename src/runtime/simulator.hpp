@@ -24,9 +24,12 @@
 #include <random>
 #include <set>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "dataflow/engine.hpp"
 #include "dataflow/plan.hpp"
+#include "dataflow/workers.hpp"
 #include "ndlog/catalog.hpp"
 #include "ndlog/eval.hpp"
 #include "obs/metrics.hpp"
@@ -109,6 +112,15 @@ struct SimOptions {
   /// Dataflow mode: compile with cost-guided join ordering
   /// (dataflow::PlanOptions::cost_order). Interpreter mode ignores this.
   bool cost_order = false;
+  /// Shard-parallel evaluation (both engines). 0 = the untouched serial
+  /// path. >= 1 asks fvn::ndlog::parallel to certify the (localized)
+  /// program; when certified, same-timestamp deliveries are evaluated in
+  /// shard-keyed rounds across this many workers (1 = the round machinery
+  /// without threads — the overhead baseline), with installs, aggregates
+  /// and sends serialized at round barriers so fixpoints stay bit-identical
+  /// to serial runs. Uncertified programs fall back to the serial path
+  /// transparently; SimStats::parallel_fallback_reason records why.
+  std::size_t workers = 0;
 };
 
 /// One recorded simulation event (Pip-style trace entry for offline checks).
@@ -133,6 +145,13 @@ struct SimStats {
   double end_time = 0.0;
   bool quiesced = false;           // queue drained before budget exhausted
   std::size_t monitor_violations = 0;
+  /// Shard-parallel execution (SimOptions::workers): whether the program's
+  /// certificate admitted it, why not when it didn't, and how much round
+  /// machinery actually ran.
+  bool parallel_active = false;
+  std::string parallel_fallback_reason;
+  std::size_t parallel_batches = 0;  // same-timestamp delivery batches
+  std::size_t parallel_rounds = 0;   // evaluation rounds across all batches
 };
 
 /// A runtime-verification monitor: called for every newly installed tuple.
@@ -200,9 +219,27 @@ class Simulator {
     std::map<ndlog::Tuple, double> expires_at;
     /// per-aggregate-rule last output (incremental view maintenance).
     std::map<const ndlog::Rule*, ndlog::TupleSet> agg_cache;
+    /// A tuple some aggregate body reads was erased outside the aggregate
+    /// pass (expiry, retraction, or a cascading aggregate retract): the next
+    /// parallel round must re-run the pass here even if no aggregate-body
+    /// predicate was installed. Serial mode needs no flag — it runs the pass
+    /// after every delivery unconditionally.
+    bool agg_stale = false;
     /// Dataflow mode: this node's compiled engine (created on first use).
     std::unique_ptr<dataflow::Engine> flow;
   };
+
+  /// Catalog facts for one predicate, resolved once and memoized: the
+  /// per-tuple hot paths (location_of/key_of/install/is_transient) otherwise
+  /// re-walk the catalog's std::map for every install and send.
+  struct PredInfo {
+    std::size_t loc_index = 0;
+    bool transient = false;  // lifetime == 0 (periodic is special-cased)
+    std::optional<double> lifetime;
+    /// Non-null iff materialized with explicit keys (points into catalog_).
+    const std::vector<std::size_t>* key_fields = nullptr;
+  };
+  const PredInfo& pred_info(const std::string& predicate) const;
 
   void schedule(Event event);
   void deliver(const std::string& node, const ndlog::Tuple& tuple, double now,
@@ -213,8 +250,17 @@ class Simulator {
   bool install(NodeState& state, const std::string& node, const ndlog::Tuple& tuple,
                double now);
   void run_rules(const std::string& node, const ndlog::Tuple& delta, double now);
-  void run_agg_rules(const std::string& node, double now);
-  void run_agg_rules_dataflow(const std::string& node, double now);
+  /// Aggregate maintenance pass. `collect` non-null (parallel rounds only):
+  /// locally installed aggregate rows are appended there for the next round
+  /// instead of cascading through run_rules immediately.
+  void run_agg_rules(const std::string& node, double now,
+                     std::vector<ndlog::Tuple>* collect = nullptr);
+  void run_agg_rules_dataflow(const std::string& node, double now,
+                              std::vector<ndlog::Tuple>* collect = nullptr);
+  /// Parallel mode: pop every further Deliver event scheduled at
+  /// `first.time` and evaluate the whole batch in shard-keyed rounds.
+  void deliver_parallel_batch(Event first);
+  bool is_transient(const ndlog::Tuple& tuple) const;
   std::string key_of(const ndlog::Tuple& tuple) const;
   std::string location_of(const ndlog::Tuple& tuple) const;
   /// Dataflow mode: the node's engine (created lazily; by construction every
@@ -236,6 +282,12 @@ class Simulator {
   ndlog::RuleEngine engine_;
   /// Engaged iff options_.engine == EngineKind::Dataflow.
   std::optional<dataflow::Plan> plan_;
+  /// Engaged iff options_.workers >= 1 and the parallel certificate held.
+  std::unique_ptr<dataflow::WorkerPool> pool_;
+
+  /// pred_info() memo. The catalog is immutable after construction, so
+  /// cached entries (and their key_fields pointers) never go stale.
+  mutable std::unordered_map<std::string, PredInfo> pred_cache_;
 
   std::map<std::string, NodeState> node_states_;
   std::map<std::pair<std::string, std::string>, double> link_delays_;
@@ -254,6 +306,11 @@ class Simulator {
   /// Rules with aggregates, re-evaluated incrementally per node.
   std::vector<const ndlog::Rule*> agg_rules_;
   std::vector<const ndlog::Rule*> normal_rules_;
+  /// Every predicate some aggregate rule's body reads (positive or negated).
+  /// Parallel rounds skip the per-node aggregate pass unless one of these
+  /// changed — the pass is a full recompute in interpreter mode, so running
+  /// it once per round per touched node would dominate the workers=1 budget.
+  std::unordered_set<std::string> agg_body_preds_;
   bool uses_periodic_ = false;
 };
 

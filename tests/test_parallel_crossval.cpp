@@ -1,0 +1,355 @@
+// Shard-parallel differential suite — the runtime half of the DESIGN.md §16
+// certificate: for every shipped example, on both engines, at every worker
+// count, the multi-worker evaluators (runtime::Simulator batches and
+// net::Cluster node pools) reach fixpoints *byte-identical* to the serial
+// paths — merged and per node — and uncertified programs transparently fall
+// back to serial. A seeded fuzz loop widens the program family beyond the
+// shipped examples (random DAG topologies x random monotone rulesets,
+// including cross-shard aggregates pinned to the barrier by ND0024).
+//
+// Workloads mirror test_net_cluster.cpp: confluent by construction (unique
+// argmins, acyclic where the protocol diverges on cycles). Parallel sim runs
+// avoid loss/jitter — the RNG draw *order* differs between batched and
+// serial delivery, so seeded-fault differentials live on the cluster side,
+// where reliability masks the faults.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/protocols.hpp"
+#include "ndlog/parser.hpp"
+#include "net/cluster.hpp"
+#include "runtime/simulator.hpp"
+
+namespace fvn {
+namespace {
+
+using core::link_facts;
+using ndlog::Tuple;
+using ndlog::Value;
+using runtime::EngineKind;
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+ndlog::Program example_program(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(FVN_SOURCE_DIR) / "examples" / "ndlog" / name;
+  return ndlog::parse_program(slurp(path), name);
+}
+
+std::vector<std::string> example_names() {
+  std::vector<std::string> names;
+  const std::filesystem::path dir =
+      std::filesystem::path(FVN_SOURCE_DIR) / "examples" / "ndlog";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ndlog") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Confluent workload per example (same shapes as test_net_cluster.cpp).
+std::vector<Tuple> example_workload(const std::string& name) {
+  std::vector<Tuple> facts;
+  const auto add_nodes_and_prefs = [&facts](const std::vector<core::Link>& links,
+                                            bool with_nodes, bool with_pref) {
+    std::set<std::string> names;
+    for (const auto& l : links) {
+      names.insert(l.src);
+      names.insert(l.dst);
+    }
+    if (with_nodes) {
+      for (const auto& n : names) {
+        facts.emplace_back("node", std::vector<Value>{Value::addr(n)});
+      }
+    }
+    for (const auto& t : link_facts(links)) facts.push_back(t);
+    if (with_pref) {
+      for (const auto& l : links) {
+        facts.emplace_back("importPref",
+                           std::vector<Value>{Value::addr(l.src), Value::addr(l.dst),
+                                              Value::integer(100)});
+      }
+    }
+  };
+  if (name == "distance_vector.ndlog") {
+    facts = link_facts({{"n0", "n1", 1},
+                        {"n1", "n2", 2},
+                        {"n2", "n3", 1},
+                        {"n0", "n2", 5}});
+  } else if (name == "link_state.ndlog") {
+    add_nodes_and_prefs(core::line_topology(4, /*cost=*/400), false, false);
+  } else if (name == "policy_path_vector.ndlog") {
+    add_nodes_and_prefs(core::line_topology(4), true, true);
+  } else if (name == "spanning_tree.ndlog") {
+    add_nodes_and_prefs(core::line_topology(4), true, false);
+  } else {
+    add_nodes_and_prefs(core::line_topology(4), false, false);
+  }
+  return facts;
+}
+
+/// One simulator run: merged fixpoint, per-node fixpoints, and the stats the
+/// parallel assertions key on.
+struct SimRun {
+  std::vector<std::string> merged;
+  std::vector<std::vector<std::string>> per_node;  // in sim.nodes() order
+  runtime::SimStats stats;
+};
+
+SimRun sim_run(const ndlog::Program& program, const std::vector<Tuple>& facts,
+               EngineKind engine, std::size_t workers) {
+  runtime::SimOptions options;
+  options.engine = engine;
+  options.workers = workers;
+  runtime::Simulator sim(program, options);
+  sim.inject_all(facts);
+  SimRun run;
+  run.stats = sim.run();
+  EXPECT_TRUE(run.stats.quiesced);
+  run.merged = sim.merged_database().dump();
+  for (const auto& node : sim.nodes()) {
+    run.per_node.push_back(sim.database(node).dump());
+  }
+  return run;
+}
+
+struct ClusterRun {
+  std::vector<std::string> fixpoint;
+  net::ClusterStats stats;
+};
+
+ClusterRun cluster_run(const ndlog::Program& program,
+                       const std::vector<Tuple>& facts,
+                       net::ClusterOptions options) {
+  net::Cluster cluster(program, options);
+  cluster.inject_all(facts);
+  ClusterRun run;
+  run.stats = cluster.run();
+  run.fixpoint = cluster.merged_database().dump();
+  return run;
+}
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4};
+
+bool certified_example(const std::string& name) {
+  // Every shipped example certifies except distance_vector, which ND0015
+  // (count-to-infinity growth on `hop`) knocks back to serial.
+  return name != "distance_vector.ndlog";
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: every example x engine x worker count, bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCrossval, SimEveryExampleEveryWorkerCountMatchesSerial) {
+  for (const auto& name : example_names()) {
+    SCOPED_TRACE(name);
+    const auto program = example_program(name);
+    const auto facts = example_workload(name);
+    for (const EngineKind engine : {EngineKind::Interpreter, EngineKind::Dataflow}) {
+      SCOPED_TRACE(engine == EngineKind::Interpreter ? "interpreter" : "dataflow");
+      const auto serial = sim_run(program, facts, engine, /*workers=*/0);
+      EXPECT_FALSE(serial.stats.parallel_active);
+      for (const std::size_t workers : kWorkerCounts) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        const auto parallel = sim_run(program, facts, engine, workers);
+        EXPECT_EQ(parallel.merged, serial.merged);
+        EXPECT_EQ(parallel.per_node, serial.per_node);
+        if (certified_example(name)) {
+          EXPECT_TRUE(parallel.stats.parallel_active)
+              << parallel.stats.parallel_fallback_reason;
+          EXPECT_GT(parallel.stats.parallel_batches, 0u);
+          EXPECT_GT(parallel.stats.parallel_rounds, 0u);
+        } else {
+          EXPECT_FALSE(parallel.stats.parallel_active);
+          EXPECT_EQ(parallel.stats.parallel_batches, 0u);
+        }
+        // The parallel rounds replay the same derivations: protocol-visible
+        // stats — not just the fixpoint — are untouched by the worker count.
+        EXPECT_EQ(parallel.stats.tuples_derived, serial.stats.tuples_derived);
+        EXPECT_EQ(parallel.stats.messages_sent, serial.stats.messages_sent);
+        EXPECT_EQ(parallel.stats.events_processed, serial.stats.events_processed);
+        EXPECT_EQ(parallel.stats.overwrites, serial.stats.overwrites);
+      }
+    }
+  }
+}
+
+TEST(ParallelCrossval, UncertifiedProgramFallsBackWithTheAnalyzerVerdict) {
+  const auto program = example_program("distance_vector.ndlog");
+  const auto facts = example_workload("distance_vector.ndlog");
+  const auto run = sim_run(program, facts, EngineKind::Interpreter, /*workers=*/4);
+  EXPECT_FALSE(run.stats.parallel_active);
+  EXPECT_NE(run.stats.parallel_fallback_reason.find("ND0015"), std::string::npos)
+      << run.stats.parallel_fallback_reason;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: per-node worker pools under real concurrency (and seeded faults)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCrossval, ClusterEveryExampleEveryWorkerCountMatchesSimulator) {
+  for (const auto& name : example_names()) {
+    SCOPED_TRACE(name);
+    const auto program = example_program(name);
+    const auto facts = example_workload(name);
+    const auto expected =
+        sim_run(program, facts, EngineKind::Interpreter, /*workers=*/0).merged;
+    for (const EngineKind engine : {EngineKind::Interpreter, EngineKind::Dataflow}) {
+      for (const std::size_t workers : kWorkerCounts) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        net::ClusterOptions options;
+        options.engine = engine;
+        options.workers = workers;
+        const auto run = cluster_run(program, facts, options);
+        EXPECT_TRUE(run.stats.quiesced);
+        EXPECT_EQ(run.fixpoint, expected);
+        EXPECT_EQ(run.stats.parallel_active, certified_example(name))
+            << run.stats.parallel_fallback_reason;
+        if (certified_example(name)) {
+          EXPECT_GT(run.stats.parallel_rounds, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelCrossval, ClusterSeededLossStillMatchesAtEveryWorkerCount) {
+  for (const auto& name : example_names()) {
+    SCOPED_TRACE(name);
+    const auto program = example_program(name);
+    const auto facts = example_workload(name);
+    const auto expected =
+        sim_run(program, facts, EngineKind::Interpreter, /*workers=*/0).merged;
+    for (const std::uint64_t seed : {3ull, 17ull, 40ull}) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      net::ClusterOptions options;
+      options.workers = 4;
+      options.faults.drop_rate = 0.2;
+      options.faults.seed = seed;
+      const auto run = cluster_run(program, facts, options);
+      EXPECT_TRUE(run.stats.quiesced);
+      EXPECT_EQ(run.fixpoint, expected);
+      // Exactly-once delivery holds with worker pools in the path too.
+      EXPECT_EQ(run.stats.messages_received, run.stats.messages_sent);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ND0023 / ND0024 witnesses executed at runtime
+// ---------------------------------------------------------------------------
+
+/// The ND0024 witness from the analyzer suite: reach shards by destination,
+/// fanin counts across shards and is pinned to the serial barrier. The
+/// fixpoint must not care.
+TEST(ParallelCrossval, BarrierPinnedAggregateMatchesSerial) {
+  const auto program = ndlog::parse_program(
+      "b1 reach(@S,D) :- link(@S,D,C).\n"
+      "b2 reach(@S,D) :- link(@S,Z,C), reach(@Z,D).\n"
+      "b3 fanin(@S,count<D>) :- reach(@S,D).\n");
+  const auto facts = example_workload("reachable.ndlog");
+  for (const EngineKind engine : {EngineKind::Interpreter, EngineKind::Dataflow}) {
+    const auto serial = sim_run(program, facts, engine, /*workers=*/0);
+    for (const std::size_t workers : kWorkerCounts) {
+      const auto parallel = sim_run(program, facts, engine, workers);
+      EXPECT_TRUE(parallel.stats.parallel_active)
+          << parallel.stats.parallel_fallback_reason;
+      EXPECT_EQ(parallel.merged, serial.merged);
+    }
+  }
+}
+
+/// spanning_tree carries the shipped ND0023 witness (st4's misaligned root
+/// probe degrades its group to location sharding) and two ND0024 barriers;
+/// the matrix test above already runs it, this pins the cluster side with
+/// more workers than nodes.
+TEST(ParallelCrossval, MisalignedGroupRunsLocationShardedOnTheCluster) {
+  const auto program = example_program("spanning_tree.ndlog");
+  const auto facts = example_workload("spanning_tree.ndlog");
+  const auto expected =
+      sim_run(program, facts, EngineKind::Interpreter, /*workers=*/0).merged;
+  net::ClusterOptions options;
+  options.workers = 8;
+  const auto run = cluster_run(program, facts, options);
+  EXPECT_TRUE(run.stats.quiesced);
+  EXPECT_TRUE(run.stats.parallel_active) << run.stats.parallel_fallback_reason;
+  EXPECT_EQ(run.fixpoint, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz: random DAGs x random monotone rulesets
+// ---------------------------------------------------------------------------
+
+/// Conservative generator: acyclic link topologies (edges only i -> j, i < j,
+/// unique costs) and rules drawn from monotone templates (closure, two-hop
+/// join, re-join with the base relation, cross-shard count). Every generated
+/// program is confluent, so serial and parallel fixpoints must agree exactly
+/// whether or not the certificate admits sharding.
+ndlog::Program fuzz_program(std::mt19937_64& rng) {
+  std::string src =
+      "f1 reach(@S,D) :- link(@S,D,C).\n"
+      "f2 reach(@S,D) :- link(@S,Z,C), reach(@Z,D).\n";
+  if (rng() % 2 == 0) {
+    src += "f3 direct(@S,D) :- reach(@S,D), link(@S,D,C).\n";
+  }
+  if (rng() % 2 == 0) {
+    src += "f4 hop2(@S,D) :- link(@S,Z,C), link(@Z,D,C2).\n";
+  }
+  if (rng() % 2 == 0) {
+    src += "f5 fanin(@S,count<D>) :- reach(@S,D).\n";
+  }
+  return ndlog::parse_program(src, "fuzz");
+}
+
+std::vector<Tuple> fuzz_topology(std::mt19937_64& rng) {
+  const std::size_t n = 4 + rng() % 3;  // 4..6 nodes
+  std::vector<core::Link> links;
+  long cost = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng() % 3 == 0) continue;  // keep ~2/3 of the forward edges
+      links.push_back({"n" + std::to_string(i), "n" + std::to_string(j), cost++});
+    }
+  }
+  if (links.empty()) links.push_back({"n0", "n1", 1});
+  return link_facts(links);
+}
+
+TEST(ParallelCrossval, FuzzedMonotoneProgramsMatchSerialAtEveryWorkerCount) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    const auto program = fuzz_program(rng);
+    const auto facts = fuzz_topology(rng);
+    for (const EngineKind engine : {EngineKind::Interpreter, EngineKind::Dataflow}) {
+      const auto serial = sim_run(program, facts, engine, /*workers=*/0);
+      for (const std::size_t workers : {2ul, 4ul}) {
+        const auto parallel = sim_run(program, facts, engine, workers);
+        EXPECT_EQ(parallel.merged, serial.merged);
+        EXPECT_EQ(parallel.per_node, serial.per_node);
+        // No stats check here: batched rounds legitimately install fewer
+        // *intermediate* aggregate outputs (a count grows in larger steps per
+        // round), so tuples_derived is round-structure-dependent for the
+        // fuzzed aggregate programs. The fixpoint is the invariant.
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvn
