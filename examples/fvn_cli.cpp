@@ -37,6 +37,23 @@
 //                     --parallel  append the certified shard plan for the
 //                                 localized program (ND0022 key table)
 //   fvn_cli explain   <prog.ndlog> <facts.txt> <fact>   derivation tree
+//   fvn_cli serve     <prog.ndlog> <facts.txt> --serve-pred <pred>
+//                     run to fixpoint with the fvn::serve route-serving plane
+//                     attached, then answer LPM lookups:
+//                     --serve-cols dst,nexthop,cost  column roles for the
+//                                            served predicate (dst keys the
+//                                            trie; len = prefix length;
+//                                            _ skips; others label payload)
+//                     --queries <file>       "<node> <dst>" lines (default:
+//                                            stdin); one answer per line
+//                     --readers <n> --churn  instead of the query loop, run n
+//                                            concurrent reader threads doing
+//                                            wait-free lookups while the
+//                                            writer churns routes and
+//                                            publishes epoch snapshots;
+//                                            verifies snapshot consistency
+//                     --churn-seconds <s>    churn duration (default 1.0)
+//                     --engine/--workers/--metrics/--trace as simulate
 //   fvn_cli verify    <prog.ndlog> <facts.txt> --ltl <spec.ltl>
 //                     LTL model checking over every message interleaving
 //                     (fvn::mc x fvn::ltl product automaton, nested DFS):
@@ -52,10 +69,20 @@
 //                     monitor over the live tuple-event stream
 //                     (install/retract/expire); verdicts print after the run
 //                     and a violated property makes the exit code 1.
+//   --serve <pred[:cols]>  attach the fvn::serve plane to the same stream
+//                     (sim publishes at delta-round boundaries, dist on an
+//                     apply-count cadence from the concurrent node threads)
+//                     and report routes/epochs/publish latency after the run.
 //
 // Exit codes everywhere: 0 success, 1 runtime failure (divergence, transport
 // unavailable, non-quiescence, monitor violation), 2 usage / unreadable
-// input / parse error.
+// input / parse error. Output paths (--trace, --metrics-out) are validated
+// up front: an unwritable path is a usage error (exit 2), not a silent or
+// late failure.
+//
+// --metrics-out <path> (run/sim/dist/serve) writes the metrics registry as
+// JSON to a file (implies collection, independent of the --metrics stderr
+// summary).
 //
 // `eval` is an alias for `run`, `sim` for `simulate`. Both accept the
 // observability flags:
@@ -75,10 +102,13 @@
 //
 // facts.txt: one ground fact per line, e.g. `link(@n0,n1,1)`; blank lines
 // and lines starting with `#` are ignored.
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "logic/pvs_emit.hpp"
 #include "ltl/checker.hpp"
@@ -98,6 +128,7 @@
 #include "obs/trace.hpp"
 #include "runtime/localize.hpp"
 #include "runtime/simulator.hpp"
+#include "serve/plane.hpp"
 #include "translate/linear_view.hpp"
 #include "translate/ndlog_to_logic.hpp"
 
@@ -108,6 +139,16 @@ namespace {
 struct UsageError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+
+/// Validate an output path before doing any work: probe it in append mode so
+/// an existing file is not truncated, and treat failure as a usage error
+/// (exit 2). Previously an unwritable --trace/--metrics path only surfaced
+/// after the whole run (or not at all).
+void require_writable(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) throw UsageError("cannot write " + path);
+}
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
@@ -131,7 +172,7 @@ std::vector<fvn::ndlog::Tuple> load_facts(const std::string& path) {
 }
 
 int usage() {
-  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|dist|plan|explain|verify> "
+  std::cerr << "usage: fvn_cli <check|lint|analyze|translate|linear|run|query|simulate|dist|plan|explain|verify|serve> "
                "<prog.ndlog> [facts.txt] [goal|fact]\n"
                "       fvn_cli verify <prog.ndlog> <facts.txt> --ltl <spec.ltl> "
                "[--max-states=<n>] [--trace <out.json>]   "
@@ -154,7 +195,16 @@ int usage() {
                "--parallel appends the certified shard plan)\n"
                "       eval = run, sim = simulate; both take --metrics and "
                "--trace <out.json>; sim takes --engine=<interpreter|dataflow> "
-               "and --workers=<n>\n";
+               "and --workers=<n>\n"
+               "       fvn_cli serve <prog.ndlog> <facts.txt> --serve-pred <pred> "
+               "[--serve-cols dst,nexthop,cost] [--queries <file>] "
+               "[--readers <n> --churn] [--churn-seconds <s>]   "
+               "(run to fixpoint, then answer '<node> <dst>' LPM lookups; "
+               "--churn measures concurrent readers during route churn)\n"
+               "       sim/dist take --serve <pred[:cols]> to attach the "
+               "serving plane to a normal run\n"
+               "       run/sim/dist/serve take --metrics-out <path> to write "
+               "the metrics registry as JSON\n";
   return 2;
 }
 
@@ -446,6 +496,7 @@ int cmd_verify(const std::vector<std::string>& args) {
     }
   }
   if (positional.size() != 2 || spec_path.empty()) return usage();
+  require_writable(trace_path);
 
   auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
   auto facts = load_facts(positional[1]);
@@ -483,12 +534,263 @@ int cmd_verify(const std::vector<std::string>& args) {
   return any_violated ? 1 : 0;
 }
 
+/// Parse "pred[:cols]" against the program, turning spec mistakes into usage
+/// errors (exit 2) rather than runtime failures.
+fvn::serve::ServeSpec parse_serve_spec(const std::string& text,
+                                       const fvn::ndlog::Program& program) {
+  try {
+    return fvn::serve::ServeSpec::parse(
+        text, fvn::ndlog::Catalog::from_program(program));
+  } catch (const fvn::serve::ServeError& e) {
+    throw UsageError(e.what());
+  }
+}
+
+void print_serve_summary(const fvn::serve::ServePlane& plane) {
+  const auto s = plane.stats();
+  std::cerr << "serve: routes=" << s.routes << " epochs=" << s.epochs_published
+            << " applied=" << s.applied
+            << " reclaimed=" << s.snapshots_reclaimed
+            << " retired_live=" << s.retired_live
+            << " publish_p99_us=" << s.publish_p99_us << "\n";
+}
+
+/// serve --churn: n reader threads do wait-free lookups (verifying snapshot
+/// checksums) while the main thread retracts/reinstalls fixpoint routes and
+/// publishes epoch snapshots. Returns 1 if any reader saw a torn snapshot.
+int run_serve_churn(fvn::serve::ServePlane& plane,
+                    const std::vector<std::pair<std::string, fvn::ndlog::Tuple>>& routes,
+                    std::uint64_t readers, double seconds) {
+  using namespace fvn;
+  if (routes.empty()) {
+    std::cerr << "error: no routes at fixpoint — nothing to churn\n";
+    return 1;
+  }
+  // Lookup targets: every (node, prefix) in the published fixpoint.
+  std::vector<std::pair<serve::Interner::Id, std::uint32_t>> targets;
+  {
+    const serve::Snapshot& snap = plane.current();
+    for (std::size_t n = 0; n < snap.tables.size(); ++n) {
+      if (!snap.tables[n]) continue;
+      snap.tables[n]->for_each([&](serve::Key key, const serve::Row&) {
+        targets.emplace_back(static_cast<serve::Interner::Id>(n), key.prefix);
+      });
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(readers));
+  for (std::uint64_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&plane, &stop, &torn, &targets, r]() {
+      auto reader = plane.register_reader();
+      std::uint64_t x = 0x9e3779b97f4a7c15ull ^ (r + 1);
+      std::uint64_t batches = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto lease = reader.acquire();
+        // Periodic torn-read tripwire: the content checksum of everything
+        // reachable from the lease must match what the writer published.
+        if ((batches++ & 0xff) == 0 &&
+            serve::recompute_checksum(*lease) != lease->checksum) {
+          torn.store(true);
+          stop.store(true);
+        }
+        for (int i = 0; i < 64; ++i) {
+          x ^= x << 13; x ^= x >> 7; x ^= x << 17;  // xorshift64
+          const auto& t = targets[x % targets.size()];
+          reader.lookup(lease, t.first, t.second);
+        }
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(seconds));
+  std::size_t i = 0;
+  std::uint64_t churn_ops = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         !stop.load(std::memory_order_relaxed)) {
+    const auto& [node, tuple] = routes[i % routes.size()];
+    plane.apply("retract", node, tuple);
+    plane.apply("install", node, tuple);
+    churn_ops += 2;
+    if (++i % 8 == 0) plane.publish();
+    // Pace the writer at a realistic protocol rate so readers own the cores.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  plane.publish(/*force=*/true);
+  stop.store(true);
+  for (auto& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto s = plane.stats();
+  std::cout << "churn: readers=" << readers << " seconds=" << elapsed
+            << " lookups=" << s.lookups << " lookups_per_sec="
+            << static_cast<std::uint64_t>(static_cast<double>(s.lookups) /
+                                          (elapsed > 0 ? elapsed : 1.0))
+            << " churn_ops=" << churn_ops << " epochs=" << s.epochs_published
+            << (torn.load() ? " TORN" : " consistent") << "\n";
+  if (torn.load()) {
+    std::cerr << "error: a reader observed a torn snapshot\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// `fvn_cli serve <prog.ndlog> <facts.txt> --serve-pred <pred> [...]` — run
+/// to fixpoint on the simulator with the serving plane attached to the
+/// tuple-event stream, then either answer "<node> <dst>" lookups from
+/// --queries/stdin or (--readers N --churn) measure concurrent wait-free
+/// readers while the writer churns routes.
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string pred;
+  std::string cols;
+  std::string queries_path;
+  std::string trace_path;
+  std::string metrics_out;
+  std::string engine_name = "interpreter";
+  bool want_metrics = false;
+  bool churn = false;
+  std::uint64_t readers = 0;
+  std::uint64_t workers = 0;
+  double churn_seconds = 1.0;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      if (a.size() > flag.size()) return a.substr(flag.size() + 1);  // --flag=v
+      if (i + 1 >= args.size()) throw UsageError(flag + " needs a value");
+      return args[++i];
+    };
+    if (a == "--serve-pred" || a.rfind("--serve-pred=", 0) == 0) {
+      pred = value_of("--serve-pred");
+    } else if (a == "--serve-cols" || a.rfind("--serve-cols=", 0) == 0) {
+      cols = value_of("--serve-cols");
+    } else if (a == "--queries" || a.rfind("--queries=", 0) == 0) {
+      queries_path = value_of("--queries");
+    } else if (a == "--readers" || a.rfind("--readers=", 0) == 0) {
+      readers = parse_uint_flag("--readers", value_of("--readers"));
+    } else if (a == "--churn") {
+      churn = true;
+    } else if (a == "--churn-seconds" || a.rfind("--churn-seconds=", 0) == 0) {
+      churn_seconds =
+          parse_double_flag("--churn-seconds", value_of("--churn-seconds"));
+    } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
+      engine_name = value_of("--engine");
+    } else if (a == "--workers" || a.rfind("--workers=", 0) == 0) {
+      workers = parse_uint_flag("--workers", value_of("--workers"));
+    } else if (a == "--metrics") {
+      want_metrics = true;
+    } else if (a == "--metrics-out" || a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value_of("--metrics-out");
+    } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
+      trace_path = value_of("--trace");
+    } else if (a.rfind("--", 0) == 0) {
+      throw UsageError("unknown flag " + a);
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2 || pred.empty()) return usage();
+  if (engine_name != "interpreter" && engine_name != "dataflow") {
+    throw UsageError("unknown engine '" + engine_name +
+                     "' (expected interpreter or dataflow)");
+  }
+  if (churn && readers == 0) throw UsageError("--churn needs --readers >= 1");
+  if (churn_seconds <= 0.0 || churn_seconds > 60.0) {
+    throw UsageError("--churn-seconds must be in (0,60]");
+  }
+  require_writable(trace_path);
+  require_writable(metrics_out);
+
+  auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
+  auto facts = load_facts(positional[1]);
+
+  fvn::obs::Registry registry;
+  fvn::obs::Trace obs_trace;
+  const bool collect_metrics = want_metrics || !metrics_out.empty();
+  fvn::serve::ServePlane plane(
+      parse_serve_spec(cols.empty() ? pred : pred + ":" + cols, program),
+      fvn::serve::ServePlane::Options{collect_metrics ? &registry : nullptr});
+  fvn::serve::Feed feed(plane);  // sim: publish at delta-round boundaries
+
+  // Track the live set of served-predicate installs so churn mode can
+  // retract/reinstall exactly the fixpoint's routes.
+  std::map<std::string, std::pair<std::string, fvn::ndlog::Tuple>> live;
+  auto hook = feed.hook();
+  fvn::runtime::SimOptions sim_options;
+  sim_options.tuple_events = [&](std::string_view kind, const std::string& node,
+                                 const fvn::ndlog::Tuple& tuple, double now) {
+    hook(kind, node, tuple, now);
+    if (!churn || tuple.predicate() != plane.spec().predicate) return;
+    const std::string key = node + "\x1f" + tuple.to_string();
+    if (kind == "install") {
+      live.emplace(key, std::make_pair(node, tuple));
+    } else {
+      live.erase(key);
+    }
+  };
+  if (collect_metrics) sim_options.metrics = &registry;
+  if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
+  if (engine_name == "dataflow") {
+    sim_options.engine = fvn::runtime::EngineKind::Dataflow;
+  }
+  sim_options.workers = static_cast<std::size_t>(workers);
+
+  fvn::runtime::Simulator sim(program, sim_options);
+  sim.inject_all(facts);
+  const auto stats = sim.run();
+  feed.finish();  // the fixpoint snapshot
+
+  int rc = stats.quiesced ? 0 : 1;
+  if (churn) {
+    std::vector<std::pair<std::string, fvn::ndlog::Tuple>> routes;
+    routes.reserve(live.size());
+    for (auto& [key, entry] : live) routes.push_back(entry);
+    const int churn_rc =
+        run_serve_churn(plane, routes, readers, churn_seconds);
+    if (churn_rc != 0) rc = churn_rc;
+  } else {
+    std::ifstream query_file;
+    std::istream* in = &std::cin;
+    if (!queries_path.empty()) {
+      query_file.open(queries_path);
+      if (!query_file) throw UsageError("cannot read " + queries_path);
+      in = &query_file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      std::istringstream row(line);
+      std::string node;
+      std::string dst;
+      if (!(row >> node) || node[0] == '#') continue;
+      if (!(row >> dst)) {
+        std::cout << "error: query needs '<node> <dst>'\n";
+        continue;
+      }
+      std::cout << plane.query(node, dst) << "\n";
+    }
+  }
+
+  print_serve_summary(plane);
+  plane.flush_metrics();
+  if (!trace_path.empty()) obs_trace.write(trace_path);
+  if (!metrics_out.empty()) {
+    fvn::obs::write_file(metrics_out, registry.to_json() + "\n");
+  }
+  if (want_metrics) std::cerr << registry.render_summary();
+  return rc;
+}
+
 /// `fvn_cli dist <prog.ndlog> <facts.txt> [flags]` — run the program on the
 /// fvn::net Cluster: one thread per node, frames on a real transport. Prints
 /// each node's database (same shape as `simulate`) and a summary line.
 int cmd_dist(const std::vector<std::string>& args) {
   bool want_metrics = false;
   std::string trace_path;
+  std::string metrics_out;
+  std::string serve_spec_text;
   std::string monitor_path;
   std::string engine_name = "interpreter";
   std::string transport_name = "inproc";
@@ -518,6 +820,10 @@ int cmd_dist(const std::vector<std::string>& args) {
       poll_ms = parse_double_flag("--poll-ms", value_of("--poll-ms"));
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       trace_path = value_of("--trace");
+    } else if (a == "--metrics-out" || a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value_of("--metrics-out");
+    } else if (a == "--serve" || a.rfind("--serve=", 0) == 0) {
+      serve_spec_text = value_of("--serve");
     } else if (a == "--monitor" || a.rfind("--monitor=", 0) == 0) {
       monitor_path = value_of("--monitor");
     } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
@@ -554,6 +860,8 @@ int cmd_dist(const std::vector<std::string>& args) {
   if (poll_ms == 0.0 || poll_ms > 1000.0) {
     throw UsageError("--poll-ms must be in (0,1000]");
   }
+  require_writable(trace_path);
+  require_writable(metrics_out);
 
   auto program = fvn::ndlog::parse_program(slurp(positional[0]), positional[0]);
   auto facts = load_facts(positional[1]);
@@ -562,6 +870,22 @@ int cmd_dist(const std::vector<std::string>& args) {
 
   fvn::obs::Registry registry;
   fvn::obs::Trace obs_trace;
+  const bool collect_metrics = want_metrics || !metrics_out.empty();
+  // --serve: the plane consumes the live tuple-event stream concurrently
+  // from every node thread, so the feed serializes with its mutex and
+  // publishes on an apply-count cadence (node clocks are not comparable).
+  std::optional<fvn::serve::ServePlane> serve_plane;
+  std::optional<fvn::serve::Feed> serve_feed;
+  if (!serve_spec_text.empty()) {
+    serve_plane.emplace(
+        parse_serve_spec(serve_spec_text, program),
+        fvn::serve::ServePlane::Options{collect_metrics ? &registry : nullptr});
+    fvn::serve::Feed::Options feed_options;
+    feed_options.publish_on_time_advance = false;
+    feed_options.publish_every = 64;
+    feed_options.thread_safe = true;
+    serve_feed.emplace(*serve_plane, feed_options);
+  }
   fvn::net::ClusterOptions options;
   options.engine = engine_name == "dataflow" ? fvn::runtime::EngineKind::Dataflow
                                              : fvn::runtime::EngineKind::Interpreter;
@@ -574,9 +898,10 @@ int cmd_dist(const std::vector<std::string>& args) {
   options.reliability.batch = batch;
   options.workers = static_cast<std::size_t>(workers);
   if (poll_ms > 0.0) options.poll_interval_ms = poll_ms;
-  if (want_metrics) options.metrics = &registry;
+  if (collect_metrics) options.metrics = &registry;
   if (!trace_path.empty()) options.trace = &obs_trace;
   if (monitor_spec.has_value()) options.capture_tuple_events = true;
+  if (serve_feed.has_value()) options.tuple_events = serve_feed->hook();
 
   fvn::net::Cluster cluster(program, options);
   cluster.inject_all(facts);
@@ -588,6 +913,7 @@ int cmd_dist(const std::vector<std::string>& args) {
     return 1;
   }
   auto stats = cluster.run();
+  if (serve_feed.has_value()) serve_feed->finish();  // the fixpoint snapshot
   for (const auto& node : cluster.nodes()) {
     std::cout << "--- " << node << " ---\n";
     for (const auto& row : cluster.database(node).dump()) std::cout << row << "\n";
@@ -607,7 +933,14 @@ int cmd_dist(const std::vector<std::string>& args) {
                 << stats.parallel_fallback_reason << ")\n";
     }
   }
+  if (serve_plane.has_value()) {
+    print_serve_summary(*serve_plane);
+    serve_plane->flush_metrics();
+  }
   if (!trace_path.empty()) obs_trace.write(trace_path);
+  if (!metrics_out.empty()) {
+    fvn::obs::write_file(metrics_out, registry.to_json() + "\n");
+  }
   if (want_metrics) std::cerr << registry.render_summary();
   bool monitors_ok = true;
   if (monitor_spec.has_value()) {
@@ -636,12 +969,14 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     return cmd_analyze(std::vector<std::string>(argv + 2, argv + argc));
   }
-  if (command == "plan" || command == "dist" || command == "verify") {
+  if (command == "plan" || command == "dist" || command == "verify" ||
+      command == "serve") {
     try {
       const std::vector<std::string> rest(argv + 2, argv + argc);
-      return command == "plan"   ? cmd_plan(rest)
-             : command == "dist" ? cmd_dist(rest)
-                                 : cmd_verify(rest);
+      return command == "plan"     ? cmd_plan(rest)
+             : command == "dist"   ? cmd_dist(rest)
+             : command == "serve"  ? cmd_serve(rest)
+                                   : cmd_verify(rest);
     } catch (const ndlog::ParseError& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 2;
@@ -658,6 +993,8 @@ int main(int argc, char** argv) {
   // positional: <prog.ndlog> [facts.txt] [goal|fact].
   bool want_metrics = false;
   std::string trace_path;
+  std::string metrics_out;
+  std::string serve_spec_text;
   std::string engine_name;
   std::string monitor_path;
   bool cost_order = false;
@@ -672,6 +1009,16 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
+    } else if (a == "--metrics-out") {
+      if (i + 1 >= argc) return usage();
+      metrics_out = argv[++i];
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(14);
+    } else if (a == "--serve") {
+      if (i + 1 >= argc) return usage();
+      serve_spec_text = argv[++i];
+    } else if (a.rfind("--serve=", 0) == 0) {
+      serve_spec_text = a.substr(8);
     } else if (a == "--monitor") {
       if (i + 1 >= argc) return usage();
       monitor_path = argv[++i];
@@ -710,6 +1057,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    require_writable(trace_path);
+    require_writable(metrics_out);
+    if (!serve_spec_text.empty() && command != "simulate" && command != "sim") {
+      throw UsageError("--serve only applies to simulate/sim (and dist)");
+    }
     auto program = ndlog::parse_program(slurp(args[0]), "cli_program");
 
     if (command == "check") {
@@ -736,15 +1088,19 @@ int main(int argc, char** argv) {
 
     obs::Registry registry;
     obs::Trace obs_trace;
+    const bool collect_metrics = want_metrics || !metrics_out.empty();
     auto flush_obs = [&]() {
       if (!trace_path.empty()) obs_trace.write(trace_path);
+      if (!metrics_out.empty()) {
+        obs::write_file(metrics_out, registry.to_json() + "\n");
+      }
       if (want_metrics) std::cerr << registry.render_summary();
     };
 
     if (command == "run" || command == "eval") {
       ndlog::Evaluator eval;
       ndlog::EvalOptions opts;
-      if (want_metrics) opts.metrics = &registry;
+      if (collect_metrics) opts.metrics = &registry;
       if (!trace_path.empty()) opts.trace = &obs_trace;
       auto result = eval.run(program, facts, opts);
       for (const auto& row : result.database.dump()) std::cout << row << "\n";
@@ -764,7 +1120,7 @@ int main(int argc, char** argv) {
     }
     if (command == "simulate" || command == "sim") {
       runtime::SimOptions sim_options;
-      if (want_metrics) sim_options.metrics = &registry;
+      if (collect_metrics) sim_options.metrics = &registry;
       if (!trace_path.empty()) sim_options.obs_trace = &obs_trace;
       if (engine_name == "dataflow") sim_options.engine = runtime::EngineKind::Dataflow;
       sim_options.cost_order = cost_order;
@@ -789,9 +1145,38 @@ int main(int argc, char** argv) {
           ltl_monitors->on_event(e);
         };
       }
+      // --serve: attach the serving plane to the same stream (the simulator
+      // is single-threaded, so the feed publishes at delta-round boundaries
+      // with no locking). Composes with --monitor by chaining the hooks.
+      std::optional<serve::ServePlane> serve_plane;
+      std::optional<serve::Feed> serve_feed;
+      if (!serve_spec_text.empty()) {
+        serve_plane.emplace(
+            parse_serve_spec(serve_spec_text, program),
+            serve::ServePlane::Options{collect_metrics ? &registry : nullptr});
+        serve_feed.emplace(*serve_plane);
+        auto serve_hook = serve_feed->hook();
+        if (sim_options.tuple_events) {
+          auto monitor_hook = sim_options.tuple_events;
+          sim_options.tuple_events =
+              [monitor_hook, serve_hook](std::string_view kind,
+                                         const std::string& node,
+                                         const ndlog::Tuple& tuple, double now) {
+                monitor_hook(kind, node, tuple, now);
+                serve_hook(kind, node, tuple, now);
+              };
+        } else {
+          sim_options.tuple_events = serve_hook;
+        }
+      }
       runtime::Simulator sim(program, sim_options);
       sim.inject_all(facts);
       auto stats = sim.run();
+      if (serve_feed.has_value()) serve_feed->finish();
+      if (serve_plane.has_value()) {
+        print_serve_summary(*serve_plane);
+        serve_plane->flush_metrics();
+      }
       for (const auto& node : sim.nodes()) {
         std::cout << "--- " << node << " ---\n";
         for (const auto& row : sim.database(node).dump()) std::cout << row << "\n";

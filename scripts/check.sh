@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repository health gate: tier-1 build + tests, the analyze-all sweep over
-# every shipped example (ctest -L analyze), the ltl and parallel suites, the
-# same tests again under ASan/UBSan, the concurrent `net|ltl|parallel`
-# suites once more under TSan (build-tsan), perf-smoke gates (bench_net
-# cluster:simulator floor, bench_ltl monitor-overhead ceiling, bench_parallel
-# workers=1 overhead ceiling), and (when available) clang-tidy over src/
+# every shipped example (ctest -L analyze), the ltl, parallel and serve
+# suites, the same tests again under ASan/UBSan, the concurrent
+# `net|ltl|parallel|serve` suites once more under TSan (build-tsan),
+# perf-smoke gates (bench_net cluster:simulator floor, bench_ltl
+# monitor-overhead ceiling, bench_parallel workers=1 overhead ceiling,
+# bench_serve lookup floor + churn ratio + publish-latency ceiling), and
+# (when available) clang-tidy over src/
 # with the checks pinned in .clang-tidy — the tidy stage is gating
 # (WarningsAsErrors: '*'), so any finding fails the script.
 #
@@ -58,6 +60,12 @@ ctest --test-dir build --output-on-failure -L ltl
 echo "== check: parallel suite (ctest -L parallel) =="
 ctest --test-dir build --output-on-failure -L parallel
 
+# serve: the LPM mtrie differential fuzz vs the linear oracle, the epoch
+# snapshot publisher (reclamation + torn-read tripwire under churn), and the
+# feed-projection == fixpoint cross-checks on both runtimes.
+echo "== check: serve suite (ctest -L serve) =="
+ctest --test-dir build --output-on-failure -L serve
+
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== check: clang-tidy over src/ (gating: warnings are errors) =="
@@ -83,12 +91,14 @@ if [ "$run_sanitize" -eq 1 ]; then
   # its monitors consume the threaded cluster's tuple-event stream, and the
   # parallel differential matrix drives the multi-worker round loop directly.
   # Separate tree: TSan is incompatible with ASan in one binary.
-  echo "== check: TSan build + ctest -L 'net|ltl|parallel' =="
+  # test_serve joins the TSan matrix: its churn test races wait-free readers
+  # against epoch publication and deferred reclamation.
+  echo "== check: TSan build + ctest -L 'net|ltl|parallel|serve' =="
   cmake -B build-tsan -S . -DFVN_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$jobs" --target test_net_wire test_net_cluster \
     test_net_stats test_ltl test_ltl_crossval test_ndlog_parallel \
-    test_parallel_crossval
-  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L 'net|ltl|parallel'
+    test_parallel_crossval test_serve
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L 'net|ltl|parallel|serve'
 fi
 
 # Perf smoke: the 8-node path-vector cluster must stay within shouting
@@ -136,6 +146,31 @@ got = counters["parallel/bench/overhead_pct_x100"]
 match = counters["parallel/bench/derivations_match"]
 print(f"overhead_pct_x100 = {got} (ceiling {ceiling}), derivations_match = {match}")
 sys.exit(0 if got <= ceiling and match == 1 else 1)
+EOF
+
+# Serve plane: a single reader on the idle 16-node path-vector fixpoint must
+# clear 1M lookups/sec (measures ~11M); under churn (writer retracting/
+# reinstalling routes and publishing epochs) throughput must hold >= 0.5x
+# idle — the wait-free-readers guarantee made into a number. consistent is
+# the torn-read tripwire (readers recompute the published checksum), and the
+# publish p99 ceiling keeps snapshot freezes from growing a stall.
+echo "== check: perf smoke (bench_serve lookup floor + churn ratio) =="
+./build/bench/bench_serve --fvn-smoke --benchmark_filter='^$' >/dev/null
+python3 - <<'EOF'
+import json, sys
+floor = 1_000_000       # idle single-reader lookups/sec
+ratio_floor = 50        # churn_ratio_x100: 50 = 0.5x idle
+p99_ceiling = 20_000    # publish latency p99 in us
+c = json.load(open("BENCH_serve.json"))["metrics"]["counters"]
+idle = c["serve/bench/idle_lookups_per_s_r1"]
+ratio = c["serve/bench/churn_ratio_x100"]
+p99 = c["serve/bench/publish_p99_us"]
+consistent = c["serve/bench/consistent"]
+print(f"idle_r1 = {idle} (floor {floor}), churn_ratio_x100 = {ratio} "
+      f"(floor {ratio_floor}), publish_p99_us = {p99} (ceiling {p99_ceiling}), "
+      f"consistent = {consistent}")
+sys.exit(0 if idle >= floor and ratio >= ratio_floor
+              and p99 <= p99_ceiling and consistent == 1 else 1)
 EOF
 
 echo "== check: all stages passed =="

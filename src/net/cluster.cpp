@@ -116,6 +116,7 @@ void Cluster::inject_all(const std::vector<Tuple>& facts) {
 
 NodeObs Cluster::make_obs(const std::string& name) {
   NodeObs obs;
+  if (options_.tuple_events) obs.tuple_events = &options_.tuple_events;
   if (options_.capture_tuple_events) {
     auto& slot = tuple_traces_[name];
     if (!slot) slot = std::make_unique<obs::Trace>();

@@ -92,6 +92,15 @@ struct ClusterOptions {
   /// Cluster::tuple_events() returns the post-join merge in timestamp order.
   /// LTL runtime monitors (`dist --monitor`) consume this stream.
   bool capture_tuple_events = false;
+  /// Live engine-agnostic tuple-event hook, invoked inline from node threads
+  /// for every install/retract — the same signature (and kinds) as
+  /// SimOptions::tuple_events, timestamped with the emitting node's clock in
+  /// seconds. Fires concurrently from every node thread: the callee must be
+  /// internally synchronized (serve::Feed with thread_safe=true is the
+  /// intended consumer). Independent of capture_tuple_events.
+  std::function<void(std::string_view kind, const std::string& node,
+                     const ndlog::Tuple& tuple, double now)>
+      tuple_events;
 };
 
 struct ClusterStats {

@@ -90,6 +90,9 @@ void Node::note_erase(const Tuple& tuple) {
 }
 
 void Node::tuple_event(const char* kind, const Tuple& tuple) {
+  if (obs_.tuple_events != nullptr && *obs_.tuple_events) {
+    (*obs_.tuple_events)(kind, name_, tuple, now_ms() / 1000.0);
+  }
   if (obs_.tuple_trace == nullptr) return;
   obs_.tuple_trace->instant_at(
       static_cast<std::uint64_t>(now_ms() * 1000.0),

@@ -43,11 +43,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <queue>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +106,12 @@ struct NodeObs {
   /// trace unchanged. Must point at a per-node Trace (obs::Trace is not
   /// thread-safe); the Cluster owns one per node and merges after join.
   obs::Trace* tuple_trace = nullptr;
+  /// Live engine-agnostic tuple-event hook (ClusterOptions::tuple_events),
+  /// invoked inline on this node's thread for every install/retract with the
+  /// node clock in seconds. Shared across nodes — the callee must be
+  /// internally synchronized.
+  const std::function<void(std::string_view, const std::string&,
+                           const ndlog::Tuple&, double)>* tuple_events = nullptr;
 };
 
 /// Plain counters, safe to read after the node's thread has been joined.

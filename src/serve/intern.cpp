@@ -1,0 +1,75 @@
+#include "serve/intern.hpp"
+
+#include <bit>
+
+namespace fvn::serve {
+
+Interner::Id Interner::intern(const std::string& text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const Id id = static_cast<Id>(texts_.size());
+  texts_.push_back(text);
+  ids_.emplace(text, id);
+  cache_.reset();  // the next snapshot() must see the new entry
+  return id;
+}
+
+std::shared_ptr<const Interner::Table> Interner::snapshot() {
+  if (!cache_) {
+    auto table = std::make_shared<Table>();
+    table->texts = texts_;
+    table->ids = ids_;
+    cache_ = std::move(table);
+  }
+  return cache_;
+}
+
+EncodedVal encode_value(const ndlog::Value& value, Interner& interner) {
+  using ndlog::ValueKind;
+  EncodedVal out;
+  switch (value.kind()) {
+    case ValueKind::Nil:
+      out.tag = EncodedVal::Tag::Nil;
+      break;
+    case ValueKind::Bool:
+      out.tag = EncodedVal::Tag::Bool;
+      out.bits = value.as_bool() ? 1 : 0;
+      break;
+    case ValueKind::Int:
+      out.tag = EncodedVal::Tag::Int;
+      out.bits = static_cast<std::uint64_t>(value.as_int());
+      break;
+    case ValueKind::Double:
+      out.tag = EncodedVal::Tag::Double;
+      out.bits = std::bit_cast<std::uint64_t>(value.as_double());
+      break;
+    case ValueKind::Str:
+    case ValueKind::Addr:
+      out.tag = EncodedVal::Tag::Text;
+      out.bits = interner.intern(value.as_text());
+      break;
+    case ValueKind::List:
+      out.tag = EncodedVal::Tag::Text;
+      out.bits = interner.intern(value.to_string());
+      break;
+  }
+  return out;
+}
+
+std::string decode_value(const EncodedVal& value, const Interner::Table& table) {
+  switch (value.tag) {
+    case EncodedVal::Tag::Nil:
+      return "nil";
+    case EncodedVal::Tag::Bool:
+      return value.bits != 0 ? "true" : "false";
+    case EncodedVal::Tag::Int:
+      return std::to_string(static_cast<std::int64_t>(value.bits));
+    case EncodedVal::Tag::Double:
+      return std::to_string(std::bit_cast<double>(value.bits));
+    case EncodedVal::Tag::Text:
+      return table.text_of(static_cast<Interner::Id>(value.bits));
+  }
+  return "?";
+}
+
+}  // namespace fvn::serve

@@ -1,0 +1,85 @@
+// fvn::serve value interning — the address→id table the serving plane keys
+// everything on (first slice of ROADMAP's "intern Values/addresses" item).
+//
+// The install hot path converts every projected ndlog::Value into an
+// EncodedVal once: numeric kinds carry their payload inline, text-like kinds
+// (Addr, Str, and the rendered form of List/other) carry a dense 32-bit
+// Interner id. From then on trie keys and snapshot rows compare by id — no
+// variant copies, no string compares, 16 bytes per attribute.
+//
+// Concurrency contract: intern() is writer-only (the serve plane has one
+// logical writer). Readers never touch the mutable table; every published
+// Snapshot carries an immutable shared_ptr<const Table> produced by
+// snapshot(), rebuilt copy-on-write only when the table grew since the last
+// publish. Addresses are few and appear once each, so the copies are rare
+// and O(#addresses).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ndlog/value.hpp"
+
+namespace fvn::serve {
+
+/// Writer-side string interner with copy-on-write reader tables.
+class Interner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Immutable two-way view published inside each Snapshot.
+  struct Table {
+    std::vector<std::string> texts;           ///< id -> text
+    std::unordered_map<std::string, Id> ids;  ///< text -> id
+
+    std::optional<Id> find(std::string_view text) const {
+      auto it = ids.find(std::string(text));
+      return it == ids.end() ? std::nullopt : std::optional<Id>(it->second);
+    }
+    const std::string& text_of(Id id) const { return texts.at(id); }
+    std::size_t size() const noexcept { return texts.size(); }
+  };
+
+  /// Writer only: id of `text`, assigning the next dense id on first sight.
+  Id intern(const std::string& text);
+
+  /// Writer only: current id count (ids are 0..size()-1).
+  std::size_t size() const noexcept { return texts_.size(); }
+
+  /// Writer only: immutable copy of the current table, cached until the next
+  /// intern() that actually grows it.
+  std::shared_ptr<const Table> snapshot();
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> texts_;
+  std::shared_ptr<const Table> cache_;  ///< invalidated by growth
+};
+
+/// One projected attribute, encoded for id comparison. The tag keeps the
+/// kind-major discipline of ndlog::Value ordering within one plane; `bits`
+/// is the inline payload (Bool/Int/Double bit patterns) or an Interner id
+/// (Text). Two EncodedVals from the same plane are equal iff the source
+/// Values rendered equal.
+struct EncodedVal {
+  enum class Tag : std::uint8_t { Nil = 0, Bool, Int, Double, Text };
+  Tag tag = Tag::Nil;
+  std::uint64_t bits = 0;
+
+  friend bool operator==(const EncodedVal&, const EncodedVal&) = default;
+  friend auto operator<=>(const EncodedVal&, const EncodedVal&) = default;
+};
+
+/// Writer-side encoding: Addr/Str intern their payload, List (and any other
+/// kind) interns its rendered text, numerics stay inline.
+EncodedVal encode_value(const ndlog::Value& value, Interner& interner);
+
+/// Reader-side rendering back to NDlog literal text via a published table.
+std::string decode_value(const EncodedVal& value, const Interner::Table& table);
+
+}  // namespace fvn::serve

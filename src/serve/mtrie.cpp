@@ -1,0 +1,253 @@
+#include "serve/mtrie.hpp"
+
+#include <algorithm>
+
+namespace fvn::serve {
+
+namespace {
+
+/// Bit `depth` of `addr`, MSB first (depth 0 = bit 31).
+inline int bit_at(std::uint32_t addr, std::uint8_t depth) noexcept {
+  return static_cast<int>((addr >> (31 - depth)) & 1u);
+}
+
+/// Sorted-insert into a duplicate-free row set. True if inserted.
+bool sorted_insert(std::vector<Row>& rows, Row row) {
+  auto it = std::lower_bound(rows.begin(), rows.end(), row);
+  if (it != rows.end() && *it == row) return false;
+  rows.insert(it, std::move(row));
+  return true;
+}
+
+bool sorted_remove(std::vector<Row>& rows, const Row& row) {
+  auto it = std::lower_bound(rows.begin(), rows.end(), row);
+  if (it == rows.end() || !(*it == row)) return false;
+  rows.erase(it);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mtrie (mutable shadow)
+// ---------------------------------------------------------------------------
+
+Mtrie::Node* Mtrie::descend(Key key, bool create) {
+  Node* node = &root_;
+  for (std::uint8_t depth = 0; depth < key.len; ++depth) {
+    auto& child = node->child[bit_at(key.prefix, depth)];
+    if (!child) {
+      if (!create) return nullptr;
+      child = std::make_unique<Node>();
+    }
+    node = child.get();
+  }
+  return node;
+}
+
+bool Mtrie::insert(Key key, Row row) {
+  key = Key::make(key.prefix, key.len);
+  Node* node = descend(key, /*create=*/true);
+  if (!node->occupied) {
+    node->occupied = true;
+    ++entries_;
+  }
+  if (!sorted_insert(node->rows, std::move(row))) return false;
+  ++routes_;
+  return true;
+}
+
+bool Mtrie::remove(Key key, const Row& row) {
+  key = Key::make(key.prefix, key.len);
+  // Track the descent so the dead tail can be pruned without a tree walk —
+  // retracts ride the same churn hot path installs do.
+  Node* path[33];
+  int bits[32];
+  Node* node = &root_;
+  for (std::uint8_t depth = 0; depth < key.len; ++depth) {
+    path[depth] = node;
+    bits[depth] = bit_at(key.prefix, depth);
+    node = node->child[bits[depth]].get();
+    if (node == nullptr) return false;
+  }
+  if (!node->occupied) return false;
+  if (!sorted_remove(node->rows, row)) return false;
+  --routes_;
+  if (node->rows.empty()) {
+    node->occupied = false;
+    --entries_;
+    Node* cur = node;
+    for (std::uint8_t d = key.len; d > 0 && !cur->occupied && !cur->child[0] &&
+                                   !cur->child[1];
+         --d) {
+      path[d - 1]->child[bits[d - 1]].reset();
+      cur = path[d - 1];
+    }
+  }
+  return true;
+}
+
+std::optional<Mtrie::Match> Mtrie::lookup(std::uint32_t addr) const {
+  const Node* node = &root_;
+  std::optional<Match> best;
+  std::uint8_t depth = 0;
+  while (true) {
+    if (node->occupied) {
+      best = Match{Key::make(addr, depth), &node->rows};
+    }
+    if (depth == 32) break;
+    const auto& child = node->child[bit_at(addr, depth)];
+    if (!child) break;
+    node = child.get();
+    ++depth;
+  }
+  return best;
+}
+
+const std::vector<Row>* Mtrie::exact(Key key) const {
+  key = Key::make(key.prefix, key.len);
+  const Node* node = const_cast<Mtrie*>(this)->descend(key, /*create=*/false);
+  return node != nullptr && node->occupied ? &node->rows : nullptr;
+}
+
+void Mtrie::walk(const Node& node, Key key,
+                 const std::function<void(Key, const Row&)>& fn) {
+  if (node.occupied) {
+    for (const auto& row : node.rows) fn(key, row);
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    if (!node.child[bit]) continue;
+    Key child_key{key.prefix, static_cast<std::uint8_t>(key.len + 1)};
+    if (bit == 1) child_key.prefix |= 1u << (31 - key.len);
+    walk(*node.child[bit], child_key, fn);
+  }
+}
+
+void Mtrie::for_each(const std::function<void(Key, const Row&)>& fn) const {
+  walk(root_, Key{0, 0}, fn);
+}
+
+// ---------------------------------------------------------------------------
+// FrozenTrie (immutable publish-time form)
+// ---------------------------------------------------------------------------
+
+std::int32_t FrozenTrie::ensure_path(Key key) {
+  std::int32_t index = 0;
+  for (std::uint8_t depth = 0; depth < key.len; ++depth) {
+    const int bit = bit_at(key.prefix, depth);
+    std::int32_t next = nodes_[static_cast<std::size_t>(index)].child[bit];
+    if (next < 0) {
+      next = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[static_cast<std::size_t>(index)].child[bit] = next;
+    }
+    index = next;
+  }
+  return index;
+}
+
+FrozenTrie::FrozenTrie(const Mtrie& shadow) {
+  nodes_.emplace_back();  // root
+  // for_each visits in key order with rows of one key consecutive, so each
+  // new key opens exactly one entry.
+  shadow.for_each([this](Key key, const Row& row) {
+    if (entries_.empty() || !(entries_.back().key == key)) {
+      const std::int32_t at = ensure_path(key);
+      FEntry entry;
+      entry.key = key;
+      entry.row_begin = static_cast<std::uint32_t>(rows_.size());
+      nodes_[static_cast<std::size_t>(at)].entry =
+          static_cast<std::int32_t>(entries_.size());
+      entries_.push_back(entry);
+    }
+    rows_.push_back(row);
+    ++entries_.back().row_count;
+  });
+}
+
+std::optional<FrozenTrie::Match> FrozenTrie::lookup(std::uint32_t addr) const {
+  if (nodes_.empty()) return std::nullopt;
+  std::int32_t best = -1;
+  std::int32_t index = 0;
+  std::uint8_t depth = 0;
+  while (index >= 0) {
+    const FNode& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.entry >= 0) best = node.entry;
+    if (depth == 32) break;
+    index = node.child[bit_at(addr, depth)];
+    ++depth;
+  }
+  if (best < 0) return std::nullopt;
+  const FEntry& entry = entries_[static_cast<std::size_t>(best)];
+  return Match{entry.key, rows_.data() + entry.row_begin, entry.row_count};
+}
+
+void FrozenTrie::for_each(const std::function<void(Key, const Row&)>& fn) const {
+  for (const auto& entry : entries_) {
+    for (std::uint32_t i = 0; i < entry.row_count; ++i) {
+      fn(entry.key, rows_[entry.row_begin + i]);
+    }
+  }
+}
+
+std::uint64_t FrozenTrie::checksum() const noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& entry : entries_) {
+    mix((std::uint64_t{entry.key.prefix} << 8) | entry.key.len);
+    for (std::uint32_t i = 0; i < entry.row_count; ++i) {
+      for (const auto& val : rows_[entry.row_begin + i]) {
+        mix(static_cast<std::uint64_t>(val.tag));
+        mix(val.bits);
+      }
+    }
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// LinearRoutes (reference oracle)
+// ---------------------------------------------------------------------------
+
+bool LinearRoutes::insert(Key key, Row row) {
+  key = Key::make(key.prefix, key.len);
+  for (auto& slot : slots_) {
+    if (slot.key == key) return sorted_insert(slot.rows, std::move(row));
+  }
+  slots_.push_back(Slot{key, {std::move(row)}});
+  return true;
+}
+
+bool LinearRoutes::remove(Key key, const Row& row) {
+  key = Key::make(key.prefix, key.len);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!(slots_[i].key == key)) continue;
+    if (!sorted_remove(slots_[i].rows, row)) return false;
+    if (slots_[i].rows.empty()) slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+std::optional<Mtrie::Match> LinearRoutes::lookup(std::uint32_t addr) const {
+  const Slot* best = nullptr;
+  for (const auto& slot : slots_) {
+    if (!slot.key.matches(addr)) continue;
+    if (best == nullptr || slot.key.len > best->key.len) best = &slot;
+  }
+  if (best == nullptr) return std::nullopt;
+  return Mtrie::Match{best->key, &best->rows};
+}
+
+std::size_t LinearRoutes::routes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) n += slot.rows.size();
+  return n;
+}
+
+}  // namespace fvn::serve

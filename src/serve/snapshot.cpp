@@ -1,0 +1,67 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+
+namespace fvn::serve {
+
+EpochPublisher::EpochPublisher() {
+  // Install an empty epoch-0 snapshot so acquire() always yields a snapshot:
+  // readers that start before the first publish see "no routes", not null.
+  auto initial = std::make_unique<Snapshot>();
+  initial->names = std::make_shared<Interner::Table>();
+  current_.store(initial.release(), std::memory_order_release);
+}
+
+EpochPublisher::~EpochPublisher() {
+  // Caller contract: every reader has left its read section by now.
+  for (const auto& r : retired_) delete r.snapshot;
+  delete current_.load(std::memory_order_acquire);
+}
+
+EpochPublisher::ReaderSlot* EpochPublisher::register_reader() {
+  std::lock_guard lock(readers_mu_);
+  readers_.push_back(std::make_unique<ReaderSlot>());
+  return readers_.back().get();
+}
+
+void EpochPublisher::publish(std::unique_ptr<const Snapshot> snapshot) {
+  const Snapshot* old =
+      current_.exchange(snapshot.release(), std::memory_order_seq_cst);
+  // The epoch assigned to the retirement is the value *after* this bump; any
+  // reader that can still hold `old` announced strictly less (see header).
+  const std::uint64_t retire_epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  retired_.push_back(Retired{old, retire_epoch});
+  ++published_;
+  reclaim();
+}
+
+void EpochPublisher::reclaim() {
+  std::uint64_t min_active = kIdle;
+  {
+    std::lock_guard lock(readers_mu_);
+    for (const auto& slot : readers_) {
+      min_active = std::min(min_active,
+                            slot->announced.load(std::memory_order_seq_cst));
+    }
+  }
+  auto it = std::remove_if(retired_.begin(), retired_.end(),
+                           [&](const Retired& r) {
+                             if (r.epoch > min_active) return false;
+                             delete r.snapshot;
+                             return true;
+                           });
+  reclaimed_ += static_cast<std::uint64_t>(retired_.end() - it);
+  retired_.erase(it, retired_.end());
+}
+
+std::uint64_t EpochPublisher::total_lookups() const {
+  std::uint64_t total = 0;
+  std::lock_guard lock(readers_mu_);
+  for (const auto& slot : readers_) {
+    total += slot->lookups.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace fvn::serve

@@ -1,0 +1,152 @@
+// fvn::serve epoch snapshots — the publish/reclaim half of the serving plane
+// (DESIGN.md §17.2).
+//
+// One logical writer installs deltas into shadow tries and periodically
+// publishes an immutable Snapshot; M reader threads acquire the current
+// snapshot and do lookups against it with *wait-free* read sections:
+//
+//   acquire:  e = epoch.load; slot.announce(e); s = current.load   (no loop)
+//   release:  slot.announce(idle)
+//
+// Retired snapshots are reclaimed deferred, by the writer, under the
+// invariant: a snapshot S retired at epoch r may be freed only when every
+// active announcement is >= r (or no reader is active). Why that is safe: a
+// reader holding S announced some e *before* loading `current`, and its load
+// returned S only while S was still current — i.e. before the writer's
+// exchange, which precedes the epoch increment that assigned r. So e < r for
+// every reader that can possibly hold S, and an announcement >= r proves
+// that reader entered after S was already replaced (it can only be holding a
+// newer snapshot — pointers are unique allocations and never re-published).
+// A reader that announces a stale epoch after sleeping is merely
+// conservative: it delays reclamation, never unsafely admits it.
+//
+// Writer calls (publish, reclaim, stats harvest) are NOT thread-safe against
+// each other — the serve Feed serializes them; reader registration takes a
+// mutex but the read path itself touches only its own cache-line-padded slot
+// and two shared atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/intern.hpp"
+#include "serve/mtrie.hpp"
+
+namespace fvn::serve {
+
+/// An immutable published view of every node's route table. Readers access
+/// it only through a Lease; everything reachable from here is frozen.
+struct Snapshot {
+  /// Publish ordinal (0 = the empty snapshot installed at construction).
+  std::uint64_t epoch = 0;
+  /// Monotonic count of applied deltas folded in — ties a snapshot back to a
+  /// prefix of the tuple-event stream (the fixpoint-consistency witness).
+  std::uint64_t version = 0;
+  std::shared_ptr<const Interner::Table> names;
+  /// Node id -> frozen table (null for interned texts that are not nodes).
+  std::vector<std::shared_ptr<const FrozenTrie>> tables;
+  std::size_t routes = 0;
+  /// Mix of every table's content checksum — the torn-read tripwire readers
+  /// recompute in the churn tests.
+  std::uint64_t checksum = 0;
+
+  const FrozenTrie* table(Interner::Id node) const noexcept {
+    return node < tables.size() ? tables[node].get() : nullptr;
+  }
+};
+
+/// Single-writer / multi-reader epoch-published pointer with deferred
+/// reclamation.
+class EpochPublisher {
+ public:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  /// Per-reader announcement slot. Padded: each reader thread spins on its
+  /// own line; `lookups` is that reader's private tally, harvested (relaxed)
+  /// by the writer for stats.
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> announced{kIdle};
+    std::atomic<std::uint64_t> lookups{0};
+  };
+
+  /// RAII read section: holds the snapshot alive until destruction.
+  class Lease {
+   public:
+    Lease(const Snapshot* snapshot, ReaderSlot* slot) noexcept
+        : snapshot_(snapshot), slot_(slot) {}
+    Lease(Lease&& other) noexcept
+        : snapshot_(other.snapshot_), slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (slot_ != nullptr) {
+        slot_->announced.store(kIdle, std::memory_order_release);
+      }
+    }
+
+    const Snapshot& operator*() const noexcept { return *snapshot_; }
+    const Snapshot* operator->() const noexcept { return snapshot_; }
+    const Snapshot* get() const noexcept { return snapshot_; }
+
+   private:
+    const Snapshot* snapshot_;
+    ReaderSlot* slot_;
+  };
+
+  EpochPublisher();
+  ~EpochPublisher();
+  EpochPublisher(const EpochPublisher&) = delete;
+  EpochPublisher& operator=(const EpochPublisher&) = delete;
+
+  /// Thread-safe; the returned slot stays valid for the publisher's lifetime.
+  ReaderSlot* register_reader();
+
+  /// Wait-free read-section entry (two loads + one store, no retry loop —
+  /// see the header comment for why no loop is needed).
+  Lease acquire(ReaderSlot* slot) const noexcept {
+    const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    slot->announced.store(e, std::memory_order_seq_cst);
+    return Lease(current_.load(std::memory_order_seq_cst), slot);
+  }
+
+  /// Writer only: install `snapshot` as current, retire the predecessor,
+  /// reclaim every retired snapshot the invariant admits.
+  void publish(std::unique_ptr<const Snapshot> snapshot);
+
+  /// Writer-side peek at the latest published snapshot (no lease needed —
+  /// the writer is the only thread that can retire it).
+  const Snapshot& current() const noexcept {
+    return *current_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t published() const noexcept { return published_; }
+  std::uint64_t reclaimed() const noexcept { return reclaimed_; }
+  std::size_t retired_live() const noexcept { return retired_.size(); }
+  /// Sum of every registered reader's lookup tally (relaxed harvest).
+  std::uint64_t total_lookups() const;
+
+ private:
+  void reclaim();
+
+  std::atomic<const Snapshot*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{1};
+
+  mutable std::mutex readers_mu_;
+  std::vector<std::unique_ptr<ReaderSlot>> readers_;
+
+  struct Retired {
+    const Snapshot* snapshot = nullptr;
+    std::uint64_t epoch = 0;  ///< epoch value *after* the retiring publish
+  };
+  std::vector<Retired> retired_;  ///< writer-only
+  std::uint64_t published_ = 0;
+  std::uint64_t reclaimed_ = 0;
+};
+
+}  // namespace fvn::serve
